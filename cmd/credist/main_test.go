@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestParseSeeds(t *testing.T) {
+	seeds, err := parseSeeds("1, 2,3", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 3 || seeds[0] != 1 || seeds[2] != 3 {
+		t.Fatalf("seeds = %v", seeds)
+	}
+	for _, bad := range []string{"", "x", "-1", "10", "1,,x"} {
+		if _, err := parseSeeds(bad, 10); err == nil {
+			t.Errorf("input %q: expected error", bad)
+		}
+	}
+	// Trailing commas and blanks are tolerated.
+	if seeds, err := parseSeeds("4,", 10); err != nil || len(seeds) != 1 {
+		t.Fatalf("trailing comma: %v, %v", seeds, err)
+	}
+}
+
+func TestLoadDatasetValidation(t *testing.T) {
+	if _, err := loadDataset("", "", ""); err == nil {
+		t.Fatal("no inputs accepted")
+	}
+	if _, err := loadDataset("", "g-only", ""); err == nil {
+		t.Fatal("graph without log accepted")
+	}
+	if _, err := loadDataset("no-such-preset", "", ""); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}

@@ -1,0 +1,227 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section on the synthetic paper-shaped datasets. Each
+// experiment id matches the index in DESIGN.md §3:
+//
+//	experiments -exp table1
+//	experiments -exp fig3 -dataset flickr-small
+//	experiments -exp table4 -k 50
+//	experiments -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"credist/internal/datagen"
+	"credist/internal/eval"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id: table1, table2, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, table4, noise, learners, topology, or all")
+		dataset = flag.String("dataset", "", "dataset preset (default depends on experiment)")
+		k       = flag.Int("k", 50, "seed set size")
+		trials  = flag.Int("trials", 1000, "Monte-Carlo trials for IC/LT (paper: 10000)")
+		lambda  = flag.Float64("lambda", 0.001, "CD truncation threshold")
+		seed    = flag.Uint64("seed", 1, "random seed for assignments and simulations")
+		format  = flag.String("format", "text", "output format: text or csv (csv supported for fig2-fig4, fig6-fig9, table2, table4)")
+	)
+	flag.Parse()
+
+	opts := eval.ExpOptions{K: *k, Trials: *trials, Lambda: *lambda, Seed: *seed}
+	if err := run(*exp, *dataset, *format, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp, dataset, format string, opts eval.ExpOptions) error {
+	out := os.Stdout
+	csv := format == "csv"
+	smallEnvs := func() []*eval.Env {
+		if dataset != "" {
+			return []*eval.Env{envFor(dataset)}
+		}
+		return []*eval.Env{envFor("flixster-small"), envFor("flickr-small")}
+	}
+	largeEnvs := func() []*eval.Env {
+		if dataset != "" {
+			return []*eval.Env{envFor(dataset)}
+		}
+		return []*eval.Env{envFor("flixster-large"), envFor("flickr-large")}
+	}
+
+	textOut := func() *os.File {
+		if csv {
+			return nil // drivers write to io.Discard, CSV to stdout
+		}
+		return out
+	}
+	driverOut := func() io.Writer {
+		if csv {
+			return io.Discard
+		}
+		return out
+	}
+
+	switch exp {
+	case "table1":
+		eval.Table1(out, datagen.Presets())
+	case "table2":
+		for _, env := range smallEnvs() {
+			sets := eval.Table2(driverOut(), env, opts)
+			if csv {
+				if err := eval.WriteIntersectionCSV(out, sets); err != nil {
+					return err
+				}
+			}
+			sep(textOut())
+		}
+	case "fig2":
+		for _, env := range smallEnvs() {
+			reports := eval.Figure2(driverOut(), env, opts)
+			if csv {
+				if err := eval.WritePredictionCSV(out, reports); err != nil {
+					return err
+				}
+				if err := eval.WriteScatterCSV(out, reports); err != nil {
+					return err
+				}
+			}
+			sep(textOut())
+		}
+	case "fig3":
+		for _, env := range smallEnvs() {
+			reports := eval.Figure3(driverOut(), env, opts)
+			if csv {
+				if err := eval.WritePredictionCSV(out, reports); err != nil {
+					return err
+				}
+			}
+			sep(textOut())
+		}
+	case "fig4":
+		for _, env := range smallEnvs() {
+			reports := eval.Figure4(driverOut(), env, opts)
+			if csv {
+				if err := eval.WriteCaptureCSV(out, reports); err != nil {
+					return err
+				}
+			}
+			sep(textOut())
+		}
+	case "fig5":
+		for _, env := range smallEnvs() {
+			sets := eval.Figure5(driverOut(), env, opts)
+			if csv {
+				if err := eval.WriteIntersectionCSV(out, sets); err != nil {
+					return err
+				}
+			}
+			sep(textOut())
+		}
+	case "fig6":
+		for _, env := range smallEnvs() {
+			curves := eval.Figure6(driverOut(), env, opts)
+			if csv {
+				if err := eval.WriteSpreadCurvesCSV(out, curves); err != nil {
+					return err
+				}
+			}
+			sep(textOut())
+		}
+	case "fig7":
+		// MC greedy is the bottleneck; the paper's point is the gap, which
+		// survives reduced k and trials.
+		runtimeOpts := opts
+		if runtimeOpts.K > 10 {
+			runtimeOpts.K = 10
+		}
+		if runtimeOpts.Trials > 200 {
+			runtimeOpts.Trials = 200
+		}
+		for _, env := range smallEnvs() {
+			series := eval.Figure7(driverOut(), env, runtimeOpts)
+			if csv {
+				if err := eval.WriteRuntimeCSV(out, series); err != nil {
+					return err
+				}
+			}
+			sep(textOut())
+		}
+	case "fig8", "fig9":
+		for _, env := range largeEnvs() {
+			points := eval.Scalability(driverOut(), env, nil, opts)
+			if csv {
+				if err := eval.WriteScalabilityCSV(out, points); err != nil {
+					return err
+				}
+			}
+			sep(textOut())
+		}
+	case "table4":
+		// The paper reports Table 4 on Flixster_Large only.
+		points := eval.Table4(driverOut(), largeEnvs()[0], nil, opts)
+		if csv {
+			return eval.WriteTruncationCSV(out, points)
+		}
+	case "noise":
+		for _, env := range smallEnvs() {
+			eval.NoiseRobustness(out, env, nil, opts)
+			sep(textOut())
+		}
+	case "learners":
+		for _, env := range smallEnvs() {
+			eval.LearnerComparison(out, env, opts)
+			sep(textOut())
+		}
+	case "topology":
+		base, ok := datagen.PresetByName("flixster-small")
+		if dataset != "" {
+			base, ok = datagen.PresetByName(dataset)
+		}
+		if !ok {
+			return fmt.Errorf("unknown preset")
+		}
+		base.NumUsers /= 2 // three full runs; keep it brisk
+		base.NumActions /= 2
+		eval.TopologyRobustness(out, base, opts)
+	case "all":
+		ids := []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5",
+			"fig6", "fig7", "fig8", "table4", "noise", "learners", "topology"}
+		for _, id := range ids {
+			fmt.Fprintf(out, "===== %s =====\n", id)
+			if err := run(id, dataset, format, opts); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+func sep(out *os.File) {
+	if out != nil {
+		fmt.Fprintln(out)
+	}
+}
+
+var envCache = map[string]*eval.Env{}
+
+func envFor(preset string) *eval.Env {
+	if env, ok := envCache[preset]; ok {
+		return env
+	}
+	cfg, ok := datagen.PresetByName(preset)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "experiments: unknown preset %q\n", preset)
+		os.Exit(1)
+	}
+	env := eval.MakeEnv(cfg)
+	envCache[preset] = env
+	return env
+}

@@ -1,0 +1,195 @@
+package credist
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"credist/internal/datagen"
+)
+
+func tinyConfig(seed uint64) datagen.Config {
+	return datagen.Config{
+		Name: "facade-test", NumUsers: 300, OutDegree: 4, Reciprocity: 0.6,
+		NumActions: 200, MeanInfluence: 0.08, MeanDelay: 8,
+		SpontaneousPerAction: 2, ThresholdFraction: 0.4, Seed: seed,
+	}
+}
+
+func TestGeneratePreset(t *testing.T) {
+	ds, err := GeneratePreset("flixster-small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumUsers() == 0 || ds.Stats().NumTuples == 0 {
+		t.Fatal("empty preset dataset")
+	}
+	if _, err := GeneratePreset("no-such-preset"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestSplitRatio(t *testing.T) {
+	ds := Generate(tinyConfig(1))
+	train, test := ds.Split()
+	tr, te := train.Stats().NumActions, test.Stats().NumActions
+	if tr+te != ds.Stats().NumActions {
+		t.Fatal("split lost actions")
+	}
+	if te == 0 || tr < 3*te {
+		t.Fatalf("split = %d/%d, want ~80/20", tr, te)
+	}
+}
+
+func TestLearnSelectPredict(t *testing.T) {
+	ds := Generate(tinyConfig(2))
+	model := Learn(ds, Options{Lambda: 0.001})
+	seeds, gains := model.SelectSeeds(5)
+	if len(seeds) != 5 || len(gains) != 5 {
+		t.Fatalf("seeds/gains = %d/%d", len(seeds), len(gains))
+	}
+	for i := 1; i < len(gains); i++ {
+		if gains[i] > gains[i-1]+1e-9 {
+			t.Fatalf("gains not non-increasing: %v", gains)
+		}
+	}
+	spread := model.Spread(seeds)
+	sum := 0.0
+	for _, g := range gains {
+		sum += g
+	}
+	// Exact evaluator spread is at least the truncated engine's estimate,
+	// and close to it.
+	if spread < sum-1e-6 || spread > sum*1.25+1 {
+		t.Fatalf("spread %g far from gain sum %g", spread, sum)
+	}
+	// More seeds never hurt.
+	more, _ := model.SelectSeeds(10)
+	if model.Spread(more) < spread-1e-9 {
+		t.Fatal("spread decreased with more seeds")
+	}
+}
+
+func TestSimpleVsTimeAwareOptions(t *testing.T) {
+	ds := Generate(tinyConfig(3))
+	ta := Learn(ds, Options{})
+	simple := Learn(ds, Options{SimpleCredit: true})
+	seeds, _ := ta.SelectSeeds(3)
+	// The simple rule gives more credit per hop, so it predicts at least
+	// as much spread for any fixed set.
+	if simple.Spread(seeds) < ta.Spread(seeds)-1e-9 {
+		t.Fatalf("simple %g < time-aware %g", simple.Spread(seeds), ta.Spread(seeds))
+	}
+	if infl := ta.Influenceability(seeds[0]); infl < 0 || infl > 1 {
+		t.Fatalf("influenceability %g", infl)
+	}
+	if got := simple.Influenceability(seeds[0]); got != 1 {
+		t.Fatalf("simple-credit influenceability = %g, want 1", got)
+	}
+}
+
+func TestPairCreditAndInitiators(t *testing.T) {
+	ds := Generate(tinyConfig(4))
+	model := Learn(ds, Options{})
+	inits := Initiators(ds, 0)
+	if len(inits) == 0 {
+		t.Fatal("no initiators")
+	}
+	// Self-credit: kappa_{v,v} = 1 for any user who acted.
+	v := inits[0]
+	if got := model.PairCredit(v, v); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("kappa_vv = %g", got)
+	}
+}
+
+func TestBaselineSeeds(t *testing.T) {
+	ds := Generate(tinyConfig(5))
+	hd := HighDegreeSeeds(ds, 7)
+	pr := PageRankSeeds(ds, 7)
+	if len(hd) != 7 || len(pr) != 7 {
+		t.Fatalf("baseline sizes %d/%d", len(hd), len(pr))
+	}
+	seen := map[NodeID]bool{}
+	for _, u := range hd {
+		if seen[u] {
+			t.Fatal("duplicate high-degree seed")
+		}
+		seen[u] = true
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ds := Generate(tinyConfig(6))
+	dir := t.TempDir()
+	gp := filepath.Join(dir, "g.graph")
+	lp := filepath.Join(dir, "l.log")
+	if err := SaveDataset(ds, gp, lp); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDataset("back", gp, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumUsers() != ds.NumUsers() {
+		t.Fatalf("users %d != %d", back.NumUsers(), ds.NumUsers())
+	}
+	if back.Stats().NumTuples != ds.Stats().NumTuples {
+		t.Fatalf("tuples %d != %d", back.Stats().NumTuples, ds.Stats().NumTuples)
+	}
+	// Models learned from the round-tripped dataset agree.
+	s1, _ := Learn(ds, Options{}).SelectSeeds(3)
+	s2, _ := Learn(back, Options{}).SelectSeeds(3)
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("seeds diverged after round trip: %v vs %v", s1, s2)
+		}
+	}
+}
+
+func TestLoadDatasetErrors(t *testing.T) {
+	if _, err := LoadDataset("x", "/nonexistent/g", "/nonexistent/l"); err == nil {
+		t.Fatal("missing files accepted")
+	}
+}
+
+func TestSelectionResultExtras(t *testing.T) {
+	ds := Generate(tinyConfig(7))
+	model := Learn(ds, Options{})
+	res := model.Selection(4)
+	if len(res.Seeds) != 4 || res.Lookups < 4 {
+		t.Fatalf("selection = %+v", res)
+	}
+	if len(res.Elapsed) != 4 {
+		t.Fatalf("elapsed per seed missing: %d", len(res.Elapsed))
+	}
+}
+
+func TestModelSaveLoadParams(t *testing.T) {
+	ds := Generate(tinyConfig(8))
+	model := Learn(ds, Options{})
+	path := filepath.Join(t.TempDir(), "params.txt")
+	if err := model.SaveParams(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModel(ds, path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds, _ := model.SelectSeeds(4)
+	s2, _ := back.SelectSeeds(4)
+	for i := range seeds {
+		if seeds[i] != s2[i] {
+			t.Fatalf("restored model selects %v, original %v", s2, seeds)
+		}
+	}
+	if a, b := model.Spread(seeds), back.Spread(seeds); a != b {
+		t.Fatalf("spreads differ after reload: %g vs %g", a, b)
+	}
+	// Simple-credit models have nothing to save.
+	if err := Learn(ds, Options{SimpleCredit: true}).SaveParams(path); err == nil {
+		t.Fatal("simple-credit SaveParams should fail")
+	}
+	if _, err := LoadModel(ds, "/nonexistent", Options{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,82 @@
+// Spread prediction: the paper's accuracy protocol (Section 3,
+// Experiment 2; Section 6, Figure 3). Hold out 20% of the propagations,
+// learn the CD model on the other 80%, then for each held-out propagation
+// predict the spread of its initiator set and compare with how far the
+// action actually spread.
+//
+//	go run ./examples/spreadprediction
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"credist"
+	"credist/internal/datagen"
+)
+
+func main() {
+	cfg := datagen.FlickrSmall()
+	cfg.NumUsers = 1500
+	cfg.NumActions = 1200
+	ds := credist.Generate(cfg)
+
+	train, test := ds.Split()
+	fmt.Printf("dataset %s: %d training propagations, %d held out\n\n",
+		ds.Name, train.Stats().NumActions, test.Stats().NumActions)
+
+	model := credist.Learn(train, credist.Options{})
+
+	type prediction struct {
+		actual    int
+		predicted float64
+	}
+	var preds []prediction
+	for a := 0; a < test.Stats().NumActions; a++ {
+		inits := credist.Initiators(test, credist.ActionID(a))
+		if len(inits) == 0 {
+			continue
+		}
+		actual := 0
+		for _, tup := range test.Log.Action(credist.ActionID(a)) {
+			_ = tup
+			actual++
+		}
+		preds = append(preds, prediction{
+			actual:    actual,
+			predicted: model.Spread(inits),
+		})
+	}
+
+	// Overall accuracy.
+	sumSq, sumAbs := 0.0, 0.0
+	for _, p := range preds {
+		d := p.predicted - float64(p.actual)
+		sumSq += d * d
+		sumAbs += math.Abs(d)
+	}
+	n := float64(len(preds))
+	fmt.Printf("predicted %d held-out propagations\n", len(preds))
+	fmt.Printf("RMSE           %.2f\n", math.Sqrt(sumSq/n))
+	fmt.Printf("mean |error|   %.2f\n\n", sumAbs/n)
+
+	// Capture curve (Figure 4 flavor): fraction within error budgets.
+	absErrs := make([]float64, len(preds))
+	for i, p := range preds {
+		absErrs[i] = math.Abs(p.predicted - float64(p.actual))
+	}
+	sort.Float64s(absErrs)
+	for _, budget := range []float64{1, 2, 5, 10, 20} {
+		idx := sort.SearchFloat64s(absErrs, budget+1e-9)
+		fmt.Printf("within ±%-4.0f : %5.1f%% of propagations\n",
+			budget, 100*float64(idx)/n)
+	}
+
+	// A few sample predictions, largest actual spreads first.
+	sort.Slice(preds, func(i, j int) bool { return preds[i].actual > preds[j].actual })
+	fmt.Println("\nlargest held-out propagations:")
+	for i := 0; i < 5 && i < len(preds); i++ {
+		fmt.Printf("  actual %4d   predicted %7.1f\n", preds[i].actual, preds[i].predicted)
+	}
+}

@@ -1,0 +1,198 @@
+// Package actionlog implements the paper's data model: an action log
+// L(User, Action, Time) holding one tuple per (user, action), the
+// propagation DAGs induced by the log over a social graph, and the
+// train/test splitting protocol used throughout the evaluation.
+package actionlog
+
+import (
+	"fmt"
+	"sort"
+
+	"credist/internal/graph"
+)
+
+// ActionID is a dense action index in [0, NumActions).
+type ActionID = int32
+
+// Timestamp is the time a user performed an action, in arbitrary units.
+// Only the ordering and differences of timestamps matter.
+type Timestamp = float64
+
+// Tuple records that User performed Action at Time.
+type Tuple struct {
+	User   graph.NodeID
+	Action ActionID
+	Time   Timestamp
+}
+
+// Log is an immutable action log: tuples sorted first by action, then by
+// time (the scan order required by Algorithm 2), with per-action offsets.
+// A user appears at most once per action.
+type Log struct {
+	tuples     []Tuple
+	actionIdx  []int32 // len numActions+1, offsets into tuples
+	numUsers   int
+	userCounts []int32 // Au: number of actions performed by each user
+}
+
+// NumActions returns the number of distinct actions (propagations).
+func (l *Log) NumActions() int { return len(l.actionIdx) - 1 }
+
+// NumTuples returns the total number of (user, action, time) tuples.
+func (l *Log) NumTuples() int { return len(l.tuples) }
+
+// NumUsers returns the node-universe size the log was built against.
+func (l *Log) NumUsers() int { return l.numUsers }
+
+// ActionCount returns Au, the number of actions user u performed.
+func (l *Log) ActionCount(u graph.NodeID) int { return int(l.userCounts[u]) }
+
+// Action returns the tuples of action a in chronological order. The slice
+// aliases internal storage and must not be modified.
+func (l *Log) Action(a ActionID) []Tuple {
+	return l.tuples[l.actionIdx[a]:l.actionIdx[a+1]]
+}
+
+// Size returns the propagation size of action a: the number of users who
+// performed it.
+func (l *Log) Size(a ActionID) int {
+	return int(l.actionIdx[a+1] - l.actionIdx[a])
+}
+
+// Tuples returns all tuples in (action, time) order. The slice aliases
+// internal storage and must not be modified.
+func (l *Log) Tuples() []Tuple { return l.tuples }
+
+// PerformedAt returns the time u performed a and whether it did at all
+// (the paper's partial function t(u, a)).
+func (l *Log) PerformedAt(u graph.NodeID, a ActionID) (Timestamp, bool) {
+	tuples := l.Action(a)
+	for _, t := range tuples {
+		if t.User == u {
+			return t.Time, true
+		}
+	}
+	return 0, false
+}
+
+// Builder accumulates tuples and produces a Log. If the same (user,
+// action) pair is added more than once, the earliest time wins, enforcing
+// the paper's "a user performs an action at most once" assumption.
+type Builder struct {
+	numUsers int
+	tuples   map[tupleKey]Timestamp
+}
+
+type tupleKey struct {
+	user   graph.NodeID
+	action ActionID
+}
+
+// NewBuilder returns a Builder for a log over numUsers users.
+func NewBuilder(numUsers int) *Builder {
+	return &Builder{numUsers: numUsers, tuples: make(map[tupleKey]Timestamp)}
+}
+
+// Add records that user u performed action a at time t.
+func (b *Builder) Add(u graph.NodeID, a ActionID, t Timestamp) error {
+	if u < 0 || int(u) >= b.numUsers {
+		return fmt.Errorf("actionlog: user %d out of range [0,%d)", u, b.numUsers)
+	}
+	if a < 0 {
+		return fmt.Errorf("actionlog: negative action id %d", a)
+	}
+	key := tupleKey{u, a}
+	if prev, ok := b.tuples[key]; !ok || t < prev {
+		b.tuples[key] = t
+	}
+	return nil
+}
+
+// Build produces the immutable Log. Action ids are kept as given; actions
+// with no tuples in [0, maxAction] simply have empty ranges.
+func (b *Builder) Build() *Log {
+	tuples := make([]Tuple, 0, len(b.tuples))
+	maxAction := ActionID(-1)
+	for k, t := range b.tuples {
+		tuples = append(tuples, Tuple{User: k.user, Action: k.action, Time: t})
+		if k.action > maxAction {
+			maxAction = k.action
+		}
+	}
+	sort.Slice(tuples, func(i, j int) bool {
+		if tuples[i].Action != tuples[j].Action {
+			return tuples[i].Action < tuples[j].Action
+		}
+		if tuples[i].Time != tuples[j].Time {
+			return tuples[i].Time < tuples[j].Time
+		}
+		return tuples[i].User < tuples[j].User
+	})
+	l := &Log{
+		tuples:     tuples,
+		numUsers:   b.numUsers,
+		userCounts: make([]int32, b.numUsers),
+	}
+	l.actionIdx = make([]int32, maxAction+2)
+	for _, t := range tuples {
+		l.actionIdx[t.Action+1]++
+		l.userCounts[t.User]++
+	}
+	for i := 1; i < len(l.actionIdx); i++ {
+		l.actionIdx[i] += l.actionIdx[i-1]
+	}
+	return l
+}
+
+// FromTuples builds a Log directly from a tuple slice.
+func FromTuples(numUsers int, tuples []Tuple) (*Log, error) {
+	b := NewBuilder(numUsers)
+	for _, t := range tuples {
+		if err := b.Add(t.User, t.Action, t.Time); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// Restrict returns a new Log containing only the given actions, renumbered
+// densely 0..len(actions)-1 in the order given. User ids are unchanged.
+func (l *Log) Restrict(actions []ActionID) *Log {
+	b := NewBuilder(l.numUsers)
+	for newID, a := range actions {
+		for _, t := range l.Action(a) {
+			// Errors impossible: tuples come from a valid log.
+			_ = b.Add(t.User, ActionID(newID), t.Time)
+		}
+	}
+	return b.Build()
+}
+
+// RestrictUsers returns a new Log keeping only tuples whose user is in the
+// remap (old id -> new id), with users renumbered and actions renumbered
+// densely over the surviving non-empty actions. It is used when carving a
+// community sub-dataset.
+func (l *Log) RestrictUsers(remap map[graph.NodeID]graph.NodeID, newNumUsers int) *Log {
+	b := NewBuilder(newNumUsers)
+	nextAction := ActionID(0)
+	actionRemap := make(map[ActionID]ActionID)
+	for a := ActionID(0); int(a) < l.NumActions(); a++ {
+		any := false
+		for _, t := range l.Action(a) {
+			nu, ok := remap[t.User]
+			if !ok {
+				continue
+			}
+			na, seen := actionRemap[a]
+			if !seen {
+				na = nextAction
+				actionRemap[a] = na
+				nextAction++
+			}
+			_ = b.Add(nu, na, t.Time)
+			any = true
+		}
+		_ = any
+	}
+	return b.Build()
+}

@@ -1,0 +1,81 @@
+package actionlog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"credist/internal/graph"
+)
+
+// Write serializes the log as plain text:
+//
+//	<numUsers>
+//	<user> <action> <time>
+//	...
+//
+// in (action, time) order, the format cmd/datagen emits.
+func Write(w io.Writer, l *Log) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d\n", l.NumUsers()); err != nil {
+		return err
+	}
+	for _, t := range l.Tuples() {
+		if _, err := fmt.Fprintf(bw, "%d %d %g\n", t.User, t.Action, t.Time); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the format written by Write. Blank lines and '#' comments
+// are ignored.
+func Read(r io.Reader) (*Log, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var b *Builder
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if b == nil {
+			n, err := strconv.Atoi(line)
+			if err != nil {
+				return nil, fmt.Errorf("actionlog: line %d: expected user count: %w", lineNo, err)
+			}
+			b = NewBuilder(n)
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("actionlog: line %d: expected 'user action time', got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("actionlog: line %d: bad user: %w", lineNo, err)
+		}
+		a, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("actionlog: line %d: bad action: %w", lineNo, err)
+		}
+		t, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("actionlog: line %d: bad time: %w", lineNo, err)
+		}
+		if err := b.Add(graph.NodeID(u), ActionID(a), t); err != nil {
+			return nil, fmt.Errorf("actionlog: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("actionlog: empty input")
+	}
+	return b.Build(), nil
+}

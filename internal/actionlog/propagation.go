@@ -1,0 +1,162 @@
+package actionlog
+
+import (
+	"sort"
+
+	"credist/internal/graph"
+)
+
+// Propagation is the propagation graph G(a) of one action: the DAG over
+// the users who performed a, with an edge v->u whenever (v,u) is a social
+// tie and v performed a strictly before u.
+type Propagation struct {
+	Action ActionID
+	// Users lists participants in chronological order (ties broken by id,
+	// matching the log's scan order).
+	Users []graph.NodeID
+	// Times[i] is when Users[i] performed the action.
+	Times []Timestamp
+	// Parents[i] lists the indices (into Users) of the potential
+	// influencers N_in(Users[i], a).
+	Parents [][]int32
+	// pos maps a user id to its index in Users.
+	pos map[graph.NodeID]int32
+}
+
+// Size returns the number of participants, the paper's "propagation size".
+func (p *Propagation) Size() int { return len(p.Users) }
+
+// Index returns the chronological index of user u, or -1 if u did not
+// participate.
+func (p *Propagation) Index(u graph.NodeID) int32 {
+	if i, ok := p.pos[u]; ok {
+		return i
+	}
+	return -1
+}
+
+// InDegree returns d_in(u, a) for the i-th participant.
+func (p *Propagation) InDegree(i int32) int { return len(p.Parents[i]) }
+
+// Initiators returns the participants with no potential influencers —
+// the users the paper treats as the "seed set" of a test propagation.
+func (p *Propagation) Initiators() []graph.NodeID {
+	var out []graph.NodeID
+	for i, parents := range p.Parents {
+		if len(parents) == 0 {
+			out = append(out, p.Users[i])
+		}
+	}
+	return out
+}
+
+// BuildPropagation constructs G(a) for action a over social graph g.
+// Parents are predecessors in g (edge v->u means v can influence u) that
+// acted strictly earlier; simultaneous actions never influence each other,
+// which keeps the graph acyclic even with tied timestamps.
+func BuildPropagation(l *Log, g *graph.Graph, a ActionID) *Propagation {
+	tuples := l.Action(a)
+	p := &Propagation{
+		Action:  a,
+		Users:   make([]graph.NodeID, len(tuples)),
+		Times:   make([]Timestamp, len(tuples)),
+		Parents: make([][]int32, len(tuples)),
+		pos:     make(map[graph.NodeID]int32, len(tuples)),
+	}
+	for i, t := range tuples {
+		p.Users[i] = t.User
+		p.Times[i] = t.Time
+		p.pos[t.User] = int32(i)
+	}
+	for i, t := range tuples {
+		var parents []int32
+		for _, v := range g.In(t.User) {
+			j, ok := p.pos[v]
+			if ok && p.Times[j] < t.Time {
+				parents = append(parents, j)
+			}
+		}
+		sort.Slice(parents, func(x, y int) bool { return parents[x] < parents[y] })
+		p.Parents[i] = parents
+	}
+	return p
+}
+
+// Propagations builds the propagation DAG of every action in the log.
+func Propagations(l *Log, g *graph.Graph) []*Propagation {
+	out := make([]*Propagation, l.NumActions())
+	for a := 0; a < l.NumActions(); a++ {
+		out[a] = BuildPropagation(l, g, ActionID(a))
+	}
+	return out
+}
+
+// Split divides the log's actions into training and test sets following
+// the paper's protocol: actions are ranked by propagation size and every
+// fifth action in that ranking goes to the test set, so both sets keep
+// similar size distributions at an 80/20 ratio. The returned logs have
+// densely renumbered actions; the third and fourth results map new action
+// ids back to original ids.
+func Split(l *Log) (train, test *Log, trainOrig, testOrig []ActionID) {
+	type sized struct {
+		a    ActionID
+		size int
+	}
+	ranked := make([]sized, l.NumActions())
+	for a := 0; a < l.NumActions(); a++ {
+		ranked[a] = sized{ActionID(a), l.Size(ActionID(a))}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].size != ranked[j].size {
+			return ranked[i].size > ranked[j].size
+		}
+		return ranked[i].a < ranked[j].a
+	})
+	for i, r := range ranked {
+		if (i+1)%5 == 0 {
+			testOrig = append(testOrig, r.a)
+		} else {
+			trainOrig = append(trainOrig, r.a)
+		}
+	}
+	return l.Restrict(trainOrig), l.Restrict(testOrig), trainOrig, testOrig
+}
+
+// Stats summarizes a log for Table 1-style reporting.
+type Stats struct {
+	NumUsers      int
+	NumActions    int
+	NumTuples     int
+	MaxSize       int
+	MeanSize      float64
+	ActiveUsers   int // users with at least one tuple
+	MeanPerUser   float64
+	MedianPerUser int
+}
+
+// Summarize computes log statistics.
+func Summarize(l *Log) Stats {
+	s := Stats{NumUsers: l.NumUsers(), NumActions: l.NumActions(), NumTuples: l.NumTuples()}
+	for a := 0; a < l.NumActions(); a++ {
+		size := l.Size(ActionID(a))
+		if size > s.MaxSize {
+			s.MaxSize = size
+		}
+	}
+	if s.NumActions > 0 {
+		s.MeanSize = float64(s.NumTuples) / float64(s.NumActions)
+	}
+	var counts []int
+	for u := 0; u < l.NumUsers(); u++ {
+		if c := l.ActionCount(graph.NodeID(u)); c > 0 {
+			s.ActiveUsers++
+			counts = append(counts, c)
+		}
+	}
+	if s.ActiveUsers > 0 {
+		s.MeanPerUser = float64(s.NumTuples) / float64(s.ActiveUsers)
+		sort.Ints(counts)
+		s.MedianPerUser = counts[len(counts)/2]
+	}
+	return s
+}

@@ -1,0 +1,156 @@
+package cascade
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	"credist/internal/graph"
+)
+
+// Model selects a propagation model for simulation.
+type Model int
+
+const (
+	// IC is the Independent Cascade model.
+	IC Model = iota
+	// LT is the Linear Threshold model.
+	LT
+)
+
+// String returns the conventional short name of the model.
+func (m Model) String() string {
+	switch m {
+	case IC:
+		return "IC"
+	case LT:
+		return "LT"
+	default:
+		return "unknown"
+	}
+}
+
+// MCOptions configures Monte-Carlo spread estimation.
+type MCOptions struct {
+	// Trials is the number of simulations averaged (paper: 10,000;
+	// default here 1,000 — see DESIGN.md §4).
+	Trials int
+	// Workers is the parallelism degree (default GOMAXPROCS).
+	Workers int
+	// Seed seeds the per-worker RNG streams; estimates are deterministic
+	// given (Seed, Trials, Workers).
+	Seed uint64
+}
+
+func (o MCOptions) withDefaults() MCOptions {
+	if o.Trials == 0 {
+		o.Trials = 1000
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// MCEstimator estimates expected spread sigma_m(S) by repeated simulation,
+// the standard approach of Kempe et al. that the credit-distribution model
+// is designed to avoid.
+type MCEstimator struct {
+	weights *Weights
+	model   Model
+	opts    MCOptions
+
+	mu       sync.Mutex
+	icStates []*ICState
+	ltStates []*LTState
+}
+
+// NewMCEstimator returns an estimator for the given model over weighted
+// graph w.
+func NewMCEstimator(w *Weights, model Model, opts MCOptions) *MCEstimator {
+	return &MCEstimator{weights: w, model: model, opts: opts.withDefaults()}
+}
+
+// Spread returns the Monte-Carlo estimate of expected spread of seeds.
+func (e *MCEstimator) Spread(seeds []graph.NodeID) float64 {
+	opts := e.opts
+	workers := opts.Workers
+	if workers > opts.Trials {
+		workers = opts.Trials
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	per := opts.Trials / workers
+	extra := opts.Trials % workers
+
+	sums := make([]float64, workers)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		trials := per
+		if wk < extra {
+			trials++
+		}
+		wg.Add(1)
+		go func(wk, trials int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(opts.Seed, uint64(wk)+1))
+			sum := 0.0
+			switch e.model {
+			case IC:
+				st := e.getICState()
+				for t := 0; t < trials; t++ {
+					sum += float64(SimulateIC(e.weights, seeds, rng, st))
+				}
+				e.putICState(st)
+			case LT:
+				st := e.getLTState()
+				for t := 0; t < trials; t++ {
+					sum += float64(SimulateLT(e.weights, seeds, rng, st))
+				}
+				e.putLTState(st)
+			}
+			sums[wk] = sum
+		}(wk, trials)
+	}
+	wg.Wait()
+	total := 0.0
+	for _, s := range sums {
+		total += s
+	}
+	return total / float64(opts.Trials)
+}
+
+func (e *MCEstimator) getICState() *ICState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n := len(e.icStates); n > 0 {
+		st := e.icStates[n-1]
+		e.icStates = e.icStates[:n-1]
+		return st
+	}
+	return NewICState(e.weights.Graph())
+}
+
+func (e *MCEstimator) putICState(st *ICState) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.icStates = append(e.icStates, st)
+}
+
+func (e *MCEstimator) getLTState() *LTState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n := len(e.ltStates); n > 0 {
+		st := e.ltStates[n-1]
+		e.ltStates = e.ltStates[:n-1]
+		return st
+	}
+	return NewLTState(e.weights.Graph())
+}
+
+func (e *MCEstimator) putLTState(st *LTState) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ltStates = append(e.ltStates, st)
+}

@@ -1,0 +1,95 @@
+package cascade
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"credist/internal/graph"
+)
+
+// WriteWeights serializes edge weights as plain text:
+//
+//	<numNodes>
+//	<from> <to> <probability>
+//	...
+//
+// Only edges with nonzero weight are written; learned probability maps are
+// sparse, so this is compact. ReadWeights restores against a graph with
+// the same node universe.
+func WriteWeights(w io.Writer, ws *Weights) error {
+	bw := bufio.NewWriter(w)
+	g := ws.Graph()
+	if _, err := fmt.Fprintf(bw, "%d\n", g.NumNodes()); err != nil {
+		return err
+	}
+	for u := int32(0); int(u) < g.NumNodes(); u++ {
+		row := g.Out(u)
+		probs := ws.OutRow(u)
+		for i, v := range row {
+			if p := probs[i]; p > 0 {
+				if _, err := fmt.Fprintf(bw, "%d %d %g\n", u, v, p); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadWeights parses the format written by WriteWeights and attaches the
+// weights to g. Edges present in the file but absent from g are an error:
+// weights are meaningless without their graph.
+func ReadWeights(r io.Reader, g *graph.Graph) (*Weights, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	ws := NewWeights(g)
+	lineNo := 0
+	sawHeader := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sawHeader {
+			n, err := strconv.Atoi(line)
+			if err != nil {
+				return nil, fmt.Errorf("cascade: line %d: expected node count: %w", lineNo, err)
+			}
+			if n != g.NumNodes() {
+				return nil, fmt.Errorf("cascade: weights for %d nodes, graph has %d", n, g.NumNodes())
+			}
+			sawHeader = true
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("cascade: line %d: expected 'from to p', got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("cascade: line %d: bad from: %w", lineNo, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("cascade: line %d: bad to: %w", lineNo, err)
+		}
+		p, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("cascade: line %d: bad probability: %w", lineNo, err)
+		}
+		if err := ws.Set(graph.NodeID(u), graph.NodeID(v), p); err != nil {
+			return nil, fmt.Errorf("cascade: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("cascade: empty weights input")
+	}
+	return ws, nil
+}

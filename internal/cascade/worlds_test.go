@@ -1,0 +1,143 @@
+package cascade
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"credist/internal/graph"
+)
+
+func randomWeighted(rng *rand.Rand, n int, maxP float64) *Weights {
+	b := graph.NewBuilder(n)
+	for e := 0; e < n*3; e++ {
+		u, v := graph.NodeID(rng.IntN(n)), graph.NodeID(rng.IntN(n))
+		if u != v {
+			_ = b.AddEdge(u, v)
+		}
+	}
+	g := b.Build()
+	w := NewWeights(g)
+	for u := int32(0); int(u) < n; u++ {
+		for _, v := range g.Out(u) {
+			_ = w.Set(u, v, rng.Float64()*maxP)
+		}
+	}
+	return w
+}
+
+// normalizeLT scales down in-weights so each node's sum is at most 1,
+// making the weights a valid LT instance.
+func normalizeLT(w *Weights) *Weights {
+	g := w.Graph()
+	out := NewWeights(g)
+	for u := int32(0); int(u) < g.NumNodes(); u++ {
+		sum := w.InSum(u)
+		scale := 1.0
+		if sum > 1 {
+			scale = 1 / sum
+		}
+		in := g.In(u)
+		weights := w.InRow(u)
+		for i, v := range in {
+			_ = out.Set(v, u, weights[i]*scale)
+		}
+	}
+	return out
+}
+
+// TestICWorldEquivalence checks Eq. (1): spread estimated by sampling IC
+// live-edge worlds matches direct Monte-Carlo simulation of the cascade.
+// This is the Kempe et al. equivalence the paper builds Section 4 on.
+func TestICWorldEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	w := randomWeighted(rng, 40, 0.4)
+	seeds := []graph.NodeID{0, 13, 27}
+
+	mc := NewMCEstimator(w, IC, MCOptions{Trials: 20000, Seed: 5})
+	worlds := NewWorldEstimator(w, IC, 20000, 6)
+	a, b := mc.Spread(seeds), worlds.Spread(seeds)
+	if math.Abs(a-b) > 0.05*math.Max(a, b)+0.3 {
+		t.Fatalf("IC world estimate %g far from MC %g", b, a)
+	}
+}
+
+// TestLTWorldEquivalence checks the LT live-edge equivalence: each node
+// keeps at most one in-edge with probability equal to its weight.
+func TestLTWorldEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	w := normalizeLT(randomWeighted(rng, 40, 0.5))
+	seeds := []graph.NodeID{1, 20}
+
+	mc := NewMCEstimator(w, LT, MCOptions{Trials: 20000, Seed: 7})
+	worlds := NewWorldEstimator(w, LT, 20000, 8)
+	a, b := mc.Spread(seeds), worlds.Spread(seeds)
+	if math.Abs(a-b) > 0.05*math.Max(a, b)+0.3 {
+		t.Fatalf("LT world estimate %g far from MC %g", b, a)
+	}
+}
+
+func TestWorldReachableDeterministicChain(t *testing.T) {
+	b := graph.NewBuilder(4)
+	for i := 0; i < 3; i++ {
+		_ = b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	w := NewWeights(b.Build())
+	for i := 0; i < 3; i++ {
+		_ = w.Set(graph.NodeID(i), graph.NodeID(i+1), 1.0)
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	world := SampleICWorld(w, rng)
+	if got := world.Reachable([]graph.NodeID{0}, nil); got != 4 {
+		t.Fatalf("reachable = %d, want 4 on p=1 chain", got)
+	}
+	if got := world.Reachable([]graph.NodeID{0, 0, 3}, nil); got != 4 {
+		t.Fatalf("duplicate seeds miscounted: %d", got)
+	}
+}
+
+func TestLTWorldAtMostOneInEdge(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	w := normalizeLT(randomWeighted(rng, 30, 0.8))
+	for trial := 0; trial < 20; trial++ {
+		world := SampleLTWorld(w, rng)
+		inCount := make([]int, 30)
+		for v := range world.out {
+			for _, u := range world.out[v] {
+				inCount[u]++
+			}
+		}
+		for u, c := range inCount {
+			if c > 1 {
+				t.Fatalf("node %d has %d live in-edges, LT allows at most 1", u, c)
+			}
+		}
+	}
+}
+
+func TestWorldEstimatorAsSelector(t *testing.T) {
+	// On a deterministic chain the world estimator behaves like the exact
+	// oracle and works with greedy selection.
+	b := graph.NewBuilder(5)
+	for i := 0; i < 4; i++ {
+		_ = b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	w := NewWeights(b.Build())
+	for i := 0; i < 4; i++ {
+		_ = w.Set(graph.NodeID(i), graph.NodeID(i+1), 1.0)
+	}
+	est := NewWorldEstimator(w, IC, 10, 1)
+	if est.NumNodes() != 5 {
+		t.Fatal("NumNodes wrong")
+	}
+	if got := est.Gain(0); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("Gain(0) = %g, want 5", got)
+	}
+	est.Add(0)
+	if got := est.Gain(4); got != 0 {
+		t.Fatalf("Gain(4) after full coverage = %g", got)
+	}
+	if len(est.Seeds()) != 1 {
+		t.Fatal("Seeds not tracked")
+	}
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"sort"
+
+	"credist/internal/actionlog"
+	"credist/internal/graph"
+)
+
+// CompactEngine is an array-backed alternative to Engine: per action, the
+// UC credits live in three parallel slices sorted by (influencer,
+// influenced) with a permutation index for column access, instead of two
+// mirrored hash maps. Entries cost ~20 bytes instead of ~64, at the price
+// of binary searches during seed updates and tombstoned deletions.
+//
+// It implements the same estimator interface and is property-tested to
+// produce bit-identical gains to Engine; BenchmarkCompactEngine reports
+// the memory/time trade-off. This is the UC-representation ablation
+// called out in DESIGN.md §6.
+type CompactEngine struct {
+	numUsers  int
+	au        []int32
+	actionsOf [][]int32
+	uc        []compactUC
+	sc        []map[int32]float64
+	seeds     []graph.NodeID
+	entries   int64
+	lambda    float64
+}
+
+// compactUC stores one action's credits. vs/us/credit are parallel,
+// sorted by (vs, us). byU is a permutation of entry indices sorted by
+// (us, vs), giving column access. vOff/uOff would require dense node ids
+// per action; ranges are found by binary search instead, keeping memory
+// at three slices plus one permutation.
+type compactUC struct {
+	vs     []int32
+	us     []int32
+	credit []float64 // 0 = tombstone
+	byU    []int32
+}
+
+// rowRange returns [lo,hi) of entries with influencer v.
+func (c *compactUC) rowRange(v int32) (int, int) {
+	lo := sort.Search(len(c.vs), func(i int) bool { return c.vs[i] >= v })
+	hi := sort.Search(len(c.vs), func(i int) bool { return c.vs[i] > v })
+	return lo, hi
+}
+
+// colRange returns [lo,hi) into byU of entries with influenced u.
+func (c *compactUC) colRange(u int32) (int, int) {
+	lo := sort.Search(len(c.byU), func(i int) bool { return c.us[c.byU[i]] >= u })
+	hi := sort.Search(len(c.byU), func(i int) bool { return c.us[c.byU[i]] > u })
+	return lo, hi
+}
+
+// find returns the entry index of (v,u) or -1.
+func (c *compactUC) find(v, u int32) int {
+	lo, hi := c.rowRange(v)
+	i := lo + sort.Search(hi-lo, func(i int) bool { return c.us[lo+i] >= u })
+	if i < hi && c.us[i] == u {
+		return i
+	}
+	return -1
+}
+
+// NewCompactEngine scans the log into the compact representation. The
+// scan itself reuses the map-based per-action pass (transitive credit
+// accumulation needs random-access upserts), then flattens each shard.
+func NewCompactEngine(g *graph.Graph, train *actionlog.Log, opts Options) *CompactEngine {
+	model := opts.Credit
+	if model == nil {
+		model = SimpleCredit{}
+	}
+	e := &CompactEngine{
+		numUsers:  train.NumUsers(),
+		au:        make([]int32, train.NumUsers()),
+		actionsOf: make([][]int32, train.NumUsers()),
+		uc:        make([]compactUC, train.NumActions()),
+		sc:        make([]map[int32]float64, train.NumActions()),
+		lambda:    opts.Lambda,
+	}
+	for u := 0; u < train.NumUsers(); u++ {
+		e.au[u] = int32(train.ActionCount(graph.NodeID(u)))
+	}
+	for a := 0; a < train.NumActions(); a++ {
+		p := actionlog.BuildPropagation(train, g, actionlog.ActionID(a))
+		for _, u := range p.Users {
+			e.actionsOf[u] = append(e.actionsOf[u], actionlog.ActionID(a))
+		}
+		shard, n := scanAction(p, model, e.lambda, 0)
+		e.uc[a] = flattenShard(shard)
+		e.entries += n
+	}
+	return e
+}
+
+// flattenShard converts a map-based UC shard into sorted parallel slices.
+func flattenShard(ua ucAction) compactUC {
+	total := 0
+	for _, row := range ua.byInf {
+		total += len(row)
+	}
+	c := compactUC{
+		vs:     make([]int32, 0, total),
+		us:     make([]int32, 0, total),
+		credit: make([]float64, 0, total),
+	}
+	type rec struct {
+		v, u int32
+		cr   float64
+	}
+	recs := make([]rec, 0, total)
+	for v, row := range ua.byInf {
+		for u, cr := range row {
+			recs = append(recs, rec{v, u, cr})
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].v != recs[j].v {
+			return recs[i].v < recs[j].v
+		}
+		return recs[i].u < recs[j].u
+	})
+	for _, r := range recs {
+		c.vs = append(c.vs, r.v)
+		c.us = append(c.us, r.u)
+		c.credit = append(c.credit, r.cr)
+	}
+	c.byU = make([]int32, len(recs))
+	for i := range c.byU {
+		c.byU[i] = int32(i)
+	}
+	sort.Slice(c.byU, func(i, j int) bool {
+		a, b := c.byU[i], c.byU[j]
+		if c.us[a] != c.us[b] {
+			return c.us[a] < c.us[b]
+		}
+		return c.vs[a] < c.vs[b]
+	})
+	return c
+}
+
+// NumNodes implements the estimator interface.
+func (e *CompactEngine) NumNodes() int { return e.numUsers }
+
+// Entries returns the live (non-tombstoned) UC entry count.
+func (e *CompactEngine) Entries() int64 { return e.entries }
+
+// Seeds returns the committed seeds in selection order.
+func (e *CompactEngine) Seeds() []graph.NodeID {
+	out := make([]graph.NodeID, len(e.seeds))
+	copy(out, e.seeds)
+	return out
+}
+
+// Gain mirrors Engine.Gain (Theorem 3 / Algorithm 4) over the compact
+// layout.
+func (e *CompactEngine) Gain(x graph.NodeID) float64 {
+	ax := float64(e.au[x])
+	if ax == 0 {
+		return 0
+	}
+	mg := 0.0
+	for _, a := range e.actionsOf[x] {
+		ua := &e.uc[a]
+		mga := 1.0 / ax
+		lo, hi := ua.rowRange(int32(x))
+		for i := lo; i < hi; i++ {
+			if cr := ua.credit[i]; cr > 0 {
+				mga += cr / float64(e.au[ua.us[i]])
+			}
+		}
+		scx := 0.0
+		if e.sc[a] != nil {
+			scx = e.sc[a][int32(x)]
+		}
+		mg += mga * (1 - scx)
+	}
+	return mg
+}
+
+// Add mirrors Engine.Add (Algorithm 5, Lemmas 2 and 3): subtract the
+// through-x share from every (v,u) credit, raise SC for x's downstream
+// users, and tombstone x's row and column.
+func (e *CompactEngine) Add(x graph.NodeID) {
+	xi := int32(x)
+	for _, a := range e.actionsOf[x] {
+		ua := &e.uc[a]
+		rLo, rHi := ua.rowRange(xi)
+		cLo, cHi := ua.colRange(xi)
+		scx := 0.0
+		if e.sc[a] != nil {
+			scx = e.sc[a][xi]
+		}
+		for i := rLo; i < rHi; i++ {
+			cxu := ua.credit[i]
+			if cxu <= 0 {
+				continue
+			}
+			u := ua.us[i]
+			// Lemma 2 for every v with credit over x.
+			for j := cLo; j < cHi; j++ {
+				vi := ua.byU[j]
+				cvx := ua.credit[vi]
+				if cvx <= 0 {
+					continue
+				}
+				v := ua.vs[vi]
+				k := ua.find(v, u)
+				if k < 0 || ua.credit[k] <= 0 {
+					continue // truncated away during the scan
+				}
+				nv := ua.credit[k] - cvx*cxu
+				if nv <= 1e-15 {
+					ua.credit[k] = 0
+					e.entries--
+				} else {
+					ua.credit[k] = nv
+				}
+			}
+			// Lemma 3.
+			if e.sc[a] == nil {
+				e.sc[a] = make(map[int32]float64)
+			}
+			e.sc[a][u] += cxu * (1 - scx)
+		}
+		// Tombstone x's row and column.
+		for i := rLo; i < rHi; i++ {
+			if ua.credit[i] > 0 {
+				ua.credit[i] = 0
+				e.entries--
+			}
+		}
+		for j := cLo; j < cHi; j++ {
+			if vi := ua.byU[j]; ua.credit[vi] > 0 {
+				ua.credit[vi] = 0
+				e.entries--
+			}
+		}
+	}
+	e.seeds = append(e.seeds, x)
+}
+
+// Credit returns the current credit of (v,u) for action a, for tests.
+func (e *CompactEngine) Credit(a actionlog.ActionID, v, u graph.NodeID) float64 {
+	if int(a) >= len(e.uc) {
+		return 0
+	}
+	if i := e.uc[a].find(int32(v), int32(u)); i >= 0 {
+		return e.uc[a].credit[i]
+	}
+	return 0
+}
+
+// ResidentBytes returns the exact slice footprint of the compact layout:
+// 20 bytes per entry (two int32 ids, one float64 credit, one int32
+// permutation slot) plus slice headers.
+func (e *CompactEngine) ResidentBytes() int64 {
+	var bytes int64
+	for i := range e.uc {
+		ua := &e.uc[i]
+		bytes += int64(cap(ua.vs))*4 + int64(cap(ua.us))*4 +
+			int64(cap(ua.credit))*8 + int64(cap(ua.byU))*4
+		bytes += 4 * 24 // slice headers
+	}
+	return bytes
+}

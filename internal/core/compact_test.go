@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"credist/internal/graph"
+	"credist/internal/seedsel"
+)
+
+func TestCompactMatchesMapEngineFigure1(t *testing.T) {
+	g, log := figure1(t)
+	m := NewEngine(g, log, Options{})
+	c := NewCompactEngine(g, log, Options{})
+	if m.Entries() != c.Entries() {
+		t.Fatalf("entries differ: %d vs %d", m.Entries(), c.Entries())
+	}
+	if got := c.Credit(0, nodeV, nodeU); !almostEqual(got, 0.75) {
+		t.Fatalf("compact Credit(v,u) = %g, want 0.75", got)
+	}
+	for u := graph.NodeID(0); u < 6; u++ {
+		if !almostEqual(m.Gain(u), c.Gain(u)) {
+			t.Fatalf("Gain(%d): %g vs %g", u, m.Gain(u), c.Gain(u))
+		}
+	}
+	m.Add(nodeT)
+	c.Add(nodeT)
+	m.Add(nodeZ)
+	c.Add(nodeZ)
+	if got := c.Credit(0, nodeV, nodeU); !almostEqual(got, 0.5) {
+		t.Fatalf("compact Gamma^{V-{t,z}}_{v,u} = %g, want 0.5", got)
+	}
+	for u := graph.NodeID(0); u < 6; u++ {
+		if !almostEqual(m.Gain(u), c.Gain(u)) {
+			t.Fatalf("post-Add Gain(%d): %g vs %g", u, m.Gain(u), c.Gain(u))
+		}
+	}
+}
+
+func TestCompactMatchesMapEngineRandom(t *testing.T) {
+	rng := rand.New(rand.NewPCG(51, 51))
+	for trial := 0; trial < 12; trial++ {
+		g, log := randomInstance(rng, 15+rng.IntN(10), 5+rng.IntN(5))
+		lambda := 0.0
+		if trial%2 == 1 {
+			lambda = 0.05
+		}
+		m := NewEngine(g, log, Options{Lambda: lambda})
+		c := NewCompactEngine(g, log, Options{Lambda: lambda})
+		if m.Entries() != c.Entries() {
+			t.Fatalf("trial %d: entries %d vs %d", trial, m.Entries(), c.Entries())
+		}
+		var seeds []graph.NodeID
+		for round := 0; round < 4; round++ {
+			for u := 0; u < g.NumNodes(); u++ {
+				gm, gc := m.Gain(graph.NodeID(u)), c.Gain(graph.NodeID(u))
+				if math.Abs(gm-gc) > 1e-9 {
+					t.Fatalf("trial %d seeds=%v Gain(%d): %g vs %g", trial, seeds, u, gm, gc)
+				}
+			}
+			next := graph.NodeID(rng.IntN(g.NumNodes()))
+			if contains(seeds, next) {
+				continue
+			}
+			m.Add(next)
+			c.Add(next)
+			seeds = append(seeds, next)
+			if m.Entries() != c.Entries() {
+				t.Fatalf("trial %d: post-Add entries %d vs %d", trial, m.Entries(), c.Entries())
+			}
+		}
+	}
+}
+
+func TestCompactCELFSelectsSameSeeds(t *testing.T) {
+	rng := rand.New(rand.NewPCG(53, 53))
+	g, log := randomInstance(rng, 30, 12)
+	mRes := seedsel.CELF(NewEngine(g, log, Options{}), 5)
+	cRes := seedsel.CELF(NewCompactEngine(g, log, Options{}), 5)
+	for i := range mRes.Seeds {
+		if mRes.Seeds[i] != cRes.Seeds[i] {
+			t.Fatalf("seed %d differs: %d vs %d", i, mRes.Seeds[i], cRes.Seeds[i])
+		}
+		if math.Abs(mRes.Gains[i]-cRes.Gains[i]) > 1e-9 {
+			t.Fatalf("gain %d differs: %g vs %g", i, mRes.Gains[i], cRes.Gains[i])
+		}
+	}
+}
+
+func TestCompactEmptyAndInactive(t *testing.T) {
+	g, log := emptyInstance(t)
+	c := NewCompactEngine(g, log, Options{})
+	if c.Entries() != 0 || c.Gain(0) != 0 {
+		t.Fatal("empty log misbehaved")
+	}
+	c.Add(0)
+	if got := c.Seeds(); len(got) != 1 {
+		t.Fatalf("Seeds = %v", got)
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"credist/internal/graph"
+)
+
+// WriteTimeAware serializes learned time-aware credit parameters:
+//
+//	numUsers <n>
+//	infl <user> <value>        (nonzero entries only)
+//	tau <from> <to> <value>
+//
+// so a model learned once can be reused across processes without
+// re-scanning the training log.
+func WriteTimeAware(w io.Writer, c *TimeAwareCredit) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "numUsers %d\n", len(c.infl)); err != nil {
+		return err
+	}
+	for u, v := range c.infl {
+		if v != 0 {
+			if _, err := fmt.Fprintf(bw, "infl %d %g\n", u, v); err != nil {
+				return err
+			}
+		}
+	}
+	for e, tau := range c.tau {
+		if _, err := fmt.Fprintf(bw, "tau %d %d %g\n", e.From, e.To, tau); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTimeAware parses the format written by WriteTimeAware.
+func ReadTimeAware(r io.Reader) (*TimeAwareCredit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	c := &TimeAwareCredit{tau: make(map[graph.Edge]float64)}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "numUsers":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("core: line %d: malformed numUsers", lineNo)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("core: line %d: bad numUsers %q", lineNo, fields[1])
+			}
+			c.infl = make([]float64, n)
+		case "infl":
+			if len(fields) != 3 || c.infl == nil {
+				return nil, fmt.Errorf("core: line %d: malformed infl (numUsers must come first)", lineNo)
+			}
+			u, err := strconv.Atoi(fields[1])
+			if err != nil || u < 0 || u >= len(c.infl) {
+				return nil, fmt.Errorf("core: line %d: bad user %q", lineNo, fields[1])
+			}
+			v, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("core: line %d: bad infl value: %w", lineNo, err)
+			}
+			c.infl[u] = v
+		case "tau":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("core: line %d: malformed tau", lineNo)
+			}
+			from, err := strconv.ParseInt(fields[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("core: line %d: bad from: %w", lineNo, err)
+			}
+			to, err := strconv.ParseInt(fields[2], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("core: line %d: bad to: %w", lineNo, err)
+			}
+			v, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("core: line %d: bad tau value: %w", lineNo, err)
+			}
+			c.tau[graph.Edge{From: graph.NodeID(from), To: graph.NodeID(to)}] = v
+		default:
+			return nil, fmt.Errorf("core: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if c.infl == nil {
+		return nil, fmt.Errorf("core: missing numUsers header")
+	}
+	return c, nil
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"credist/internal/actionlog"
+	"credist/internal/graph"
+)
+
+func TestSimpleCreditSumsToOne(t *testing.T) {
+	g, log := figure1(t)
+	p := actionlog.BuildPropagation(log, g, 0)
+	for i := range p.Users {
+		if len(p.Parents[i]) == 0 {
+			continue
+		}
+		sum := 0.0
+		for _, j := range p.Parents[i] {
+			sum += SimpleCredit{}.Gamma(p, int32(i), j)
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("direct credits of user %d sum to %g", p.Users[i], sum)
+		}
+	}
+}
+
+func TestLearnTimeAwareTau(t *testing.T) {
+	// Edge 0->1 observes delays 2, 4, 6: tau must be 4.
+	b := graph.NewBuilder(2)
+	_ = b.AddEdge(0, 1)
+	g := b.Build()
+	lb := actionlog.NewBuilder(2)
+	for a, delay := range []float64{2, 4, 6} {
+		_ = lb.Add(0, actionlog.ActionID(a), 10)
+		_ = lb.Add(1, actionlog.ActionID(a), 10+delay)
+	}
+	credit := LearnTimeAware(g, lb.Build())
+	tau, ok := credit.Tau(0, 1)
+	if !ok || math.Abs(tau-4) > 1e-12 {
+		t.Fatalf("tau = %g,%v, want 4", tau, ok)
+	}
+}
+
+func TestLearnTimeAwareInfluenceability(t *testing.T) {
+	// User 1 performs 4 actions: 2 within tau of a neighbor's action, 2
+	// spontaneous. infl(1) = 0.5.
+	b := graph.NewBuilder(2)
+	_ = b.AddEdge(0, 1)
+	g := b.Build()
+	lb := actionlog.NewBuilder(2)
+	// Influenced: delays 1 and 3 -> tau = 2; delay 1 <= 2 counts, delay 3
+	// does not.
+	_ = lb.Add(0, 0, 0)
+	_ = lb.Add(1, 0, 1)
+	_ = lb.Add(0, 1, 0)
+	_ = lb.Add(1, 1, 3)
+	// Spontaneous actions by user 1.
+	_ = lb.Add(1, 2, 5)
+	_ = lb.Add(1, 3, 9)
+	credit := LearnTimeAware(g, lb.Build())
+	// tau = (1+3)/2 = 2; influenced actions: delay 1 (yes), delay 3 (no).
+	// infl = 1/4.
+	if got := credit.Influenceability(1); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("infl = %g, want 0.25", got)
+	}
+	if got := credit.Influenceability(0); got != 0 {
+		t.Fatalf("initiator-only infl = %g, want 0", got)
+	}
+}
+
+func TestTimeAwareGammaDecays(t *testing.T) {
+	// Same propagation structure, different delays: later adoption earns
+	// less credit.
+	b := graph.NewBuilder(3)
+	_ = b.AddEdge(0, 1)
+	_ = b.AddEdge(0, 2)
+	g := b.Build()
+	lb := actionlog.NewBuilder(3)
+	// Training evidence to learn tau on both edges (delay 4 each).
+	_ = lb.Add(0, 0, 0)
+	_ = lb.Add(1, 0, 4)
+	_ = lb.Add(2, 0, 4)
+	// The probe action: 1 adopts fast, 2 adopts slow.
+	_ = lb.Add(0, 1, 0)
+	_ = lb.Add(1, 1, 1)
+	_ = lb.Add(2, 1, 12)
+	log := lb.Build()
+	credit := LearnTimeAware(g, log)
+	p := actionlog.BuildPropagation(log, g, 1)
+	i1, i2 := p.Index(1), p.Index(2)
+	g1 := credit.Gamma(p, i1, p.Parents[i1][0])
+	g2 := credit.Gamma(p, i2, p.Parents[i2][0])
+	if g1 <= g2 {
+		t.Fatalf("credit should decay with delay: fast %g, slow %g", g1, g2)
+	}
+}
+
+func TestTimeAwareGammaZeroWithoutTau(t *testing.T) {
+	// An edge never observed propagating earns no credit even if the
+	// propagation graph contains it for a test action: tau is undefined.
+	credit := &TimeAwareCredit{tau: map[graph.Edge]float64{}, infl: []float64{1, 1}}
+	b := graph.NewBuilder(2)
+	_ = b.AddEdge(0, 1)
+	g := b.Build()
+	lb := actionlog.NewBuilder(2)
+	_ = lb.Add(0, 0, 0)
+	_ = lb.Add(1, 0, 1)
+	log := lb.Build()
+	p := actionlog.BuildPropagation(log, g, 0)
+	i1 := p.Index(1)
+	if got := credit.Gamma(p, i1, p.Parents[i1][0]); got != 0 {
+		t.Fatalf("gamma = %g, want 0 without tau", got)
+	}
+}
+
+// TestTimeAwareCreditBounded: direct credits a child assigns under Eq. 9
+// sum to at most 1 on random instances (infl <= 1 and exp decay <= 1).
+func TestTimeAwareCreditBounded(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 21))
+		g, log := randomInstance(rng, 15, 8)
+		credit := LearnTimeAware(g, log)
+		for a := 0; a < log.NumActions(); a++ {
+			p := actionlog.BuildPropagation(log, g, actionlog.ActionID(a))
+			for i := range p.Users {
+				sum := 0.0
+				for _, j := range p.Parents[i] {
+					gam := credit.Gamma(p, int32(i), j)
+					if gam < 0 {
+						return false
+					}
+					sum += gam
+				}
+				if sum > 1+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineWithTimeAwareMatchesEvaluator(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 31))
+	for trial := 0; trial < 10; trial++ {
+		g, log := randomInstance(rng, 15, 6)
+		credit := LearnTimeAware(g, log)
+		e := NewEngine(g, log, Options{Credit: credit})
+		ev := NewEvaluator(g, log, credit)
+		var seeds []graph.NodeID
+		for round := 0; round < 3; round++ {
+			for cand := 0; cand < g.NumNodes(); cand++ {
+				c := graph.NodeID(cand)
+				if contains(seeds, c) {
+					continue
+				}
+				want := ev.Spread(append(append([]graph.NodeID(nil), seeds...), c)) - ev.Spread(seeds)
+				if got := e.Gain(c); math.Abs(got-want) > 1e-6 {
+					t.Fatalf("trial %d: Gain(%d)=%g want %g", trial, c, got, want)
+				}
+			}
+			next := graph.NodeID(rng.IntN(g.NumNodes()))
+			if contains(seeds, next) {
+				continue
+			}
+			e.Add(next)
+			seeds = append(seeds, next)
+		}
+	}
+}
+
+func TestPairCreditIdentity(t *testing.T) {
+	g, log := figure1(t)
+	ev := NewEvaluator(g, log, nil)
+	// kappa_{v,v} = 1 whenever v acts; Figure 1 has one action so
+	// kappa_{v,u} = Gamma_{v,u}(a)/1.
+	if got := ev.PairCredit(nodeV, nodeV); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("kappa_vv = %g", got)
+	}
+	if got := ev.PairCredit(nodeV, nodeU); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("kappa_vu = %g, want 0.75", got)
+	}
+	if got := ev.PairCredit(nodeU, nodeV); got != 0 {
+		t.Fatalf("kappa_uv = %g, want 0 (credit flows backward)", got)
+	}
+}
+
+func TestTimeAwareIORoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(61, 61))
+	g, log := randomInstance(rng, 20, 8)
+	credit := LearnTimeAware(g, log)
+	var buf bytes.Buffer
+	if err := WriteTimeAware(&buf, credit); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTimeAware(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		if a, b := credit.Influenceability(graph.NodeID(u)), back.Influenceability(graph.NodeID(u)); math.Abs(a-b) > 1e-12 {
+			t.Fatalf("infl(%d) %g != %g", u, a, b)
+		}
+	}
+	for e, tau := range credit.tau {
+		got, ok := back.Tau(e.From, e.To)
+		if !ok || math.Abs(got-tau) > 1e-12 {
+			t.Fatalf("tau(%v) %g,%v != %g", e, got, ok, tau)
+		}
+	}
+	// Models built from original and restored parameters agree.
+	ev1 := NewEvaluator(g, log, credit)
+	ev2 := NewEvaluator(g, log, back)
+	seeds := []graph.NodeID{0, 3, 7}
+	if a, b := ev1.Spread(seeds), ev2.Spread(seeds); math.Abs(a-b) > 1e-9 {
+		t.Fatalf("restored model spread %g != %g", b, a)
+	}
+}
+
+func TestReadTimeAwareErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"bogus 1\n",
+		"numUsers -2\n",
+		"infl 0 0.5\n",             // before numUsers
+		"numUsers 2\ninfl 5 0.5\n", // out of range
+		"numUsers 2\ninfl 0\n",     // malformed
+		"numUsers 2\ntau 0 1\n",    // malformed
+		"numUsers 2\ntau a 1 2\n",  // bad from
+		"numUsers 2\ntau 0 1 zz\n", // bad value
+		"numUsers x\n",
+	}
+	for _, in := range cases {
+		if _, err := ReadTimeAware(bytes.NewBufferString(in)); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"credist/internal/actionlog"
+	"credist/internal/graph"
+)
+
+// figure1 builds the running example of the paper (Figure 1): one action
+// propagating over six users. Node ids: v=0, y=1, t=2, w=3, z=4, u=5.
+// Propagation-DAG edges: v->t, y->t, v->w, t->z, v->u, t->u, w->u, z->u,
+// with direct credit 1/d_in. The paper works out Gamma_{v,u}=0.75,
+// Gamma_{{v,z},u}=0.875, Gamma^{V-z}_{v,u}=0.625, and for S={t,z}:
+// Gamma^{V-S}_{v,u}=0.5 dropping to 0.25 once w joins S.
+func figure1(t *testing.T) (*graph.Graph, *actionlog.Log) {
+	t.Helper()
+	b := graph.NewBuilder(6)
+	edges := [][2]graph.NodeID{{0, 2}, {1, 2}, {0, 3}, {2, 4}, {0, 5}, {2, 5}, {3, 5}, {4, 5}}
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatalf("AddEdge(%v): %v", e, err)
+		}
+	}
+	g := b.Build()
+	lb := actionlog.NewBuilder(6)
+	times := []actionlog.Timestamp{1, 1, 2, 2, 3, 4} // v,y,t,w,z,u
+	for u, at := range times {
+		if err := lb.Add(graph.NodeID(u), 0, at); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	return g, lb.Build()
+}
+
+const (
+	nodeV = graph.NodeID(0)
+	nodeY = graph.NodeID(1)
+	nodeT = graph.NodeID(2)
+	nodeW = graph.NodeID(3)
+	nodeZ = graph.NodeID(4)
+	nodeU = graph.NodeID(5)
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestFigure1EngineCredits(t *testing.T) {
+	g, log := figure1(t)
+	e := NewEngine(g, log, Options{})
+
+	cases := []struct {
+		v, u graph.NodeID
+		want float64
+	}{
+		{nodeV, nodeU, 0.75},
+		{nodeV, nodeT, 0.5},
+		{nodeV, nodeW, 1.0},
+		{nodeV, nodeZ, 0.5},
+		{nodeY, nodeT, 0.5},
+		{nodeT, nodeU, 0.5}, // direct 0.25 + via z 1*0.25
+		{nodeW, nodeU, 0.25},
+		{nodeZ, nodeU, 0.25},
+	}
+	for _, c := range cases {
+		if got := e.Credit(0, c.v, c.u); !almostEqual(got, c.want) {
+			t.Errorf("Credit(%d,%d) = %g, want %g", c.v, c.u, got, c.want)
+		}
+	}
+}
+
+func TestFigure1SeedSetCredit(t *testing.T) {
+	g, log := figure1(t)
+	ev := NewEvaluator(g, log, nil)
+	if got := ev.SetCredit(0, []graph.NodeID{nodeV, nodeZ}, nodeU); !almostEqual(got, 0.875) {
+		t.Errorf("Gamma_{{v,z},u} = %g, want 0.875", got)
+	}
+	if got := ev.SetCredit(0, []graph.NodeID{nodeV}, nodeU); !almostEqual(got, 0.75) {
+		t.Errorf("Gamma_{{v},u} = %g, want 0.75", got)
+	}
+	if got := ev.SetCredit(0, []graph.NodeID{nodeV}, nodeV); !almostEqual(got, 1) {
+		t.Errorf("Gamma_{{v},v} = %g, want 1", got)
+	}
+}
+
+func TestFigure1Lemma2Update(t *testing.T) {
+	g, log := figure1(t)
+	e := NewEngine(g, log, Options{})
+	// Add t and z to the seed set; the paper computes the remaining credit
+	// of v over u in the induced subgraph as 0.5, and 0.25 after w joins.
+	e.Add(nodeT)
+	e.Add(nodeZ)
+	if got := e.Credit(0, nodeV, nodeU); !almostEqual(got, 0.5) {
+		t.Fatalf("Gamma^{V-{t,z}}_{v,u} = %g, want 0.5", got)
+	}
+	e.Add(nodeW)
+	if got := e.Credit(0, nodeV, nodeU); !almostEqual(got, 0.25) {
+		t.Fatalf("Gamma^{V-{t,z,w}}_{v,u} = %g, want 0.25", got)
+	}
+}
+
+func TestFigure1MarginalGainMatchesEvaluator(t *testing.T) {
+	g, log := figure1(t)
+	e := NewEngine(g, log, Options{})
+	ev := NewEvaluator(g, log, nil)
+
+	var seeds []graph.NodeID
+	order := []graph.NodeID{nodeT, nodeV, nodeZ}
+	for _, x := range order {
+		for cand := graph.NodeID(0); cand < 6; cand++ {
+			if contains(seeds, cand) {
+				continue
+			}
+			want := ev.Spread(append(append([]graph.NodeID(nil), seeds...), cand)) - ev.Spread(seeds)
+			if got := e.Gain(cand); !almostEqual(got, want) {
+				t.Errorf("seeds=%v Gain(%d) = %g, want %g", seeds, cand, got, want)
+			}
+		}
+		e.Add(x)
+		seeds = append(seeds, x)
+	}
+}
+
+func contains(s []graph.NodeID, x graph.NodeID) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// randomInstance builds a random social graph and action log for
+// property-style tests. Timestamps are integers so ties occur, exercising
+// the strictly-earlier rule.
+func randomInstance(rng *rand.Rand, nUsers, nActions int) (*graph.Graph, *actionlog.Log) {
+	b := graph.NewBuilder(nUsers)
+	for u := 0; u < nUsers; u++ {
+		deg := 1 + rng.IntN(4)
+		for d := 0; d < deg; d++ {
+			v := graph.NodeID(rng.IntN(nUsers))
+			if v != graph.NodeID(u) {
+				_ = b.AddEdge(graph.NodeID(u), v)
+			}
+		}
+	}
+	g := b.Build()
+	lb := actionlog.NewBuilder(nUsers)
+	for a := 0; a < nActions; a++ {
+		size := 2 + rng.IntN(nUsers-1)
+		perm := rng.Perm(nUsers)
+		for i := 0; i < size; i++ {
+			_ = lb.Add(graph.NodeID(perm[i]), actionlog.ActionID(a), float64(rng.IntN(8)))
+		}
+	}
+	return g, lb.Build()
+}
+
+func TestEngineMatchesEvaluatorOnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	for trial := 0; trial < 25; trial++ {
+		g, log := randomInstance(rng, 12+rng.IntN(10), 4+rng.IntN(6))
+		e := NewEngine(g, log, Options{})
+		ev := NewEvaluator(g, log, nil)
+		var seeds []graph.NodeID
+		for round := 0; round < 4; round++ {
+			for cand := 0; cand < g.NumNodes(); cand++ {
+				c := graph.NodeID(cand)
+				if contains(seeds, c) {
+					continue
+				}
+				want := ev.Spread(append(append([]graph.NodeID(nil), seeds...), c)) - ev.Spread(seeds)
+				got := e.Gain(c)
+				if math.Abs(got-want) > 1e-6 {
+					t.Fatalf("trial %d seeds=%v Gain(%d)=%g want %g", trial, seeds, c, got, want)
+				}
+			}
+			next := graph.NodeID(rng.IntN(g.NumNodes()))
+			if contains(seeds, next) {
+				continue
+			}
+			e.Add(next)
+			seeds = append(seeds, next)
+		}
+	}
+}
+
+func TestEngineEntriesAccounting(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9))
+	g, log := randomInstance(rng, 20, 8)
+	e := NewEngine(g, log, Options{})
+	if e.Entries() < 0 {
+		t.Fatalf("negative entries %d", e.Entries())
+	}
+	before := e.Entries()
+	e.Add(5)
+	if e.Entries() > before {
+		t.Fatalf("entries grew after Add: %d -> %d", before, e.Entries())
+	}
+	e.Add(6)
+	e.Add(7)
+	if e.Entries() < 0 {
+		t.Fatalf("negative entries after adds: %d", e.Entries())
+	}
+}
+
+func TestEngineTruncationReducesEntriesAndSpread(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 2))
+	g, log := randomInstance(rng, 25, 10)
+	exact := NewEngine(g, log, Options{})
+	trunc := NewEngine(g, log, Options{Lambda: 0.2})
+	if trunc.Entries() > exact.Entries() {
+		t.Fatalf("truncated engine has more entries: %d > %d", trunc.Entries(), exact.Entries())
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		ge, gt := exact.Gain(graph.NodeID(u)), trunc.Gain(graph.NodeID(u))
+		if gt > ge+1e-9 {
+			t.Fatalf("truncated gain exceeds exact for %d: %g > %g", u, gt, ge)
+		}
+	}
+}
+
+func TestGainZeroForInactiveUser(t *testing.T) {
+	g, log := figure1(t)
+	// Rebuild with an extra user who performs nothing.
+	b := graph.NewBuilder(7)
+	for _, e := range g.Edges() {
+		_ = b.AddEdge(e.From, e.To)
+	}
+	_ = b.AddEdge(6, 0)
+	g2 := b.Build()
+	lb := actionlog.NewBuilder(7)
+	for _, tp := range log.Tuples() {
+		_ = lb.Add(tp.User, tp.Action, tp.Time)
+	}
+	log2 := lb.Build()
+	e := NewEngine(g2, log2, Options{})
+	if got := e.Gain(6); got != 0 {
+		t.Fatalf("inactive user gain = %g, want 0", got)
+	}
+}
+
+func TestParallelScanMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewPCG(19, 19))
+	g, log := randomInstance(rng, 40, 30)
+	serial := NewEngine(g, log, Options{Workers: 1})
+	parallel := NewEngine(g, log, Options{Workers: 8})
+	if serial.Entries() != parallel.Entries() {
+		t.Fatalf("entries differ: serial %d parallel %d", serial.Entries(), parallel.Entries())
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		gs, gp := serial.Gain(graph.NodeID(u)), parallel.Gain(graph.NodeID(u))
+		if math.Abs(gs-gp) > 1e-12 {
+			t.Fatalf("Gain(%d) differs: %g vs %g", u, gs, gp)
+		}
+	}
+	// And after committing seeds.
+	serial.Add(3)
+	parallel.Add(3)
+	for u := 0; u < g.NumNodes(); u++ {
+		gs, gp := serial.Gain(graph.NodeID(u)), parallel.Gain(graph.NodeID(u))
+		if math.Abs(gs-gp) > 1e-12 {
+			t.Fatalf("post-Add Gain(%d) differs: %g vs %g", u, gs, gp)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"credist/internal/actionlog"
+	"credist/internal/graph"
+)
+
+// Evaluator computes the CD spread objective sigma_cd(S) (Eq. 8) for
+// arbitrary seed sets directly from the training propagations, without the
+// UC structure. It exploits that Gamma_{S,u}(a) is nonzero only for
+// actions some seed performed, so evaluating a set touches only the
+// propagation DAGs its members participate in. It is the reference
+// implementation the Engine is property-tested against, and the tool the
+// experiments use to score seed sets chosen by other models (Figure 6) and
+// to predict the spread of test-set initiators (Figures 3 and 4).
+type Evaluator struct {
+	numUsers  int
+	au        []int32
+	actionsOf [][]int32
+	props     []*actionlog.Propagation
+	gammas    [][][]float64 // per action, per child, aligned with Parents
+}
+
+// NewEvaluator precomputes propagation DAGs and direct credits for the
+// training log. model nil means SimpleCredit.
+func NewEvaluator(g *graph.Graph, train *actionlog.Log, model CreditModel) *Evaluator {
+	if model == nil {
+		model = SimpleCredit{}
+	}
+	ev := &Evaluator{
+		numUsers:  train.NumUsers(),
+		au:        make([]int32, train.NumUsers()),
+		actionsOf: make([][]int32, train.NumUsers()),
+		props:     make([]*actionlog.Propagation, train.NumActions()),
+		gammas:    make([][][]float64, train.NumActions()),
+	}
+	for u := 0; u < train.NumUsers(); u++ {
+		ev.au[u] = int32(train.ActionCount(graph.NodeID(u)))
+	}
+	for a := 0; a < train.NumActions(); a++ {
+		p := actionlog.BuildPropagation(train, g, actionlog.ActionID(a))
+		ev.props[a] = p
+		ga := make([][]float64, len(p.Users))
+		for i, u := range p.Users {
+			ev.actionsOf[u] = append(ev.actionsOf[u], actionlog.ActionID(a))
+			if len(p.Parents[i]) == 0 {
+				continue
+			}
+			gi := make([]float64, len(p.Parents[i]))
+			for k, j := range p.Parents[i] {
+				gi[k] = model.Gamma(p, int32(i), j)
+			}
+			ga[i] = gi
+		}
+		ev.gammas[a] = ga
+	}
+	return ev
+}
+
+// NumUsers returns the user-universe size.
+func (ev *Evaluator) NumUsers() int { return ev.numUsers }
+
+// Spread computes sigma_cd(S) = sum_u kappa_{S,u}. Each seed with at least
+// one training action contributes exactly 1 (its own kappa); every other
+// participant u of an action some seed performed contributes
+// Gamma_{S,u}(a)/A_u, where Gamma is the forward credit DP over the
+// propagation DAG (Eq. 5 generalized to sets).
+func (ev *Evaluator) Spread(seeds []graph.NodeID) float64 {
+	inS := make(map[graph.NodeID]bool, len(seeds))
+	spread := 0.0
+	for _, s := range seeds {
+		if inS[s] {
+			continue
+		}
+		inS[s] = true
+		if ev.au[s] > 0 {
+			spread += 1
+		}
+	}
+	// Union of actions any seed performed, deduplicated.
+	seen := make(map[actionlog.ActionID]bool)
+	for s := range inS {
+		for _, a := range ev.actionsOf[s] {
+			if seen[a] {
+				continue
+			}
+			seen[a] = true
+			spread += ev.actionSpread(a, inS)
+		}
+	}
+	return spread
+}
+
+// actionSpread returns sum over non-seed participants u of action a of
+// Gamma_{S,u}(a)/A_u.
+func (ev *Evaluator) actionSpread(a actionlog.ActionID, inS map[graph.NodeID]bool) float64 {
+	p := ev.props[a]
+	val := make([]float64, len(p.Users))
+	total := 0.0
+	for i, u := range p.Users {
+		if inS[u] {
+			val[i] = 1
+			continue
+		}
+		sum := 0.0
+		gi := ev.gammas[a][i]
+		for k, j := range p.Parents[i] {
+			if val[j] > 0 {
+				sum += val[j] * gi[k]
+			}
+		}
+		val[i] = sum
+		if sum > 0 {
+			total += sum / float64(ev.au[u])
+		}
+	}
+	return total
+}
+
+// SetCredit returns Gamma_{S,u}(a) for diagnostics and tests.
+func (ev *Evaluator) SetCredit(a actionlog.ActionID, seeds []graph.NodeID, u graph.NodeID) float64 {
+	inS := make(map[graph.NodeID]bool, len(seeds))
+	for _, s := range seeds {
+		inS[s] = true
+	}
+	if inS[u] {
+		return 1
+	}
+	p := ev.props[a]
+	target := p.Index(u)
+	if target < 0 {
+		return 0
+	}
+	val := make([]float64, len(p.Users))
+	for i := range p.Users {
+		if inS[p.Users[i]] {
+			val[i] = 1
+			continue
+		}
+		sum := 0.0
+		gi := ev.gammas[a][i]
+		for k, j := range p.Parents[i] {
+			sum += val[j] * gi[k]
+		}
+		val[i] = sum
+		if int32(i) == target {
+			break
+		}
+	}
+	return val[target]
+}
+
+// PairCredit returns kappa_{v,u}: the total credit v earns for influencing
+// u across the log, normalized by A_u (Eq. 6). Used by diagnostics.
+func (ev *Evaluator) PairCredit(v, u graph.NodeID) float64 {
+	if ev.au[u] == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, a := range ev.actionsOf[v] {
+		total += ev.SetCredit(a, []graph.NodeID{v}, u)
+	}
+	return total / float64(ev.au[u])
+}

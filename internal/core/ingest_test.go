@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"credist/internal/actionlog"
+	"credist/internal/graph"
+)
+
+// TestIngestMatchesFullScan: scanning a log of n actions must equal
+// scanning a prefix and ingesting the rest, for every gain.
+func TestIngestMatchesFullScan(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 41))
+	for trial := 0; trial < 10; trial++ {
+		g, log := randomInstance(rng, 15+rng.IntN(10), 6+rng.IntN(4))
+		full := NewEngine(g, log, Options{})
+
+		// Prefix log: first half of the actions.
+		half := log.NumActions() / 2
+		if half == 0 {
+			continue
+		}
+		prefix := make([]actionlog.ActionID, half)
+		for i := range prefix {
+			prefix[i] = actionlog.ActionID(i)
+		}
+		partial := NewEngine(g, log.Restrict(prefix), Options{})
+		for a := half; a < log.NumActions(); a++ {
+			p := actionlog.BuildPropagation(log, g, actionlog.ActionID(a))
+			if err := partial.IngestAction(p, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		if full.Entries() != partial.Entries() {
+			t.Fatalf("trial %d: entries %d != %d", trial, full.Entries(), partial.Entries())
+		}
+		if full.NumActions() != partial.NumActions() {
+			t.Fatalf("trial %d: actions %d != %d", trial, full.NumActions(), partial.NumActions())
+		}
+		for u := 0; u < g.NumNodes(); u++ {
+			gf, gp := full.Gain(graph.NodeID(u)), partial.Gain(graph.NodeID(u))
+			if math.Abs(gf-gp) > 1e-9 {
+				t.Fatalf("trial %d: Gain(%d) %g != %g", trial, u, gf, gp)
+			}
+		}
+	}
+}
+
+func TestIngestAfterAddRejected(t *testing.T) {
+	g, log := figure1(t)
+	e := NewEngine(g, log, Options{})
+	e.Add(nodeV)
+	p := actionlog.BuildPropagation(log, g, 0)
+	if err := e.IngestAction(p, nil); err != ErrSeedsCommitted {
+		t.Fatalf("err = %v, want ErrSeedsCommitted", err)
+	}
+}
+
+func TestIngestGrowsActionCount(t *testing.T) {
+	g, log := figure1(t)
+	e := NewEngine(g, log, Options{})
+	before := e.ActionCount(nodeV)
+	p := actionlog.BuildPropagation(log, g, 0)
+	if err := e.IngestAction(p, nil); err != nil {
+		t.Fatal(err)
+	}
+	if e.ActionCount(nodeV) != before+1 {
+		t.Fatalf("A_v = %d, want %d", e.ActionCount(nodeV), before+1)
+	}
+	if e.NumActions() != 2 {
+		t.Fatalf("NumActions = %d, want 2", e.NumActions())
+	}
+	// Ingesting the same propagation again halves every per-action share
+	// but doubles the action count: spread gains stay finite and positive.
+	if gain := e.Gain(nodeV); gain <= 0 {
+		t.Fatalf("gain after ingest = %g", gain)
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+
+	"credist/internal/actionlog"
+	"credist/internal/graph"
+)
+
+// VertexCoverReduction builds the influence-maximization instance of
+// Theorem 1's NP-hardness proof from an undirected graph: the social graph
+// gets both directions of every edge, and the action log gets two
+// two-node propagations per edge (one in each direction). Under the
+// simple 1/d_in direct credit each propagation hands credit alpha = 1 to
+// its initiator, and the theorem states that a set S of size k is a
+// vertex cover of the input iff sigma_cd(S) >= k + alpha*(|V|-k)/2.
+//
+// The reduction is exposed (rather than living only in the proof) so the
+// test suite can verify the equivalence by brute force on small graphs —
+// an executable check of Theorem 1.
+func VertexCoverReduction(n int, undirected [][2]graph.NodeID) (*graph.Graph, *actionlog.Log, error) {
+	gb := graph.NewBuilder(n)
+	lb := actionlog.NewBuilder(n)
+	action := actionlog.ActionID(0)
+	for _, e := range undirected {
+		v, u := e[0], e[1]
+		if err := gb.AddUndirected(v, u); err != nil {
+			return nil, nil, fmt.Errorf("core: reduction: %w", err)
+		}
+		// Action a1: v acts first, propagates to u.
+		if err := lb.Add(v, action, 0); err != nil {
+			return nil, nil, err
+		}
+		if err := lb.Add(u, action, 1); err != nil {
+			return nil, nil, err
+		}
+		action++
+		// Action a2: the reverse.
+		if err := lb.Add(u, action, 0); err != nil {
+			return nil, nil, err
+		}
+		if err := lb.Add(v, action, 1); err != nil {
+			return nil, nil, err
+		}
+		action++
+	}
+	return gb.Build(), lb.Build(), nil
+}
+
+// CoverThreshold returns the spread bound of Theorem 1 for cover size k,
+// node count n, and direct-credit value alpha (1 under SimpleCredit).
+func CoverThreshold(k, n int, alpha float64) float64 {
+	return float64(k) + alpha*float64(n-k)/2
+}

@@ -1,0 +1,310 @@
+package datagen
+
+import (
+	"container/heap"
+	"math"
+	"math/rand/v2"
+
+	"credist/internal/actionlog"
+	"credist/internal/cascade"
+	"credist/internal/graph"
+)
+
+// GroundTruth is the hidden process that generated an action log. The
+// experiments never read it directly (that would be cheating); it exists
+// so tests can verify learners recover it and so ablations can measure
+// estimation error.
+type GroundTruth struct {
+	// Probs holds the true edge influence probabilities.
+	Probs *cascade.Weights
+	// MeanDelay[e] is the true mean propagation delay of each edge,
+	// keyed the same way the learners key tau.
+	MeanDelay map[graph.Edge]float64
+	// Activity[u] is the relative rate at which u initiates or
+	// spontaneously adopts actions.
+	Activity []float64
+	// Influenceability[u] scales how susceptible u is to social influence.
+	Influenceability []float64
+	// ThresholdUser[u] marks users who adopt by cumulative-exposure
+	// threshold (LT-style) rather than independent per-edge coin flips
+	// (IC-style). Mixing the two keeps every parametric model
+	// misspecified, as real data is (see DESIGN.md §4).
+	ThresholdUser []bool
+}
+
+// Config parameterizes dataset synthesis. Use the presets in presets.go
+// for the four paper-shaped datasets.
+type Config struct {
+	// Name labels the dataset in reports.
+	Name string
+	// NumUsers is the social-graph size.
+	NumUsers int
+	// OutDegree is the preferential-attachment out-degree (average degree
+	// lands near 2x this with reciprocation).
+	OutDegree int
+	// Reciprocity is the probability a tie is mutual.
+	Reciprocity float64
+	// NumActions is the number of propagations to generate.
+	NumActions int
+	// MeanInfluence is the mean ground-truth edge probability; individual
+	// edges vary by influencer strength and target susceptibility.
+	MeanInfluence float64
+	// MeanDelay is the mean propagation delay in time units.
+	MeanDelay float64
+	// SpontaneousPerAction is the expected number of users who adopt an
+	// action without social exposure (background noise).
+	SpontaneousPerAction float64
+	// MaxInitiators bounds the initiator count per action (>=1).
+	MaxInitiators int
+	// ActivitySkew is the Zipf-like exponent of the user activity
+	// distribution (larger = more skewed).
+	ActivitySkew float64
+	// ThresholdFraction is the share of users who adopt by cumulative
+	// exposure (LT-style) instead of independent attempts (IC-style).
+	// 0 makes the process pure IC; 1 pure LT.
+	ThresholdFraction float64
+	// Topology selects the social-graph generator: "pa" (preferential
+	// attachment, the default and the presets' choice), "er"
+	// (Erdos-Renyi), or "ws" (Watts-Strogatz small world). Used by the
+	// topology-robustness experiments.
+	Topology string
+	// Horizon is the timestamp range actions start within.
+	Horizon float64
+	// Seed makes generation deterministic.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInitiators == 0 {
+		c.MaxInitiators = 4
+	}
+	if c.Topology == "" {
+		c.Topology = "pa"
+	}
+	if c.ActivitySkew == 0 {
+		c.ActivitySkew = 1.2
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 1e6
+	}
+	if c.MeanDelay == 0 {
+		c.MeanDelay = 10
+	}
+	return c
+}
+
+// Dataset bundles everything Generate produces.
+type Dataset struct {
+	Name  string
+	Graph *graph.Graph
+	Log   *actionlog.Log
+	Truth *GroundTruth
+}
+
+// Generate synthesizes a dataset: a preferential-attachment social graph,
+// heterogeneous ground-truth influence probabilities and delays, and an
+// action log created by simulating a continuous-time independent cascade
+// per action, with initiators and spontaneous adopters drawn from a
+// skewed activity distribution.
+func Generate(cfg Config) *Dataset {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x9e3779b97f4a7c15))
+	var g *graph.Graph
+	switch cfg.Topology {
+	case "er":
+		p := float64(cfg.OutDegree) / float64(cfg.NumUsers-1)
+		g = graph.ErdosRenyi(cfg.NumUsers, p, rng)
+	case "ws":
+		g = graph.WattsStrogatz(cfg.NumUsers, cfg.OutDegree, 0.1, rng)
+	default:
+		g = GenerateGraph(cfg.NumUsers, cfg.OutDegree, cfg.Reciprocity, rng)
+	}
+	truth := generateTruth(g, cfg, rng)
+	log := generateLog(g, truth, cfg, rng)
+	return &Dataset{Name: cfg.Name, Graph: g, Log: log, Truth: truth}
+}
+
+// generateTruth draws per-user influence strength and susceptibility and
+// combines them into per-edge probabilities and delays.
+func generateTruth(g *graph.Graph, cfg Config, rng *rand.Rand) *GroundTruth {
+	n := g.NumNodes()
+	strength := make([]float64, n)
+	suscept := make([]float64, n)
+	activity := make([]float64, n)
+	for u := 0; u < n; u++ {
+		strength[u] = rng.ExpFloat64()         // heavy-ish tail of influencers
+		suscept[u] = 0.25 + 0.75*rng.Float64() // everyone somewhat influenceable
+		// Activity is skewed and positively correlated with influence
+		// strength: in real platforms the users who initiate the big
+		// propagations are the ones who post constantly, which is what
+		// lets trace-based models attribute viral spreads to their
+		// initiators' history (see DESIGN.md §4).
+		activity[u] = math.Pow(rng.Float64(), cfg.ActivitySkew*2) * (0.2 + strength[u])
+	}
+	isThreshold := make([]bool, n)
+	for u := 0; u < n; u++ {
+		isThreshold[u] = rng.Float64() < cfg.ThresholdFraction
+	}
+	probs := cascade.NewWeights(g)
+	delays := make(map[graph.Edge]float64)
+	for u := int32(0); int(u) < n; u++ {
+		for _, v := range g.Out(u) {
+			p := cfg.MeanInfluence * strength[u] * suscept[v]
+			if p > 0.9 {
+				p = 0.9
+			}
+			if err := probs.Set(u, v, p); err != nil {
+				panic(err)
+			}
+			// Per-edge mean delay varies around the global mean.
+			delays[graph.Edge{From: u, To: v}] = cfg.MeanDelay * (0.5 + rng.Float64())
+		}
+	}
+	return &GroundTruth{
+		Probs:            probs,
+		MeanDelay:        delays,
+		Activity:         activity,
+		Influenceability: suscept,
+		ThresholdUser:    isThreshold,
+	}
+}
+
+// event is a pending activation in the continuous-time cascade.
+type event struct {
+	at   float64
+	user graph.NodeID
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int           { return len(q) }
+func (q eventQueue) Less(i, j int) bool { return q[i].at < q[j].at }
+func (q eventQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)        { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any          { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+// generateLog simulates one continuous-time cascade per action.
+func generateLog(g *graph.Graph, truth *GroundTruth, cfg Config, rng *rand.Rand) *actionlog.Log {
+	b := actionlog.NewBuilder(g.NumNodes())
+	// Cumulative activity distribution for weighted user sampling.
+	cum := make([]float64, g.NumNodes())
+	total := 0.0
+	for u, w := range truth.Activity {
+		total += w
+		cum[u] = total
+	}
+	sampleUser := func() graph.NodeID {
+		x := rng.Float64() * total
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return graph.NodeID(lo)
+	}
+
+	activated := make(map[graph.NodeID]float64)
+	exposure := make(map[graph.NodeID]float64)  // cumulative weight on threshold users
+	threshold := make(map[graph.NodeID]float64) // per-action thresholds, drawn lazily
+	var q eventQueue
+	for a := 0; a < cfg.NumActions; a++ {
+		clear(activated)
+		clear(exposure)
+		clear(threshold)
+		q = q[:0]
+		start := rng.Float64() * cfg.Horizon
+		numInit := 1 + rng.IntN(cfg.MaxInitiators)
+		for i := 0; i < numInit; i++ {
+			u := sampleUser()
+			if _, ok := activated[u]; ok {
+				continue
+			}
+			t := start + rng.Float64()*cfg.MeanDelay
+			activated[u] = t
+			heap.Push(&q, event{at: t, user: u})
+		}
+		// Spontaneous adopters appear during the cascade window. Their
+		// count scales with a heavy-tailed per-action popularity: a hit
+		// movie or a famous group draws many independent first adopters,
+		// which is why large real propagations come with large initiator
+		// sets (the property the spread-prediction protocol relies on).
+		popularity := math.Exp(rng.NormFloat64() * 1.3)
+		nSpont := poisson(cfg.SpontaneousPerAction*popularity, rng)
+		for i := 0; i < nSpont; i++ {
+			u := sampleUser()
+			if _, ok := activated[u]; ok {
+				continue
+			}
+			t := start + rng.Float64()*cfg.MeanDelay*10
+			activated[u] = t
+			heap.Push(&q, event{at: t, user: u})
+		}
+		for q.Len() > 0 {
+			ev := heap.Pop(&q).(event)
+			if activated[ev.user] != ev.at {
+				continue // superseded by an earlier activation
+			}
+			out := g.Out(ev.user)
+			probs := truth.Probs.OutRow(ev.user)
+			for i, u := range out {
+				// One shot per neighbor; a neighbor that already activated
+				// or has a pending earlier activation is left alone.
+				if _, ok := activated[u]; ok {
+					continue
+				}
+				if truth.ThresholdUser[u] {
+					// LT-style: accumulate exposure, adopt on crossing a
+					// per-action uniform threshold.
+					exposure[u] += probs[i]
+					th, ok := threshold[u]
+					if !ok {
+						th = rng.Float64()
+						threshold[u] = th
+					}
+					if exposure[u] < th {
+						continue
+					}
+				} else if rng.Float64() >= probs[i] {
+					// IC-style: independent attempt.
+					continue
+				}
+				delay := truth.MeanDelay[graph.Edge{From: ev.user, To: u}]
+				// Heavy-tailed (lognormal) response times: most adoptions
+				// happen well before the mean delay, with a long tail —
+				// the regime the time-aware credit rule (Eq. 9) expects,
+				// and what platform response times actually look like.
+				t := ev.at + delay*math.Exp(rng.NormFloat64()*1.8-1.2)
+				activated[u] = t
+				heap.Push(&q, event{at: t, user: u})
+			}
+		}
+		for u, t := range activated {
+			if err := b.Add(u, actionlog.ActionID(a), t); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// poisson draws from a Poisson distribution by Knuth's method; mean is
+// small (a handful of spontaneous adopters) so the naive loop is fine.
+func poisson(mean float64, rng *rand.Rand) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

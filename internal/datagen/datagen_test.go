@@ -1,0 +1,197 @@
+package datagen
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"credist/internal/actionlog"
+	"credist/internal/graph"
+)
+
+func testConfig(seed uint64) Config {
+	return Config{
+		Name: "test", NumUsers: 200, OutDegree: 4, Reciprocity: 0.5,
+		NumActions: 60, MeanInfluence: 0.1, MeanDelay: 5,
+		SpontaneousPerAction: 1, Seed: seed,
+	}
+}
+
+func TestGenerateGraphShape(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	g := GenerateGraph(500, 5, 0.5, rng)
+	if g.NumNodes() != 500 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() < 500*5/2 {
+		t.Fatalf("suspiciously few edges: %d", g.NumEdges())
+	}
+	// Preferential attachment must produce a skewed degree distribution:
+	// the max degree should far exceed the average.
+	maxDeg, sum := 0, 0
+	for u := int32(0); u < 500; u++ {
+		d := g.Degree(u)
+		sum += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := float64(sum) / 500
+	if float64(maxDeg) < 3*avg {
+		t.Fatalf("degree distribution not skewed: max %d avg %.1f", maxDeg, avg)
+	}
+}
+
+func TestGenerateGraphDeterministic(t *testing.T) {
+	g1 := GenerateGraph(100, 3, 0.5, rand.New(rand.NewPCG(7, 7)))
+	g2 := GenerateGraph(100, 3, 0.5, rand.New(rand.NewPCG(7, 7)))
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatalf("same seed, different edge count: %d vs %d", g1.NumEdges(), g2.NumEdges())
+	}
+	e1, e2 := g1.Edges(), g2.Edges()
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestGenerateDatasetBasics(t *testing.T) {
+	ds := Generate(testConfig(3))
+	if ds.Graph.NumNodes() != 200 {
+		t.Fatalf("nodes = %d", ds.Graph.NumNodes())
+	}
+	if ds.Log.NumActions() != 60 {
+		t.Fatalf("actions = %d", ds.Log.NumActions())
+	}
+	if ds.Log.NumTuples() < 60 {
+		t.Fatalf("tuples = %d, want at least one per action", ds.Log.NumTuples())
+	}
+	if ds.Truth == nil || ds.Truth.Probs == nil {
+		t.Fatal("missing ground truth")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	d1 := Generate(testConfig(9))
+	d2 := Generate(testConfig(9))
+	if d1.Log.NumTuples() != d2.Log.NumTuples() {
+		t.Fatalf("same seed, different tuples: %d vs %d", d1.Log.NumTuples(), d2.Log.NumTuples())
+	}
+}
+
+func TestGeneratedPropagationsRespectGraphAndTime(t *testing.T) {
+	ds := Generate(testConfig(5))
+	// Every non-spontaneous activation chain is realizable: check that
+	// propagation DAG construction works and every propagation has at
+	// least one initiator.
+	for a := 0; a < ds.Log.NumActions(); a++ {
+		p := actionlog.BuildPropagation(ds.Log, ds.Graph, actionlog.ActionID(a))
+		if p.Size() == 0 {
+			t.Fatalf("action %d empty", a)
+		}
+		if len(p.Initiators()) == 0 {
+			t.Fatalf("action %d has no initiators", a)
+		}
+		for i := range p.Users {
+			for _, j := range p.Parents[i] {
+				if !ds.Graph.HasEdge(p.Users[j], p.Users[i]) {
+					t.Fatalf("parent edge not in social graph")
+				}
+				if p.Times[j] >= p.Times[i] {
+					t.Fatalf("parent not strictly earlier")
+				}
+			}
+		}
+	}
+}
+
+func TestGroundTruthProbsInRange(t *testing.T) {
+	ds := Generate(testConfig(11))
+	g := ds.Graph
+	for u := int32(0); int(u) < g.NumNodes(); u++ {
+		for i, v := range g.Out(u) {
+			_ = i
+			p := ds.Truth.Probs.Get(u, v)
+			if p < 0 || p > 0.9+1e-12 {
+				t.Fatalf("truth p(%d,%d) = %g out of range", u, v, p)
+			}
+		}
+	}
+	for u, infl := range ds.Truth.Influenceability {
+		if infl < 0 || infl > 1 {
+			t.Fatalf("influenceability[%d] = %g", u, infl)
+		}
+	}
+}
+
+func TestHigherInfluenceMeansMoreTuples(t *testing.T) {
+	lo := testConfig(13)
+	lo.MeanInfluence = 0.02
+	hi := testConfig(13)
+	hi.MeanInfluence = 0.3
+	if Generate(lo).Log.NumTuples() >= Generate(hi).Log.NumTuples() {
+		t.Fatal("raising influence did not grow the log")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	ps := Presets()
+	if len(ps) != 4 {
+		t.Fatalf("presets = %d, want 4", len(ps))
+	}
+	names := map[string]bool{}
+	for _, c := range ps {
+		if c.NumUsers <= 0 || c.NumActions <= 0 {
+			t.Fatalf("preset %s has zero scale", c.Name)
+		}
+		names[c.Name] = true
+	}
+	for _, want := range []string{"flixster-small", "flickr-small", "flixster-large", "flickr-large"} {
+		if !names[want] {
+			t.Fatalf("missing preset %s", want)
+		}
+	}
+	if _, ok := PresetByName("flixster-small"); !ok {
+		t.Fatal("PresetByName failed")
+	}
+	if _, ok := PresetByName("nope"); ok {
+		t.Fatal("PresetByName found a ghost")
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 17))
+	if got := poisson(0, rng); got != 0 {
+		t.Fatalf("poisson(0) = %d", got)
+	}
+	sum := 0
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		sum += poisson(2.0, rng)
+	}
+	mean := float64(sum) / trials
+	if mean < 1.8 || mean > 2.2 {
+		t.Fatalf("poisson mean = %g, want ~2", mean)
+	}
+}
+
+func TestActivitySkewConcentratesInitiators(t *testing.T) {
+	ds := Generate(testConfig(21))
+	counts := make(map[graph.NodeID]int)
+	for a := 0; a < ds.Log.NumActions(); a++ {
+		p := actionlog.BuildPropagation(ds.Log, ds.Graph, actionlog.ActionID(a))
+		for _, u := range p.Initiators() {
+			counts[u]++
+		}
+	}
+	// With a skewed activity distribution some users initiate repeatedly.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 2 {
+		t.Fatal("no repeat initiators despite skewed activity")
+	}
+}

@@ -1,0 +1,100 @@
+package datagen
+
+// The four presets mirror the shape of the paper's Table 1 datasets at
+// laptop scale (see DESIGN.md §4): Flixster-like graphs are sparser with
+// mutual friendship ties; Flickr-like graphs are denser (group-follow
+// style) with larger average degree. "Small" presets correspond to the
+// single-community samples used for the model-comparison experiments;
+// "Large" presets to the scalability experiments.
+
+// FlixsterSmall mirrors Flixster_Small (13K nodes, avg degree 14.8, 25K
+// propagations) at reduced scale.
+func FlixsterSmall() Config {
+	return Config{
+		Name:                 "flixster-small",
+		NumUsers:             3000,
+		OutDegree:            7,
+		Reciprocity:          0.8,
+		NumActions:           2200,
+		MeanInfluence:        0.055,
+		MeanDelay:            12,
+		SpontaneousPerAction: 5,
+		MaxInitiators:        4,
+		ActivitySkew:         1.2,
+		ThresholdFraction:    0.25,
+		Seed:                 1,
+	}
+}
+
+// FlickrSmall mirrors Flickr_Small (14.8K nodes, avg degree 79, 28.5K
+// propagations) at reduced scale: denser graph, weaker per-edge influence.
+func FlickrSmall() Config {
+	return Config{
+		Name:                 "flickr-small",
+		NumUsers:             3500,
+		OutDegree:            16,
+		Reciprocity:          0.35,
+		NumActions:           2500,
+		MeanInfluence:        0.025,
+		MeanDelay:            8,
+		SpontaneousPerAction: 4,
+		MaxInitiators:        3,
+		ActivitySkew:         1.4,
+		ThresholdFraction:    0.75,
+		Seed:                 2,
+	}
+}
+
+// FlixsterLarge mirrors Flixster_Large (1M nodes, 28M edges, 8.2M tuples)
+// at reduced scale for the scalability experiments.
+func FlixsterLarge() Config {
+	return Config{
+		Name:                 "flixster-large",
+		NumUsers:             40000,
+		OutDegree:            9,
+		Reciprocity:          0.8,
+		NumActions:           9000,
+		MeanInfluence:        0.035,
+		MeanDelay:            12,
+		SpontaneousPerAction: 5,
+		MaxInitiators:        4,
+		ActivitySkew:         1.2,
+		ThresholdFraction:    0.25,
+		Seed:                 3,
+	}
+}
+
+// FlickrLarge mirrors Flickr_Large (1.32M nodes, 81M edges, 36M tuples)
+// at reduced scale.
+func FlickrLarge() Config {
+	return Config{
+		Name:                 "flickr-large",
+		NumUsers:             50000,
+		OutDegree:            18,
+		Reciprocity:          0.35,
+		NumActions:           12000,
+		MeanInfluence:        0.02,
+		MeanDelay:            8,
+		SpontaneousPerAction: 4,
+		MaxInitiators:        3,
+		ActivitySkew:         1.4,
+		ThresholdFraction:    0.75,
+		Seed:                 4,
+	}
+}
+
+// Presets returns all four paper-shaped configurations.
+func Presets() []Config {
+	return []Config{FlixsterSmall(), FlickrSmall(), FlixsterLarge(), FlickrLarge()}
+}
+
+// PresetByName returns the configuration with the given Name and whether
+// it exists.
+func PresetByName(name string) (Config, bool) {
+	for _, c := range Presets() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Config{}, false
+}

@@ -1,0 +1,66 @@
+// Package eval is the experiment harness: it wires datasets, learners,
+// models, and selectors into the paper's experimental protocol and
+// regenerates every table and figure of the evaluation section (see the
+// per-experiment index in DESIGN.md §3).
+package eval
+
+import (
+	"credist/internal/actionlog"
+	"credist/internal/datagen"
+	"credist/internal/graph"
+)
+
+// Env is a prepared experiment environment: a dataset with its action log
+// split into training and test propagations per the paper's protocol
+// (Section 3), plus the test-set ground truth (initiator seed sets and
+// actual propagation sizes).
+type Env struct {
+	Name  string
+	Graph *graph.Graph
+	Full  *actionlog.Log
+	Train *actionlog.Log
+	Test  *actionlog.Log
+
+	// GroundTruth holds, for every test propagation, its initiators (the
+	// seed set whose spread is being predicted) and actual size.
+	GroundTruth []TestCase
+}
+
+// TestCase is one test propagation: the paper treats its initiators as the
+// seed set and its size as the actual spread.
+type TestCase struct {
+	Action     actionlog.ActionID // id within the test log
+	Initiators []graph.NodeID
+	Actual     int
+}
+
+// NewEnv splits the dataset's log 80/20 and extracts test-case ground
+// truth.
+func NewEnv(ds *datagen.Dataset) *Env {
+	train, test, _, _ := actionlog.Split(ds.Log)
+	env := &Env{
+		Name:  ds.Name,
+		Graph: ds.Graph,
+		Full:  ds.Log,
+		Train: train,
+		Test:  test,
+	}
+	for a := 0; a < test.NumActions(); a++ {
+		p := actionlog.BuildPropagation(test, ds.Graph, actionlog.ActionID(a))
+		inits := p.Initiators()
+		if len(inits) == 0 {
+			continue // defensive: cannot happen, earliest actor has no parents
+		}
+		env.GroundTruth = append(env.GroundTruth, TestCase{
+			Action:     actionlog.ActionID(a),
+			Initiators: inits,
+			Actual:     p.Size(),
+		})
+	}
+	return env
+}
+
+// MakeEnv generates the dataset for cfg and prepares its environment.
+func MakeEnv(cfg datagen.Config) *Env {
+	return NewEnv(datagen.Generate(cfg))
+}

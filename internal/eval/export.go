@@ -1,0 +1,176 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// This file exports experiment results as CSV for external plotting: each
+// driver's structured output has a writer, so cmd/experiments -format csv
+// can feed gnuplot/matplotlib directly.
+
+// WritePredictionCSV emits one row per (method, bin): method, bin_low,
+// count, rmse.
+func WritePredictionCSV(w io.Writer, reports []PredictionReport) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"method", "bin_low", "count", "rmse"}); err != nil {
+		return err
+	}
+	for _, r := range reports {
+		for _, b := range r.Bins {
+			rec := []string{r.Method, strconv.Itoa(b.BinLow), strconv.Itoa(b.Count),
+				formatFloat(b.RMSE)}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCaptureCSV emits one row per (method, abs_error): the Figure 4
+// series.
+func WriteCaptureCSV(w io.Writer, reports []PredictionReport) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"method", "abs_error", "ratio"}); err != nil {
+		return err
+	}
+	for _, r := range reports {
+		for _, c := range r.Capture {
+			if err := cw.Write([]string{r.Method, strconv.Itoa(c.AbsError), formatFloat(c.Ratio)}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteScatterCSV emits one row per (method, test case): the Figure 2(b)
+// scatter.
+func WriteScatterCSV(w io.Writer, reports []PredictionReport) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"method", "actual", "predicted"}); err != nil {
+		return err
+	}
+	for _, r := range reports {
+		for _, s := range r.Scatter {
+			if err := cw.Write([]string{r.Method, strconv.Itoa(s.Actual), formatFloat(s.Predicted)}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSpreadCurvesCSV emits one row per (method, k): the Figure 6 series.
+func WriteSpreadCurvesCSV(w io.Writer, curves []SpreadCurve) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"method", "k", "spread"}); err != nil {
+		return err
+	}
+	for _, c := range curves {
+		for i, k := range c.Ks {
+			if err := cw.Write([]string{c.Method, strconv.Itoa(k), formatFloat(c.Spread[i])}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteRuntimeCSV emits one row per (method, seed index): the Figure 7
+// series in milliseconds.
+func WriteRuntimeCSV(w io.Writer, series []RuntimeSeries) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"method", "k", "elapsed_ms"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for i, e := range s.Elapsed {
+			rec := []string{s.Method, strconv.Itoa(i + 1),
+				formatFloat(float64(e) / float64(time.Millisecond))}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteScalabilityCSV emits the Figure 8/9 points.
+func WriteScalabilityCSV(w io.Writer, points []ScalePoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"tuples", "runtime_ms", "uc_entries", "approx_bytes", "spread", "true_seeds"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		rec := []string{
+			strconv.Itoa(p.Tuples),
+			formatFloat(float64(p.Runtime) / float64(time.Millisecond)),
+			strconv.FormatInt(p.UCEntries, 10),
+			strconv.FormatInt(p.ApproxBytes, 10),
+			formatFloat(p.Spread),
+			strconv.Itoa(p.TrueSeeds),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTruncationCSV emits the Table 4 rows.
+func WriteTruncationCSV(w io.Writer, points []TruncationPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"lambda", "spread", "true_seeds", "uc_entries", "approx_bytes", "runtime_ms"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		rec := []string{
+			formatFloat(p.Lambda),
+			formatFloat(p.Spread),
+			strconv.Itoa(p.TrueSeeds),
+			strconv.FormatInt(p.UCEntries, 10),
+			strconv.FormatInt(p.ApproxBytes, 10),
+			formatFloat(float64(p.Runtime) / float64(time.Millisecond)),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteIntersectionCSV emits the Table 2 / Figure 5 matrix as rows of
+// (method_a, method_b, intersection).
+func WriteIntersectionCSV(w io.Writer, sets *SeedSets) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"method_a", "method_b", "intersection"}); err != nil {
+		return err
+	}
+	m := sets.Matrix()
+	for i, a := range sets.Names {
+		for j, b := range sets.Names {
+			if j < i {
+				continue
+			}
+			if err := cw.Write([]string{a, b, strconv.Itoa(m[i][j])}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(f float64) string { return fmt.Sprintf("%g", f) }

@@ -1,0 +1,67 @@
+package eval
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"credist/internal/graph"
+)
+
+// failWriter fails after allowing n bytes, exercising the error paths of
+// every CSV exporter.
+type failWriter struct{ left int }
+
+var errBoom = errors.New("boom")
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.left <= 0 {
+		return 0, errBoom
+	}
+	n := len(p)
+	if n > f.left {
+		n = f.left
+	}
+	f.left -= n
+	if n < len(p) {
+		return n, errBoom
+	}
+	return n, nil
+}
+
+func TestCSVWritersPropagateErrors(t *testing.T) {
+	reports := []PredictionReport{{
+		Method:  "X",
+		Bins:    []BinRMSE{{BinLow: 0, Count: 1, RMSE: 2}},
+		Capture: []CapturePoint{{AbsError: 0, Ratio: 0.5}},
+		Scatter: []ScatterPoint{{Actual: 1, Predicted: 2}},
+	}}
+	curves := []SpreadCurve{{Method: "X", Ks: []int{1}, Spread: []float64{1}}}
+	series := []RuntimeSeries{{Method: "X", Elapsed: []time.Duration{time.Millisecond}}}
+	points := []ScalePoint{{Tuples: 1}}
+	trunc := []TruncationPoint{{Lambda: 0.1}}
+	var sets SeedSets
+	sets.Add("A", []graph.NodeID{1})
+
+	cases := []struct {
+		name string
+		fn   func(w *failWriter) error
+	}{
+		{"prediction", func(w *failWriter) error { return WritePredictionCSV(w, reports) }},
+		{"capture", func(w *failWriter) error { return WriteCaptureCSV(w, reports) }},
+		{"scatter", func(w *failWriter) error { return WriteScatterCSV(w, reports) }},
+		{"curves", func(w *failWriter) error { return WriteSpreadCurvesCSV(w, curves) }},
+		{"runtime", func(w *failWriter) error { return WriteRuntimeCSV(w, series) }},
+		{"scale", func(w *failWriter) error { return WriteScalabilityCSV(w, points) }},
+		{"trunc", func(w *failWriter) error { return WriteTruncationCSV(w, trunc) }},
+		{"intersect", func(w *failWriter) error { return WriteIntersectionCSV(w, &sets) }},
+	}
+	for _, c := range cases {
+		if err := c.fn(&failWriter{left: 3}); err == nil {
+			t.Errorf("%s: write error swallowed", c.name)
+		}
+		if err := c.fn(&failWriter{left: 1 << 20}); err != nil {
+			t.Errorf("%s: unexpected error on healthy writer: %v", c.name, err)
+		}
+	}
+}

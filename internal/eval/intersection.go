@@ -1,0 +1,88 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"credist/internal/graph"
+)
+
+// SeedSets is an ordered collection of named seed sets, one per method.
+type SeedSets struct {
+	Names []string
+	Sets  [][]graph.NodeID
+}
+
+// Add appends a named seed set.
+func (s *SeedSets) Add(name string, seeds []graph.NodeID) {
+	s.Names = append(s.Names, name)
+	s.Sets = append(s.Sets, seeds)
+}
+
+// Intersection returns |Sets[i] ∩ Sets[j]|.
+func (s *SeedSets) Intersection(i, j int) int {
+	in := make(map[graph.NodeID]bool, len(s.Sets[i]))
+	for _, u := range s.Sets[i] {
+		in[u] = true
+	}
+	count := 0
+	for _, u := range s.Sets[j] {
+		if in[u] {
+			count++
+		}
+	}
+	return count
+}
+
+// Matrix returns the full pairwise intersection-size matrix.
+func (s *SeedSets) Matrix() [][]int {
+	n := len(s.Sets)
+	m := make([][]int, n)
+	for i := 0; i < n; i++ {
+		m[i] = make([]int, n)
+		for j := 0; j < n; j++ {
+			m[i][j] = s.Intersection(i, j)
+		}
+	}
+	return m
+}
+
+// RenderMatrix formats the intersection matrix as the upper-triangular
+// tables of Table 2 and Figure 5.
+func (s *SeedSets) RenderMatrix() string {
+	m := s.Matrix()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s", "")
+	for _, n := range s.Names {
+		fmt.Fprintf(&b, "%6s", n)
+	}
+	b.WriteByte('\n')
+	for i, name := range s.Names {
+		fmt.Fprintf(&b, "%-6s", name)
+		for j := range s.Names {
+			if j < i {
+				fmt.Fprintf(&b, "%6s", "")
+			} else {
+				fmt.Fprintf(&b, "%6d", m[i][j])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Overlap returns |a ∩ b|, a convenience for true-seed comparisons
+// (Figure 9, Table 4).
+func Overlap(a, b []graph.NodeID) int {
+	in := make(map[graph.NodeID]bool, len(a))
+	for _, u := range a {
+		in[u] = true
+	}
+	count := 0
+	for _, u := range b {
+		if in[u] {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,198 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"sort"
+)
+
+// Communities assigns every node a community label via synchronous label
+// propagation over the undirected view of the graph. It is the project's
+// substitute for Graclus, which the paper uses to carve single-community
+// "small" datasets out of the full crawls; any community-preserving
+// partitioner serves that role.
+//
+// rounds bounds the number of propagation sweeps; 10-20 suffices in
+// practice. The rng only breaks ties, so results are deterministic given
+// a seeded source.
+func Communities(g *Graph, rounds int, rng *rand.Rand) []int {
+	n := g.NumNodes()
+	label := make([]int, n)
+	for i := range label {
+		label[i] = i
+	}
+	if n == 0 {
+		return label
+	}
+	order := make([]NodeID, n)
+	for i := range order {
+		order[i] = NodeID(i)
+	}
+	counts := make(map[int]int)
+	for r := 0; r < rounds; r++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		changed := 0
+		for _, u := range order {
+			clear(counts)
+			for _, v := range g.Out(u) {
+				counts[label[v]]++
+			}
+			for _, v := range g.In(u) {
+				counts[label[v]]++
+			}
+			if len(counts) == 0 {
+				continue
+			}
+			best, bestCount := label[u], counts[label[u]]
+			for l, c := range counts {
+				if c > bestCount || (c == bestCount && l < best) {
+					best, bestCount = l, c
+				}
+			}
+			if best != label[u] {
+				label[u] = best
+				changed++
+			}
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	return canonicalizeLabels(label)
+}
+
+// canonicalizeLabels renumbers labels to 0..k-1 in order of first
+// appearance so downstream code can index slices by community.
+func canonicalizeLabels(label []int) []int {
+	remap := make(map[int]int)
+	for i, l := range label {
+		nl, ok := remap[l]
+		if !ok {
+			nl = len(remap)
+			remap[l] = nl
+		}
+		label[i] = nl
+	}
+	return label
+}
+
+// LargestCommunity returns the member nodes of the most populous community
+// in the labeling, sorted by id. This mirrors the paper's procedure of
+// "taking a unique community" to form the Small datasets.
+func LargestCommunity(label []int) []NodeID {
+	counts := make(map[int]int)
+	for _, l := range label {
+		counts[l]++
+	}
+	best, bestCount := -1, -1
+	for l, c := range counts {
+		if c > bestCount || (c == bestCount && l < best) {
+			best, bestCount = l, c
+		}
+	}
+	var members []NodeID
+	for i, l := range label {
+		if l == best {
+			members = append(members, NodeID(i))
+		}
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	return members
+}
+
+// CommunityOfSize finds the community whose size is closest to want and
+// returns its members sorted by id. Used to carve sub-datasets of a target
+// scale regardless of how label propagation happened to split the graph.
+func CommunityOfSize(label []int, want int) []NodeID {
+	counts := make(map[int]int)
+	for _, l := range label {
+		counts[l]++
+	}
+	best, bestDiff := -1, int(^uint(0)>>1)
+	for l, c := range counts {
+		diff := c - want
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff < bestDiff || (diff == bestDiff && l < best) {
+			best, bestDiff = l, diff
+		}
+	}
+	var members []NodeID
+	for i, l := range label {
+		if l == best {
+			members = append(members, NodeID(i))
+		}
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	return members
+}
+
+// ConnectedComponents labels nodes by weakly-connected component and
+// returns the labels plus component count.
+func ConnectedComponents(g *Graph) ([]int, int) {
+	n := g.NumNodes()
+	label := make([]int, n)
+	for i := range label {
+		label[i] = -1
+	}
+	next := 0
+	var stack []NodeID
+	for s := 0; s < n; s++ {
+		if label[s] != -1 {
+			continue
+		}
+		stack = append(stack[:0], NodeID(s))
+		label[s] = next
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range g.Out(u) {
+				if label[v] == -1 {
+					label[v] = next
+					stack = append(stack, v)
+				}
+			}
+			for _, v := range g.In(u) {
+				if label[v] == -1 {
+					label[v] = next
+					stack = append(stack, v)
+				}
+			}
+		}
+		next++
+	}
+	return label, next
+}
+
+// BFSBall returns up to limit nodes reachable from start following edges in
+// either direction, in BFS order. It is a cheap alternative sampler used by
+// tests and examples.
+func BFSBall(g *Graph, start NodeID, limit int) []NodeID {
+	if limit <= 0 {
+		return nil
+	}
+	seen := map[NodeID]bool{start: true}
+	order := []NodeID{start}
+	for i := 0; i < len(order) && len(order) < limit; i++ {
+		u := order[i]
+		for _, v := range g.Out(u) {
+			if !seen[v] {
+				seen[v] = true
+				order = append(order, v)
+				if len(order) == limit {
+					return order
+				}
+			}
+		}
+		for _, v := range g.In(u) {
+			if !seen[v] {
+				seen[v] = true
+				order = append(order, v)
+				if len(order) == limit {
+					return order
+				}
+			}
+		}
+	}
+	return order
+}

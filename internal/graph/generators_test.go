@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestErdosRenyiDensity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	n, p := 200, 0.05
+	g := ErdosRenyi(n, p, rng)
+	expected := float64(n*(n-1)) * p
+	got := float64(g.NumEdges())
+	if math.Abs(got-expected) > 0.25*expected {
+		t.Fatalf("edges = %g, expected ~%g", got, expected)
+	}
+	if g2 := ErdosRenyi(50, 0, rng); g2.NumEdges() != 0 {
+		t.Fatal("p=0 produced edges")
+	}
+}
+
+func TestWattsStrogatzShape(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	g := WattsStrogatz(100, 4, 0.0, rng)
+	// Without rewiring every node has out-degree exactly 4.
+	for u := int32(0); u < 100; u++ {
+		if g.OutDegree(u) != 4 {
+			t.Fatalf("lattice out-degree = %d", g.OutDegree(u))
+		}
+	}
+	rewired := WattsStrogatz(100, 4, 0.5, rng)
+	if rewired.NumEdges() == 0 || rewired.NumEdges() > 400 {
+		t.Fatalf("rewired edges = %d", rewired.NumEdges())
+	}
+	// Heavy rewiring destroys the lattice's regularity somewhere.
+	same := true
+	for u := int32(0); u < 100 && same; u++ {
+		out := rewired.Out(u)
+		for i, v := range out {
+			if v != g.Out(u)[min(i, len(g.Out(u))-1)] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("beta=0.5 changed nothing")
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	b := NewBuilder(4)
+	_ = b.AddEdge(0, 1)
+	_ = b.AddEdge(1, 0) // reciprocated pair
+	_ = b.AddEdge(1, 2)
+	g := b.Build()
+	m := Measure(g)
+	if m.Nodes != 4 || m.Edges != 3 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if math.Abs(m.Reciprocity-2.0/3.0) > 1e-12 {
+		t.Fatalf("reciprocity = %g, want 2/3", m.Reciprocity)
+	}
+	if m.Isolated != 1 {
+		t.Fatalf("isolated = %d, want 1 (node 3)", m.Isolated)
+	}
+	if m.MaxOutDeg != 2 || m.MaxInDeg != 1 {
+		t.Fatalf("degrees = %+v", m)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	b := NewBuilder(3)
+	_ = b.AddEdge(0, 1)
+	_ = b.AddEdge(0, 2)
+	g := b.Build()
+	hist := DegreeHistogram(g)
+	if hist[0] != 2 || hist[2] != 1 {
+		t.Fatalf("hist = %v", hist)
+	}
+}
+
+func TestClusteringCoefficient(t *testing.T) {
+	// Triangle: coefficient 1.
+	b := NewBuilder(3)
+	_ = b.AddEdge(0, 1)
+	_ = b.AddEdge(1, 2)
+	_ = b.AddEdge(2, 0)
+	if got := ClusteringCoefficient(b.Build()); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("triangle coefficient = %g", got)
+	}
+	// Path: no triangles.
+	b2 := NewBuilder(3)
+	_ = b2.AddEdge(0, 1)
+	_ = b2.AddEdge(1, 2)
+	if got := ClusteringCoefficient(b2.Build()); got != 0 {
+		t.Fatalf("path coefficient = %g", got)
+	}
+}

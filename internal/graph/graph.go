@@ -1,0 +1,241 @@
+// Package graph provides the directed social-graph substrate used by the
+// credit-distribution influence-maximization system: a compact CSR-style
+// adjacency representation, a builder that maps arbitrary user identifiers
+// to dense node ids, and graph analytics (PageRank, components, community
+// extraction) needed by the paper's experimental protocol.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID is a dense node index in [0, NumNodes).
+type NodeID = int32
+
+// Edge is a directed edge From -> To, meaning From may influence To.
+type Edge struct {
+	From NodeID
+	To   NodeID
+}
+
+// Graph is an immutable directed graph in compressed sparse row form.
+// Both out-adjacency (successors) and in-adjacency (predecessors) are
+// materialized because influence maximization walks edges in both
+// directions: cascades flow forward, credit flows backward.
+type Graph struct {
+	n        int32
+	outIndex []int32 // len n+1
+	outEdges []NodeID
+	inIndex  []int32 // len n+1
+	inEdges  []NodeID
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return int(g.n) }
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int { return len(g.outEdges) }
+
+// OutDegree returns the number of successors of u.
+func (g *Graph) OutDegree(u NodeID) int {
+	return int(g.outIndex[u+1] - g.outIndex[u])
+}
+
+// InDegree returns the number of predecessors of u.
+func (g *Graph) InDegree(u NodeID) int {
+	return int(g.inIndex[u+1] - g.inIndex[u])
+}
+
+// Degree returns the total (in + out) degree of u.
+func (g *Graph) Degree(u NodeID) int { return g.OutDegree(u) + g.InDegree(u) }
+
+// Out returns the successors of u. The returned slice aliases internal
+// storage and must not be modified.
+func (g *Graph) Out(u NodeID) []NodeID {
+	return g.outEdges[g.outIndex[u]:g.outIndex[u+1]]
+}
+
+// In returns the predecessors of u. The returned slice aliases internal
+// storage and must not be modified.
+func (g *Graph) In(u NodeID) []NodeID {
+	return g.inEdges[g.inIndex[u]:g.inIndex[u+1]]
+}
+
+// HasEdge reports whether the edge u->v exists. Adjacency lists are sorted,
+// so this is a binary search.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	out := g.Out(u)
+	i := sort.Search(len(out), func(i int) bool { return out[i] >= v })
+	return i < len(out) && out[i] == v
+}
+
+// Edges returns all edges in from-major order. It allocates a fresh slice.
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, len(g.outEdges))
+	for u := int32(0); u < g.n; u++ {
+		for _, v := range g.Out(u) {
+			edges = append(edges, Edge{From: u, To: v})
+		}
+	}
+	return edges
+}
+
+// AvgDegree returns the average out-degree (edges per node), the statistic
+// reported in Table 1 of the paper.
+func (g *Graph) AvgDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return float64(len(g.outEdges)) / float64(g.n)
+}
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate
+// edges are coalesced; self-loops are rejected because a user does not
+// influence itself in any of the paper's models.
+type Builder struct {
+	n     int32
+	edges []Edge
+}
+
+// NewBuilder returns a Builder for a graph with n nodes (ids 0..n-1).
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Builder{n: int32(n)}
+}
+
+// ErrSelfLoop is returned when an edge from a node to itself is added.
+var ErrSelfLoop = errors.New("graph: self-loop rejected")
+
+// AddEdge records the directed edge u->v.
+func (b *Builder) AddEdge(u, v NodeID) error {
+	if u == v {
+		return ErrSelfLoop
+	}
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n)
+	}
+	b.edges = append(b.edges, Edge{From: u, To: v})
+	return nil
+}
+
+// AddUndirected records both u->v and v->u, the convention the paper uses
+// when a social tie is symmetric (e.g. friendship in Flixster).
+func (b *Builder) AddUndirected(u, v NodeID) error {
+	if err := b.AddEdge(u, v); err != nil {
+		return err
+	}
+	return b.AddEdge(v, u)
+}
+
+// NumNodes returns the node count the builder was created with.
+func (b *Builder) NumNodes() int { return int(b.n) }
+
+// Build produces the immutable Graph. The builder may be reused afterwards;
+// it retains its accumulated edges.
+func (b *Builder) Build() *Graph {
+	edges := make([]Edge, len(b.edges))
+	copy(edges, b.edges)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	// Deduplicate.
+	uniq := edges[:0]
+	var last Edge = Edge{-1, -1}
+	for _, e := range edges {
+		if e != last {
+			uniq = append(uniq, e)
+			last = e
+		}
+	}
+	edges = uniq
+
+	g := &Graph{n: b.n}
+	g.outIndex = make([]int32, b.n+1)
+	g.outEdges = make([]NodeID, len(edges))
+	for _, e := range edges {
+		g.outIndex[e.From+1]++
+	}
+	for i := int32(0); i < b.n; i++ {
+		g.outIndex[i+1] += g.outIndex[i]
+	}
+	cursor := make([]int32, b.n)
+	for _, e := range edges {
+		pos := g.outIndex[e.From] + cursor[e.From]
+		g.outEdges[pos] = e.To
+		cursor[e.From]++
+	}
+
+	g.inIndex = make([]int32, b.n+1)
+	g.inEdges = make([]NodeID, len(edges))
+	for _, e := range edges {
+		g.inIndex[e.To+1]++
+	}
+	for i := int32(0); i < b.n; i++ {
+		g.inIndex[i+1] += g.inIndex[i]
+	}
+	for i := range cursor {
+		cursor[i] = 0
+	}
+	for _, e := range edges {
+		pos := g.inIndex[e.To] + cursor[e.To]
+		g.inEdges[pos] = e.From
+		cursor[e.To]++
+	}
+	// In-lists come out sorted already because edges are from-major sorted
+	// and we append in order; predecessors of v are appended in increasing
+	// order of From. Nothing further to do.
+	return g
+}
+
+// FromEdges builds a graph with n nodes from an edge list, coalescing
+// duplicates and skipping nothing: any invalid edge is an error.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(e.From, e.To); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// Subgraph returns the node-induced subgraph on keep (which must contain
+// dense original ids) plus the mapping from new ids to original ids.
+// Nodes are renumbered 0..len(keep)-1 in the order given.
+func (g *Graph) Subgraph(keep []NodeID) (*Graph, []NodeID) {
+	remap := make(map[NodeID]NodeID, len(keep))
+	orig := make([]NodeID, len(keep))
+	for i, u := range keep {
+		remap[u] = NodeID(i)
+		orig[i] = u
+	}
+	b := NewBuilder(len(keep))
+	for _, u := range keep {
+		nu := remap[u]
+		for _, v := range g.Out(u) {
+			if nv, ok := remap[v]; ok {
+				// Errors impossible: ids in range, no self-loops in g.
+				_ = b.AddEdge(nu, nv)
+			}
+		}
+	}
+	return b.Build(), orig
+}
+
+// Transpose returns the graph with every edge reversed.
+func (g *Graph) Transpose() *Graph {
+	b := NewBuilder(g.NumNodes())
+	for u := int32(0); u < g.n; u++ {
+		for _, v := range g.Out(u) {
+			_ = b.AddEdge(v, u)
+		}
+	}
+	return b.Build()
+}

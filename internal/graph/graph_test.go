@@ -1,0 +1,336 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func mustGraph(t *testing.T, n int, edges [][2]NodeID) *Graph {
+	t.Helper()
+	b := NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatalf("AddEdge(%v): %v", e, err)
+		}
+	}
+	return b.Build()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := mustGraph(t, 4, [][2]NodeID{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 0}})
+	if got := g.NumNodes(); got != 4 {
+		t.Fatalf("NumNodes = %d, want 4", got)
+	}
+	if got := g.NumEdges(); got != 5 {
+		t.Fatalf("NumEdges = %d, want 5", got)
+	}
+	if got := g.OutDegree(0); got != 2 {
+		t.Errorf("OutDegree(0) = %d, want 2", got)
+	}
+	if got := g.InDegree(2); got != 2 {
+		t.Errorf("InDegree(2) = %d, want 2", got)
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Errorf("HasEdge wrong: (0,1)=%v (1,0)=%v", g.HasEdge(0, 1), g.HasEdge(1, 0))
+	}
+	if got := g.AvgDegree(); got != 1.25 {
+		t.Errorf("AvgDegree = %g, want 1.25", got)
+	}
+}
+
+func TestBuilderRejectsSelfLoopAndRange(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddEdge(1, 1); err != ErrSelfLoop {
+		t.Errorf("self loop error = %v, want ErrSelfLoop", err)
+	}
+	if err := b.AddEdge(0, 3); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if err := b.AddEdge(-1, 0); err == nil {
+		t.Error("negative node accepted")
+	}
+}
+
+func TestBuilderDeduplicates(t *testing.T) {
+	g := mustGraph(t, 3, [][2]NodeID{{0, 1}, {0, 1}, {0, 1}, {1, 2}})
+	if got := g.NumEdges(); got != 2 {
+		t.Fatalf("NumEdges = %d, want 2 after dedup", got)
+	}
+}
+
+func TestAddUndirected(t *testing.T) {
+	b := NewBuilder(2)
+	if err := b.AddUndirected(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("undirected edge missing a direction")
+	}
+}
+
+func TestInOutConsistency(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 0))
+		n := 2 + r.IntN(20)
+		b := NewBuilder(n)
+		for e := 0; e < n*3; e++ {
+			u, v := NodeID(r.IntN(n)), NodeID(r.IntN(n))
+			if u != v {
+				_ = b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		// Every out-edge must appear as an in-edge and vice versa.
+		outCount, inCount := 0, 0
+		for u := NodeID(0); int(u) < n; u++ {
+			for _, v := range g.Out(u) {
+				outCount++
+				found := false
+				for _, w := range g.In(v) {
+					if w == u {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+			inCount += g.InDegree(u)
+		}
+		return outCount == inCount && outCount == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: nil}); err != nil {
+		t.Fatal(err)
+	}
+	_ = rng
+}
+
+func TestAdjacencySorted(t *testing.T) {
+	g := mustGraph(t, 5, [][2]NodeID{{0, 4}, {0, 2}, {0, 1}, {3, 0}, {2, 0}, {1, 0}})
+	if !sort.SliceIsSorted(g.Out(0), func(i, j int) bool { return g.Out(0)[i] < g.Out(0)[j] }) {
+		t.Errorf("Out(0) not sorted: %v", g.Out(0))
+	}
+	if !sort.SliceIsSorted(g.In(0), func(i, j int) bool { return g.In(0)[i] < g.In(0)[j] }) {
+		t.Errorf("In(0) not sorted: %v", g.In(0))
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := mustGraph(t, 5, [][2]NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {0, 2}})
+	sub, orig := g.Subgraph([]NodeID{0, 1, 2})
+	if sub.NumNodes() != 3 {
+		t.Fatalf("sub nodes = %d, want 3", sub.NumNodes())
+	}
+	// Edges within {0,1,2}: 0->1, 1->2, 0->2.
+	if sub.NumEdges() != 3 {
+		t.Fatalf("sub edges = %d, want 3", sub.NumEdges())
+	}
+	if orig[0] != 0 || orig[1] != 1 || orig[2] != 2 {
+		t.Errorf("orig mapping = %v", orig)
+	}
+	if !sub.HasEdge(0, 2) {
+		t.Error("edge 0->2 lost in subgraph")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	g := mustGraph(t, 3, [][2]NodeID{{0, 1}, {1, 2}})
+	tr := g.Transpose()
+	if !tr.HasEdge(1, 0) || !tr.HasEdge(2, 1) || tr.HasEdge(0, 1) {
+		t.Error("transpose edges wrong")
+	}
+	back := tr.Transpose()
+	if !back.HasEdge(0, 1) || !back.HasEdge(1, 2) || back.NumEdges() != 2 {
+		t.Error("double transpose is not identity")
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	g := mustGraph(t, 4, [][2]NodeID{{0, 1}, {1, 2}, {2, 3}, {0, 3}})
+	g2, err := FromEdges(4, g.Edges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge count changed: %d vs %d", g2.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestEdgeListIO(t *testing.T) {
+	g := mustGraph(t, 4, [][2]NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}})
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+			g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for _, e := range g.Edges() {
+		if !g2.HasEdge(e.From, e.To) {
+			t.Errorf("edge %v lost", e)
+		}
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"abc\n",
+		"3\n1\n",
+		"3\n0 zzz\n",
+		"3\n0 0\n", // self loop
+		"2\n0 5\n", // out of range
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(bytes.NewBufferString(in)); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestReadEdgeListSkipsComments(t *testing.T) {
+	g, err := ReadEdgeList(bytes.NewBufferString("# comment\n3\n\n0 1\n# another\n1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2", g.NumEdges())
+	}
+}
+
+func TestPageRankUniformOnCycle(t *testing.T) {
+	g := mustGraph(t, 4, [][2]NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	pr := PageRank(g, PageRankOptions{})
+	for i, p := range pr {
+		if p < 0.24 || p > 0.26 {
+			t.Errorf("rank[%d] = %g, want 0.25", i, p)
+		}
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	b := NewBuilder(30)
+	for e := 0; e < 100; e++ {
+		u, v := NodeID(rng.IntN(30)), NodeID(rng.IntN(30))
+		if u != v {
+			_ = b.AddEdge(u, v)
+		}
+	}
+	pr := PageRank(b.Build(), PageRankOptions{})
+	sum := 0.0
+	for _, p := range pr {
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("PageRank sum = %g, want 1", sum)
+	}
+}
+
+func TestPageRankPrefersHub(t *testing.T) {
+	// Star: everyone points at node 0.
+	edges := [][2]NodeID{}
+	for i := NodeID(1); i < 6; i++ {
+		edges = append(edges, [2]NodeID{i, 0})
+	}
+	g := mustGraph(t, 6, edges)
+	pr := PageRank(g, PageRankOptions{})
+	for i := 1; i < 6; i++ {
+		if pr[0] <= pr[i] {
+			t.Fatalf("hub rank %g not above leaf rank %g", pr[0], pr[i])
+		}
+	}
+}
+
+func TestTopKByScore(t *testing.T) {
+	scores := []float64{0.1, 0.9, 0.5, 0.9, 0.2}
+	top := TopKByScore(scores, 3)
+	want := []NodeID{1, 3, 2} // ties by lower id
+	for i := range want {
+		if top[i] != want[i] {
+			t.Fatalf("TopK = %v, want %v", top, want)
+		}
+	}
+	if got := TopKByScore(scores, 99); len(got) != 5 {
+		t.Fatalf("k>n returned %d items", len(got))
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := mustGraph(t, 6, [][2]NodeID{{0, 1}, {1, 2}, {3, 4}})
+	label, n := ConnectedComponents(g)
+	if n != 3 {
+		t.Fatalf("components = %d, want 3", n)
+	}
+	if label[0] != label[1] || label[1] != label[2] {
+		t.Error("0,1,2 should share a component")
+	}
+	if label[3] != label[4] {
+		t.Error("3,4 should share a component")
+	}
+	if label[5] == label[0] || label[5] == label[3] {
+		t.Error("5 should be isolated")
+	}
+}
+
+func TestCommunitiesFindTwoCliques(t *testing.T) {
+	// Two 6-cliques joined by a single edge.
+	b := NewBuilder(12)
+	for i := NodeID(0); i < 6; i++ {
+		for j := NodeID(0); j < 6; j++ {
+			if i != j {
+				_ = b.AddEdge(i, j)
+				_ = b.AddEdge(i+6, j+6)
+			}
+		}
+	}
+	_ = b.AddEdge(0, 6)
+	g := b.Build()
+	rng := rand.New(rand.NewPCG(9, 9))
+	label := Communities(g, 20, rng)
+	for i := 1; i < 6; i++ {
+		if label[i] != label[0] {
+			t.Fatalf("clique A split: %v", label)
+		}
+		if label[i+6] != label[6] {
+			t.Fatalf("clique B split: %v", label)
+		}
+	}
+	if label[0] == label[6] {
+		t.Fatalf("cliques merged: %v", label)
+	}
+	members := LargestCommunity(label)
+	if len(members) != 6 {
+		t.Fatalf("largest community size = %d, want 6", len(members))
+	}
+}
+
+func TestCommunityOfSize(t *testing.T) {
+	label := []int{0, 0, 0, 1, 1, 2}
+	got := CommunityOfSize(label, 2)
+	if len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("CommunityOfSize = %v, want [3 4]", got)
+	}
+}
+
+func TestBFSBall(t *testing.T) {
+	g := mustGraph(t, 5, [][2]NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	ball := BFSBall(g, 0, 3)
+	if len(ball) != 3 || ball[0] != 0 {
+		t.Fatalf("BFSBall = %v", ball)
+	}
+	if got := BFSBall(g, 0, 0); got != nil {
+		t.Fatalf("limit 0 should return nil, got %v", got)
+	}
+}

@@ -1,0 +1,147 @@
+// Package heuristic implements the scalable influence-maximization
+// baselines the paper uses where Monte-Carlo greedy is impractical
+// (Section 2.1, Figure 5): the PMIA heuristic of Chen et al. (KDD 2010)
+// for the IC model and the LDAG heuristic of Chen et al. (ICDM 2010) for
+// the LT model.
+//
+// Both estimators restrict influence to local structures anchored at each
+// node: the maximum-influence in-arborescence MIIA(u, theta), the union of
+// best (highest propagation probability) paths into u with path
+// probability at least theta. We implement the MIA variant of PMIA
+// (static arborescences) and an arborescence-shaped LDAG; see DESIGN.md §5
+// for why these simplifications preserve the baselines' role.
+package heuristic
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"credist/internal/cascade"
+	"credist/internal/graph"
+)
+
+// arborEdge connects a child (index into the arborescence's node list) to
+// its parent with the original edge probability/weight.
+type arborEdge struct {
+	child int32
+	p     float64
+}
+
+// arbor is a maximum-influence in-arborescence rooted at Root: a tree of
+// best paths into the root. Nodes are stored leaves-first (decreasing
+// distance), so a single forward pass computes activation probabilities.
+type arbor struct {
+	root     graph.NodeID
+	nodes    []graph.NodeID
+	children [][]arborEdge // aligned with nodes
+	index    map[graph.NodeID]int32
+}
+
+type dijkstraItem struct {
+	node graph.NodeID
+	dist float64
+}
+
+type dijkstraHeap []dijkstraItem
+
+func (h dijkstraHeap) Len() int           { return len(h) }
+func (h dijkstraHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
+func (h dijkstraHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *dijkstraHeap) Push(x any)        { *h = append(*h, x.(dijkstraItem)) }
+func (h *dijkstraHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// buildArbor runs a backward Dijkstra from root over -log(p) edge lengths,
+// keeping nodes whose best path probability into root is at least theta,
+// and returns the resulting in-arborescence.
+func buildArbor(w *cascade.Weights, root graph.NodeID, theta float64) *arbor {
+	g := w.Graph()
+	maxDist := -math.Log(theta)
+	dist := map[graph.NodeID]float64{root: 0}
+	parent := map[graph.NodeID]graph.NodeID{}
+	done := map[graph.NodeID]bool{}
+	h := dijkstraHeap{{node: root, dist: 0}}
+	for len(h) > 0 {
+		it := heap.Pop(&h).(dijkstraItem)
+		if done[it.node] || it.dist != dist[it.node] {
+			continue
+		}
+		done[it.node] = true
+		in := g.In(it.node)
+		probs := w.InRow(it.node)
+		for i, v := range in {
+			p := probs[i]
+			if p <= 0 {
+				continue
+			}
+			nd := it.dist - math.Log(p)
+			if nd > maxDist {
+				continue
+			}
+			if old, ok := dist[v]; !ok || nd < old {
+				dist[v] = nd
+				parent[v] = it.node
+				heap.Push(&h, dijkstraItem{node: v, dist: nd})
+			}
+		}
+	}
+	// Order nodes leaves-first, root last. Distance alone is not a valid
+	// topological key when an edge has probability 1 (zero length), so
+	// ties are broken by tree depth: children are always deeper than their
+	// parent and sort first.
+	depth := map[graph.NodeID]int{root: 0}
+	var depthOf func(v graph.NodeID) int
+	depthOf = func(v graph.NodeID) int {
+		if d, ok := depth[v]; ok {
+			return d
+		}
+		d := depthOf(parent[v]) + 1
+		depth[v] = d
+		return d
+	}
+	a := &arbor{root: root, index: make(map[graph.NodeID]int32, len(dist))}
+	type nd struct {
+		node  graph.NodeID
+		dist  float64
+		depth int
+	}
+	ordered := make([]nd, 0, len(dist))
+	for v, d := range dist {
+		if done[v] {
+			ordered = append(ordered, nd{v, d, depthOf(v)})
+		}
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].dist != ordered[j].dist {
+			return ordered[i].dist > ordered[j].dist
+		}
+		if ordered[i].depth != ordered[j].depth {
+			return ordered[i].depth > ordered[j].depth
+		}
+		return ordered[i].node < ordered[j].node
+	})
+	a.nodes = make([]graph.NodeID, len(ordered))
+	a.children = make([][]arborEdge, len(ordered))
+	for i, o := range ordered {
+		a.nodes[i] = o.node
+		a.index[o.node] = int32(i)
+	}
+	for i, o := range ordered {
+		if o.node == root {
+			continue
+		}
+		par := parent[o.node]
+		pi := a.index[par]
+		a.children[pi] = append(a.children[pi], arborEdge{
+			child: int32(i),
+			p:     w.Get(o.node, par),
+		})
+	}
+	return a
+}

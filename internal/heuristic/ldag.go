@@ -1,0 +1,117 @@
+package heuristic
+
+import (
+	"container/heap"
+
+	"credist/internal/cascade"
+	"credist/internal/graph"
+)
+
+// buildLDAG constructs LDAG(root, theta) following Chen et al. (ICDM
+// 2010): grow a node set X greedily by the influence each candidate exerts
+// on the root *through the current DAG*. Under the LT model that influence
+// is linear, so it satisfies
+//
+//	Inf(y) = sum over out-neighbors x of y already in X of b(y,x)*Inf(x)
+//
+// with Inf(root) = 1, and can be maintained additively as nodes join. A
+// candidate is admitted while its influence is at least theta. Edges run
+// from each admitted node to its out-neighbors admitted earlier, so the
+// structure is acyclic by insertion order.
+//
+// The result reuses the arbor representation: nodes leaves-first (reverse
+// insertion order, root last) with children lists carrying LT weights —
+// unlike buildArbor, a node may contribute to several parents, making this
+// a genuine DAG rather than a tree.
+func buildLDAG(w *cascade.Weights, root graph.NodeID, theta float64) *arbor {
+	const maxNodes = 1 << 13 // guards against runaway DAGs on dense cores
+
+	g := w.Graph()
+	inf := map[graph.NodeID]float64{root: 1}
+	inX := map[graph.NodeID]bool{}
+	insertOrder := make([]graph.NodeID, 0, 16)
+
+	h := maxHeap{{node: root, inf: 1}}
+	for len(h) > 0 && len(insertOrder) < maxNodes {
+		top := heap.Pop(&h).(maxItem)
+		if inX[top.node] || top.inf != inf[top.node] {
+			continue // stale entry
+		}
+		if top.inf < theta {
+			break
+		}
+		inX[top.node] = true
+		insertOrder = append(insertOrder, top.node)
+		// Admitting x raises the DAG influence of every in-neighbor.
+		in := g.In(top.node)
+		weights := w.InRow(top.node)
+		for i, y := range in {
+			b := weights[i]
+			if b <= 0 || inX[y] {
+				continue
+			}
+			inf[y] += b * top.inf
+			heap.Push(&h, maxItem{node: y, inf: inf[y]})
+		}
+	}
+
+	a := &arbor{
+		root:     root,
+		nodes:    make([]graph.NodeID, len(insertOrder)),
+		children: make([][]arborEdge, len(insertOrder)),
+		index:    make(map[graph.NodeID]int32, len(insertOrder)),
+	}
+	// Reverse insertion order: later-admitted nodes are "further" from the
+	// root and must be evaluated first by the DP.
+	n := len(insertOrder)
+	for i, node := range insertOrder {
+		pos := int32(n - 1 - i)
+		a.nodes[pos] = node
+		a.index[node] = pos
+	}
+	// DAG edges: from each admitted node to its out-neighbors admitted
+	// strictly earlier (closer to the root).
+	admittedAt := make(map[graph.NodeID]int, n)
+	for i, node := range insertOrder {
+		admittedAt[node] = i
+	}
+	for i, node := range insertOrder {
+		out := g.Out(node)
+		weights := w.OutRow(node)
+		for k, x := range out {
+			j, ok := admittedAt[x]
+			if !ok || j >= i {
+				continue
+			}
+			b := weights[k]
+			if b <= 0 {
+				continue
+			}
+			parentPos := a.index[x]
+			a.children[parentPos] = append(a.children[parentPos], arborEdge{
+				child: a.index[node],
+				p:     b,
+			})
+		}
+	}
+	return a
+}
+
+type maxItem struct {
+	node graph.NodeID
+	inf  float64
+}
+
+type maxHeap []maxItem
+
+func (h maxHeap) Len() int           { return len(h) }
+func (h maxHeap) Less(i, j int) bool { return h[i].inf > h[j].inf }
+func (h maxHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x any)        { *h = append(*h, x.(maxItem)) }
+func (h *maxHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,91 @@
+// Package probs implements every edge-probability assignment method the
+// paper evaluates in Section 3 and Section 6: the ad-hoc assignments
+// (uniform UN, trivalency TV, weighted cascade WC), the EM-based learner of
+// Saito et al. for the IC model, the frequency-based weight learner for the
+// LT model, and the perturbation used to test noise robustness (PT).
+package probs
+
+import (
+	"math/rand/v2"
+
+	"credist/internal/cascade"
+	"credist/internal/graph"
+)
+
+// Uniform assigns the same probability p to every edge (the paper's UN
+// method, with p = 0.01).
+func Uniform(g *graph.Graph, p float64) *cascade.Weights {
+	w := cascade.NewWeights(g)
+	for u := int32(0); u < int32(g.NumNodes()); u++ {
+		for _, v := range g.Out(u) {
+			if err := w.Set(u, v, p); err != nil {
+				panic(err) // p validated by caller; edges exist by construction
+			}
+		}
+	}
+	return w
+}
+
+// TrivalencyValues is the classic probability palette of the TV method.
+var TrivalencyValues = [3]float64{0.1, 0.01, 0.001}
+
+// Trivalency assigns each edge a probability drawn uniformly at random
+// from TrivalencyValues (the paper's TV method).
+func Trivalency(g *graph.Graph, rng *rand.Rand) *cascade.Weights {
+	w := cascade.NewWeights(g)
+	for u := int32(0); u < int32(g.NumNodes()); u++ {
+		for _, v := range g.Out(u) {
+			p := TrivalencyValues[rng.IntN(len(TrivalencyValues))]
+			if err := w.Set(u, v, p); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return w
+}
+
+// WeightedCascade assigns p(v,u) = 1/in-degree(u) (the paper's WC method).
+func WeightedCascade(g *graph.Graph) *cascade.Weights {
+	w := cascade.NewWeights(g)
+	for u := int32(0); u < int32(g.NumNodes()); u++ {
+		din := g.InDegree(u)
+		if din == 0 {
+			continue
+		}
+		p := 1.0 / float64(din)
+		for _, v := range g.In(u) {
+			if err := w.Set(v, u, p); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return w
+}
+
+// Perturb returns a copy of w with every edge probability perturbed by a
+// percentage drawn uniformly from [-noise, +noise] (paper: noise = 0.20),
+// clamped to [0,1]. This is the paper's PT method used to assess robustness
+// of seed selection to learning error.
+func Perturb(w *cascade.Weights, noise float64, rng *rand.Rand) *cascade.Weights {
+	g := w.Graph()
+	out := cascade.NewWeights(g)
+	for u := int32(0); u < int32(g.NumNodes()); u++ {
+		row := g.Out(u)
+		probs := w.OutRow(u)
+		for i, v := range row {
+			p := probs[i]
+			factor := 1 + (rng.Float64()*2-1)*noise
+			p *= factor
+			if p < 0 {
+				p = 0
+			}
+			if p > 1 {
+				p = 1
+			}
+			if err := out.Set(u, v, p); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package probs
+
+import (
+	"credist/internal/actionlog"
+	"credist/internal/cascade"
+	"credist/internal/graph"
+)
+
+// EMOptions configures the EM probability learner.
+type EMOptions struct {
+	// MaxIter bounds EM iterations (default 20).
+	MaxIter int
+	// Tol stops iteration once the largest per-edge probability change
+	// falls below it (default 1e-4).
+	Tol float64
+}
+
+func (o EMOptions) withDefaults() EMOptions {
+	if o.MaxIter == 0 {
+		o.MaxIter = 20
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-4
+	}
+	return o
+}
+
+type emEdge struct {
+	from, to graph.NodeID
+	succ     int     // |S+|: actions where from acted strictly before to
+	cooc     int     // actions both performed (any order)
+	denom    float64 // |S+| + |S-| = succ + (A_from - cooc)
+	p        float64
+	num      float64 // E-step accumulator
+}
+
+// emCase is one likelihood term: an activation of a user with at least one
+// potential influencer in some action's propagation graph.
+type emCase struct {
+	parents []*emEdge
+}
+
+// LearnEMIC learns IC edge probabilities from the training log using the
+// EM method of Saito et al. (KES 2008), adapted as the paper describes:
+// time is continuous and every neighbor that activated strictly earlier is
+// a potential influencer.
+//
+// For edge (v,u): success cases S+ are actions where v is a potential
+// influencer of u; failure cases S- are actions v performed that u never
+// performed. The E-step attributes each activation of u fractionally to
+// its potential influencers in proportion to their current probabilities;
+// the M-step re-estimates p(v,u) as attributed successes over |S+|+|S-|.
+func LearnEMIC(g *graph.Graph, train *actionlog.Log, opts EMOptions) *cascade.Weights {
+	opts = opts.withDefaults()
+	edges := make(map[graph.Edge]*emEdge)
+	var cases []emCase
+
+	for a := 0; a < train.NumActions(); a++ {
+		prop := actionlog.BuildPropagation(train, g, actionlog.ActionID(a))
+		inAction := prop // pos lookup via Index
+		for i, u := range prop.Users {
+			// Record co-occurrence for every in-neighbor that performed a,
+			// and successes/cases for those that performed it earlier.
+			var caseEdges []*emEdge
+			for _, v := range g.In(u) {
+				j := inAction.Index(v)
+				if j < 0 {
+					continue
+				}
+				key := graph.Edge{From: v, To: u}
+				e := edges[key]
+				if e == nil {
+					e = &emEdge{from: v, to: u}
+					edges[key] = e
+				}
+				e.cooc++
+				if prop.Times[j] < prop.Times[i] {
+					e.succ++
+					caseEdges = append(caseEdges, e)
+				}
+			}
+			if len(caseEdges) > 0 {
+				cases = append(cases, emCase{parents: caseEdges})
+			}
+		}
+	}
+
+	// Denominators and frequency initialization.
+	for _, e := range edges {
+		fail := train.ActionCount(e.from) - e.cooc
+		if fail < 0 {
+			fail = 0
+		}
+		e.denom = float64(e.succ + fail)
+		if e.denom > 0 {
+			e.p = float64(e.succ) / e.denom
+		}
+	}
+
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		for _, e := range edges {
+			e.num = 0
+		}
+		for _, c := range cases {
+			q := 1.0
+			for _, e := range c.parents {
+				q *= 1 - e.p
+			}
+			q = 1 - q // probability u activated under current parameters
+			if q <= 0 {
+				continue
+			}
+			for _, e := range c.parents {
+				e.num += e.p / q
+			}
+		}
+		maxDelta := 0.0
+		for _, e := range edges {
+			if e.denom == 0 {
+				continue
+			}
+			np := e.num / e.denom
+			if np > 1 {
+				np = 1
+			}
+			d := np - e.p
+			if d < 0 {
+				d = -d
+			}
+			if d > maxDelta {
+				maxDelta = d
+			}
+			e.p = np
+		}
+		if maxDelta < opts.Tol {
+			break
+		}
+	}
+
+	w := cascade.NewWeights(g)
+	for key, e := range edges {
+		if e.p > 0 {
+			if err := w.Set(key.From, key.To, e.p); err != nil {
+				panic(err) // edges come from g by construction
+			}
+		}
+	}
+	return w
+}

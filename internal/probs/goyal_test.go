@@ -1,0 +1,88 @@
+package probs
+
+import (
+	"math"
+	"testing"
+
+	"credist/internal/actionlog"
+	"credist/internal/graph"
+)
+
+func TestGoyalBernoulli(t *testing.T) {
+	// v=0 performs 10 actions; 4 propagate to u=1: p = 4/10.
+	g := chainGraph(t, 2)
+	log := twoUserLog(t, 10, 4)
+	w := LearnGoyal(g, log, Bernoulli)
+	if got := w.Get(0, 1); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("Bernoulli p = %g, want 0.4", got)
+	}
+}
+
+func TestGoyalJaccard(t *testing.T) {
+	// A_v = 10, A_u = 4, both = 4 (u only copies): |A_v ∪ A_u| = 10.
+	// p = 4/10.
+	g := chainGraph(t, 2)
+	log := twoUserLog(t, 10, 4)
+	w := LearnGoyal(g, log, Jaccard)
+	if got := w.Get(0, 1); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("Jaccard p = %g, want 0.4", got)
+	}
+}
+
+func TestGoyalJaccardWithDisjointActions(t *testing.T) {
+	// u also performs 3 private actions: union = 10 + 3, p = 4/13.
+	g := chainGraph(t, 2)
+	lb := actionlog.NewBuilder(2)
+	for a := 0; a < 10; a++ {
+		_ = lb.Add(0, actionlog.ActionID(a), float64(10*a))
+		if a < 4 {
+			_ = lb.Add(1, actionlog.ActionID(a), float64(10*a+1))
+		}
+	}
+	for a := 10; a < 13; a++ {
+		_ = lb.Add(1, actionlog.ActionID(a), float64(10*a))
+	}
+	w := LearnGoyal(g, lb.Build(), Jaccard)
+	if got := w.Get(0, 1); math.Abs(got-4.0/13.0) > 1e-12 {
+		t.Fatalf("Jaccard p = %g, want 4/13", got)
+	}
+}
+
+func TestGoyalPartialCredits(t *testing.T) {
+	// u=2 has two influencers 0 and 1 on one action; each gets credit 1/2.
+	// Node 0 performs 2 actions total: p(0,2) = 0.5/2 = 0.25.
+	b := graph.NewBuilder(3)
+	_ = b.AddEdge(0, 2)
+	_ = b.AddEdge(1, 2)
+	g := b.Build()
+	lb := actionlog.NewBuilder(3)
+	_ = lb.Add(0, 0, 0)
+	_ = lb.Add(1, 0, 0)
+	_ = lb.Add(2, 0, 1)
+	_ = lb.Add(0, 1, 0) // second action by 0, no propagation
+	w := LearnGoyal(g, lb.Build(), PartialCredits)
+	if got := w.Get(0, 2); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("PartialCredits p = %g, want 0.25", got)
+	}
+	if got := w.Get(1, 2); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("PartialCredits p(1,2) = %g, want 0.5", got)
+	}
+}
+
+func TestGoyalProbabilitiesBounded(t *testing.T) {
+	g := chainGraph(t, 2)
+	log := twoUserLog(t, 3, 3) // every action propagates: p = 1
+	for _, model := range []GoyalModel{Bernoulli, Jaccard, PartialCredits} {
+		w := LearnGoyal(g, log, model)
+		if p := w.Get(0, 1); p < 0 || p > 1 {
+			t.Fatalf("%v p = %g out of range", model, p)
+		}
+	}
+}
+
+func TestGoyalModelString(t *testing.T) {
+	if Bernoulli.String() != "Bernoulli" || Jaccard.String() != "Jaccard" ||
+		PartialCredits.String() != "PartialCredits" || GoyalModel(9).String() != "unknown" {
+		t.Fatal("GoyalModel.String wrong")
+	}
+}

@@ -1,0 +1,67 @@
+package probs
+
+import (
+	"credist/internal/actionlog"
+	"credist/internal/cascade"
+	"credist/internal/graph"
+)
+
+// LearnLTWeights learns Linear Threshold edge weights from the training
+// log as the paper describes (Section 6, "Methods Compared", following
+// Goyal et al., WSDM 2010): the weight of edge (v,u) is A_{v2u}/N, where
+// A_{v2u} is the number of actions that propagated from v to u (v a
+// neighbor of u acting strictly earlier) and N is a per-node normalizer
+// keeping the incoming weights of u at most 1. We take
+// N = max(A_u, sum_v A_{v2u}): weights are attributable-action fractions
+// of u's activity, scaled down only when multi-parent propagations push
+// the raw sum past the LT model's cap.
+//
+// Nodes with no incoming propagation evidence keep all-zero in-weights.
+func LearnLTWeights(g *graph.Graph, train *actionlog.Log) *cascade.Weights {
+	counts := make(map[graph.Edge]int)
+	for a := 0; a < train.NumActions(); a++ {
+		prop := actionlog.BuildPropagation(train, g, actionlog.ActionID(a))
+		for i, u := range prop.Users {
+			for _, j := range prop.Parents[i] {
+				v := prop.Users[j]
+				counts[graph.Edge{From: v, To: u}]++
+			}
+		}
+	}
+
+	// Per-node normalizer.
+	totals := make([]float64, g.NumNodes())
+	for e, c := range counts {
+		totals[e.To] += float64(c)
+	}
+
+	w := cascade.NewWeights(g)
+	for e, c := range counts {
+		n := totals[e.To]
+		if au := float64(train.ActionCount(e.To)); au > n {
+			n = au
+		}
+		if n <= 0 {
+			continue
+		}
+		if err := w.Set(e.From, e.To, float64(c)/n); err != nil {
+			panic(err) // edges come from g by construction
+		}
+	}
+	return w
+}
+
+// PropagationCounts returns A_{v2u} for every edge with at least one
+// observed propagation. Exposed for tests and diagnostics.
+func PropagationCounts(g *graph.Graph, train *actionlog.Log) map[graph.Edge]int {
+	counts := make(map[graph.Edge]int)
+	for a := 0; a < train.NumActions(); a++ {
+		prop := actionlog.BuildPropagation(train, g, actionlog.ActionID(a))
+		for i := range prop.Users {
+			for _, j := range prop.Parents[i] {
+				counts[graph.Edge{From: prop.Users[j], To: prop.Users[i]}]++
+			}
+		}
+	}
+	return counts
+}

@@ -1,0 +1,160 @@
+package ris
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"credist/internal/cascade"
+	"credist/internal/graph"
+)
+
+func chainWeights(t *testing.T, n int, p float64) *cascade.Weights {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		if err := b.AddEdge(graph.NodeID(i), graph.NodeID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := cascade.NewWeights(b.Build())
+	for i := 0; i < n-1; i++ {
+		if err := w.Set(graph.NodeID(i), graph.NodeID(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w
+}
+
+func TestSampleFromDeterministicChain(t *testing.T) {
+	w := chainWeights(t, 5, 1.0)
+	s := NewSampler(w, cascade.IC)
+	rng := rand.New(rand.NewPCG(1, 1))
+	set := s.SampleFrom(4, rng)
+	if len(set) != 5 {
+		t.Fatalf("RR set of chain tail = %v, want all 5 nodes", set)
+	}
+	set = s.SampleFrom(0, rng)
+	if len(set) != 1 || set[0] != 0 {
+		t.Fatalf("RR set of chain head = %v, want just {0}", set)
+	}
+}
+
+func TestSampleZeroProbability(t *testing.T) {
+	w := chainWeights(t, 4, 0)
+	s := NewSampler(w, cascade.IC)
+	rng := rand.New(rand.NewPCG(2, 2))
+	for i := 0; i < 10; i++ {
+		if set := s.Sample(rng); len(set) != 1 {
+			t.Fatalf("p=0 RR set = %v", set)
+		}
+	}
+}
+
+func TestSelectSeedsChain(t *testing.T) {
+	// Deterministic chain: node 0 reaches everyone, so it covers every RR
+	// set and greedy picks it first with full coverage.
+	w := chainWeights(t, 6, 1.0)
+	s := NewSampler(w, cascade.IC)
+	c := Collect(s, 500, 3)
+	seeds, spreads := c.SelectSeeds(2)
+	if seeds[0] != 0 {
+		t.Fatalf("first RIS seed = %d, want 0", seeds[0])
+	}
+	if math.Abs(spreads[0]-6) > 1e-9 {
+		t.Fatalf("spread estimate = %g, want 6", spreads[0])
+	}
+	if len(seeds) != 1 {
+		// Everything is covered by node 0; greedy stops early.
+		t.Fatalf("seeds = %v, want just node 0", seeds)
+	}
+}
+
+func TestEstimateSpreadMatchesMC(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	b := graph.NewBuilder(40)
+	for e := 0; e < 150; e++ {
+		u, v := graph.NodeID(rng.IntN(40)), graph.NodeID(rng.IntN(40))
+		if u != v {
+			_ = b.AddEdge(u, v)
+		}
+	}
+	g := b.Build()
+	w := cascade.NewWeights(g)
+	for u := int32(0); u < 40; u++ {
+		for _, v := range g.Out(u) {
+			_ = w.Set(u, v, 0.1+0.3*rng.Float64())
+		}
+	}
+	seeds := []graph.NodeID{0, 7}
+	mc := cascade.NewMCEstimator(w, cascade.IC, cascade.MCOptions{Trials: 20000, Seed: 6})
+	want := mc.Spread(seeds)
+	c := Collect(NewSampler(w, cascade.IC), 60000, 7)
+	got := c.EstimateSpread(seeds)
+	if math.Abs(got-want) > 0.08*want+0.3 {
+		t.Fatalf("RIS estimate %g far from MC %g", got, want)
+	}
+}
+
+func TestLTSamplerAtMostOneParentStep(t *testing.T) {
+	// In an LT RR sample each traversal step follows at most one in-edge,
+	// so the RR set size is at most the path length + 1 on any graph whose
+	// in-degrees are all 1... on a chain, sets are prefixes.
+	w := chainWeights(t, 6, 1.0)
+	s := NewSampler(w, cascade.LT)
+	rng := rand.New(rand.NewPCG(8, 8))
+	set := s.SampleFrom(5, rng)
+	if len(set) != 6 {
+		t.Fatalf("LT chain RR set = %v", set)
+	}
+}
+
+func TestRISvsGreedyQuality(t *testing.T) {
+	// RIS seeds should reach a spread comparable to MC-greedy seeds.
+	rng := rand.New(rand.NewPCG(9, 9))
+	b := graph.NewBuilder(60)
+	for e := 0; e < 240; e++ {
+		u, v := graph.NodeID(rng.IntN(60)), graph.NodeID(rng.IntN(60))
+		if u != v {
+			_ = b.AddEdge(u, v)
+		}
+	}
+	g := b.Build()
+	w := cascade.NewWeights(g)
+	for u := int32(0); u < 60; u++ {
+		for _, v := range g.Out(u) {
+			_ = w.Set(u, v, 0.15)
+		}
+	}
+	c := Collect(NewSampler(w, cascade.IC), 20000, 10)
+	risSeeds, _ := c.SelectSeeds(5)
+	mc := cascade.NewMCEstimator(w, cascade.IC, cascade.MCOptions{Trials: 3000, Seed: 11})
+	risSpread := mc.Spread(risSeeds)
+
+	greedy := cascade.NewGreedyEstimator(cascade.NewMCEstimator(w, cascade.IC, cascade.MCOptions{Trials: 300, Seed: 12}))
+	for i := 0; i < 5; i++ {
+		best, bestGain := graph.NodeID(-1), -1.0
+		for u := graph.NodeID(0); u < 60; u++ {
+			if gain := greedy.Gain(u); gain > bestGain {
+				best, bestGain = u, gain
+			}
+		}
+		greedy.Add(best)
+	}
+	greedySpread := mc.Spread(greedy.Seeds())
+	if risSpread < 0.85*greedySpread {
+		t.Fatalf("RIS spread %g well below greedy %g", risSpread, greedySpread)
+	}
+}
+
+func TestRecommendedSamples(t *testing.T) {
+	if got := RecommendedSamples(1000, 10, 0.2); got < 1000 {
+		t.Fatalf("samples = %d", got)
+	}
+	if got := RecommendedSamples(1<<30, 500, 0.01); got != 500000 {
+		t.Fatalf("cap not applied: %d", got)
+	}
+	if got := RecommendedSamples(100, 1, 0); got < 1000 {
+		t.Fatalf("eps default broken: %d", got)
+	}
+}

@@ -1,0 +1,146 @@
+package credist
+
+import (
+	"fmt"
+	"os"
+
+	"credist/internal/actionlog"
+	"credist/internal/core"
+	"credist/internal/graph"
+	"credist/internal/seedsel"
+)
+
+// Options configures model learning.
+type Options struct {
+	// Lambda is the UC truncation threshold used during seed selection
+	// (Section 5.3; paper default 0.001). Zero keeps every credit.
+	Lambda float64
+	// SimpleCredit switches the direct-credit rule from the time-aware
+	// Eq. (9) (the default) to the equal-split 1/d_in rule.
+	SimpleCredit bool
+}
+
+// Model is a learned credit-distribution model: the time decay and
+// influenceability parameters plus the evaluator of the spread objective
+// sigma_cd.
+type Model struct {
+	ds     *Dataset
+	opts   Options
+	credit core.CreditModel
+	eval   *core.Evaluator
+}
+
+// Learn fits the CD model to the dataset's action log. Pass the training
+// split when the test split must stay held out (the paper's protocol);
+// pass the full dataset when the model is used operationally.
+func Learn(ds *Dataset, opts Options) *Model {
+	var credit core.CreditModel
+	if opts.SimpleCredit {
+		credit = core.SimpleCredit{}
+	} else {
+		credit = core.LearnTimeAware(ds.Graph, ds.Log)
+	}
+	return &Model{
+		ds:     ds,
+		opts:   opts,
+		credit: credit,
+		eval:   core.NewEvaluator(ds.Graph, ds.Log, credit),
+	}
+}
+
+// Spread predicts the expected influence spread sigma_cd of a seed set.
+func (m *Model) Spread(seeds []NodeID) float64 { return m.eval.Spread(seeds) }
+
+// SelectSeeds picks k seeds with the paper's algorithm (Scan + greedy with
+// CELF) and returns them with their marginal gains; summing the gains
+// gives the predicted spread of the whole set.
+func (m *Model) SelectSeeds(k int) ([]NodeID, []float64) {
+	res := m.selection(k)
+	return res.Seeds, res.Gains
+}
+
+// Selection runs seed selection and returns the full trace (seeds, gains,
+// per-seed timing, and the number of marginal-gain evaluations).
+func (m *Model) Selection(k int) seedsel.Result { return m.selection(k) }
+
+func (m *Model) selection(k int) seedsel.Result {
+	engine := core.NewEngine(m.ds.Graph, m.ds.Log, core.Options{
+		Lambda: m.opts.Lambda,
+		Credit: m.credit,
+	})
+	return seedsel.CELF(engine, k)
+}
+
+// Influenceability returns the learned infl(u) when the time-aware rule is
+// in use, or 1 under the simple rule (which does not model it).
+func (m *Model) Influenceability(u NodeID) float64 {
+	if ta, ok := m.credit.(*core.TimeAwareCredit); ok {
+		return ta.Influenceability(u)
+	}
+	return 1
+}
+
+// PairCredit returns kappa_{v,u}, the average credit v earns for
+// influencing u across the log (Eq. 6) — a learned, data-based analogue of
+// an edge influence probability.
+func (m *Model) PairCredit(v, u NodeID) float64 { return m.eval.PairCredit(v, u) }
+
+// Initiators returns, for each action of a dataset, the users who
+// performed it before any of their neighbors — the paper's notion of a
+// propagation's seed set (used to build test cases).
+func Initiators(ds *Dataset, a ActionID) []NodeID {
+	p := actionlog.BuildPropagation(ds.Log, ds.Graph, a)
+	return p.Initiators()
+}
+
+// HighDegreeSeeds returns the k highest out-degree users, the High Degree
+// baseline of the paper's "Spread Achieved" experiment.
+func HighDegreeSeeds(ds *Dataset, k int) []NodeID {
+	return seedsel.HighDegree(ds.Graph, k)
+}
+
+// PageRankSeeds returns the k top users by PageRank on the reversed graph,
+// the paper's PageRank baseline.
+func PageRankSeeds(ds *Dataset, k int) []NodeID {
+	return seedsel.PageRankSeeds(ds.Graph, k, graph.PageRankOptions{})
+}
+
+// SaveParams writes the model's learned parameters (time-aware credit
+// only; the simple rule has none) so a model fitted once can be restored
+// with LoadModel without re-learning.
+func (m *Model) SaveParams(path string) error {
+	ta, ok := m.credit.(*core.TimeAwareCredit)
+	if !ok {
+		return fmt.Errorf("credist: simple-credit models have no parameters to save")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("credist: create params file: %w", err)
+	}
+	if err := core.WriteTimeAware(f, ta); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadModel restores a time-aware model from parameters written by
+// SaveParams, binding them to the given dataset (which must have the same
+// user universe the parameters were learned on).
+func LoadModel(ds *Dataset, path string, opts Options) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("credist: open params file: %w", err)
+	}
+	defer f.Close()
+	credit, err := core.ReadTimeAware(f)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{
+		ds:     ds,
+		opts:   opts,
+		credit: credit,
+		eval:   core.NewEvaluator(ds.Graph, ds.Log, credit),
+	}, nil
+}
