@@ -14,6 +14,11 @@
 //	seeds, gains := model.SelectSeeds(50)
 //	spread := model.Spread(seeds)
 //
+// All results are deterministic: the credit store keeps its entries in
+// sorted sparse rows, so spreads, marginal gains, and selected seed sets
+// are bit-for-bit identical across runs, scan worker counts, and
+// SaveParams/LoadModel round trips.
+//
 // The cmd/ tools and examples/ programs demonstrate the full surface,
 // and internal/eval regenerates every table and figure of the paper.
 package credist

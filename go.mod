@@ -1,0 +1,3 @@
+module credist
+
+go 1.24

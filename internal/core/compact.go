@@ -7,11 +7,12 @@ import (
 	"credist/internal/graph"
 )
 
-// CompactEngine is an array-backed alternative to Engine: per action, the
-// UC credits live in three parallel slices sorted by (influencer,
-// influenced) with a permutation index for column access, instead of two
-// mirrored hash maps. Entries cost ~20 bytes instead of ~64, at the price
-// of binary searches during seed updates and tombstoned deletions.
+// CompactEngine is a flattened alternative to Engine: per action, the UC
+// credits live in three parallel slices sorted by (influencer, influenced)
+// with a permutation index for column access, instead of Engine's
+// per-influencer sorted rows. Entries cost ~20 bytes, at the price of
+// binary searches during seed updates and tombstoned deletions (the slices
+// are immutable-size, so removed entries linger as zeros).
 //
 // It implements the same estimator interface and is property-tested to
 // produce bit-identical gains to Engine; BenchmarkCompactEngine reports
@@ -65,7 +66,7 @@ func (c *compactUC) find(v, u int32) int {
 }
 
 // NewCompactEngine scans the log into the compact representation. The
-// scan itself reuses the map-based per-action pass (transitive credit
+// scan itself reuses Engine's per-action pass (transitive credit
 // accumulation needs random-access upserts), then flattens each shard.
 func NewCompactEngine(g *graph.Graph, train *actionlog.Log, opts Options) *CompactEngine {
 	model := opts.Credit
@@ -95,10 +96,12 @@ func NewCompactEngine(g *graph.Graph, train *actionlog.Log, opts Options) *Compa
 	return e
 }
 
-// flattenShard converts a map-based UC shard into sorted parallel slices.
+// flattenShard converts a UC shard into sorted parallel slices. The shard
+// is already ordered by (influencer, influenced), so the row-major walk
+// needs no sort; only the column permutation does.
 func flattenShard(ua ucAction) compactUC {
 	total := 0
-	for _, row := range ua.byInf {
+	for _, row := range ua.rows {
 		total += len(row)
 	}
 	c := compactUC{
@@ -106,28 +109,14 @@ func flattenShard(ua ucAction) compactUC {
 		us:     make([]int32, 0, total),
 		credit: make([]float64, 0, total),
 	}
-	type rec struct {
-		v, u int32
-		cr   float64
-	}
-	recs := make([]rec, 0, total)
-	for v, row := range ua.byInf {
-		for u, cr := range row {
-			recs = append(recs, rec{v, u, cr})
+	for ri, v := range ua.rowKey {
+		for _, en := range ua.rows[ri] {
+			c.vs = append(c.vs, v)
+			c.us = append(c.us, en.u)
+			c.credit = append(c.credit, en.c)
 		}
 	}
-	sort.Slice(recs, func(i, j int) bool {
-		if recs[i].v != recs[j].v {
-			return recs[i].v < recs[j].v
-		}
-		return recs[i].u < recs[j].u
-	})
-	for _, r := range recs {
-		c.vs = append(c.vs, r.v)
-		c.us = append(c.us, r.u)
-		c.credit = append(c.credit, r.cr)
-	}
-	c.byU = make([]int32, len(recs))
+	c.byU = make([]int32, total)
 	for i := range c.byU {
 		c.byU[i] = int32(i)
 	}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -17,7 +18,10 @@ import (
 //	tau <from> <to> <value>
 //
 // so a model learned once can be reused across processes without
-// re-scanning the training log.
+// re-scanning the training log. Values use %g (Go's shortest decimal that
+// parses back to the same float64), so a write/read round trip is exact,
+// and tau records are sorted by edge so identical models produce
+// byte-identical files.
 func WriteTimeAware(w io.Writer, c *TimeAwareCredit) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "numUsers %d\n", len(c.infl)); err != nil {
@@ -30,8 +34,18 @@ func WriteTimeAware(w io.Writer, c *TimeAwareCredit) error {
 			}
 		}
 	}
-	for e, tau := range c.tau {
-		if _, err := fmt.Fprintf(bw, "tau %d %d %g\n", e.From, e.To, tau); err != nil {
+	edges := make([]graph.Edge, 0, len(c.tau))
+	for e := range c.tau {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(bw, "tau %d %d %g\n", e.From, e.To, c.tau[e]); err != nil {
 			return err
 		}
 	}

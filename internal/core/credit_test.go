@@ -224,6 +224,58 @@ func TestTimeAwareIORoundTrip(t *testing.T) {
 	}
 }
 
+// TestTimeAwareIOBitExact audits the %g serialization: every learned
+// parameter must survive a write/read round trip with identical float64
+// bits (%g with default precision is Go's shortest decimal that parses
+// back to the same value), including adversarial values near the format's
+// edge cases, and re-serializing the restored model must reproduce the
+// file byte for byte (tau records are written in sorted edge order).
+func TestTimeAwareIOBitExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(67, 67))
+	g, log := randomInstance(rng, 30, 12)
+	credit := LearnTimeAware(g, log)
+	// Splice in values that stress shortest-float formatting: repeating
+	// binary fractions, a denormal, and neighbors of representable points.
+	credit.infl[0] = 1.0 / 3.0
+	credit.infl[1] = 0.1 + 0.2
+	credit.infl[2] = math.Nextafter(1, 2) - 1
+	for e := range credit.tau {
+		credit.tau[e] = math.Nextafter(credit.tau[e], math.Inf(1))
+		break
+	}
+
+	var buf bytes.Buffer
+	if err := WriteTimeAware(&buf, credit); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+	back, err := ReadTimeAware(bytes.NewBufferString(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range credit.infl {
+		if math.Float64bits(credit.infl[u]) != math.Float64bits(back.infl[u]) {
+			t.Fatalf("infl(%d) bits differ: %v -> %v", u, credit.infl[u], back.infl[u])
+		}
+	}
+	if len(back.tau) != len(credit.tau) {
+		t.Fatalf("tau count %d != %d", len(back.tau), len(credit.tau))
+	}
+	for e, tau := range credit.tau {
+		got, ok := back.tau[e]
+		if !ok || math.Float64bits(got) != math.Float64bits(tau) {
+			t.Fatalf("tau(%v) bits differ: %v -> %v", e, tau, got)
+		}
+	}
+	var again bytes.Buffer
+	if err := WriteTimeAware(&again, back); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != first {
+		t.Fatal("re-serialized params are not byte-identical")
+	}
+}
+
 func TestReadTimeAwareErrors(t *testing.T) {
 	cases := []string{
 		"",

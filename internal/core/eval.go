@@ -77,9 +77,12 @@ func (ev *Evaluator) Spread(seeds []graph.NodeID) float64 {
 			spread += 1
 		}
 	}
-	// Union of actions any seed performed, deduplicated.
+	// Union of actions any seed performed, deduplicated. The walk follows
+	// the input seed order (not map iteration), so the floating-point
+	// summation order — and hence the returned spread — is deterministic
+	// for a given seed slice.
 	seen := make(map[actionlog.ActionID]bool)
-	for s := range inS {
+	for _, s := range seeds {
 		for _, a := range ev.actionsOf[s] {
 			if seen[a] {
 				continue
