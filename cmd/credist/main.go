@@ -1,12 +1,15 @@
 // Command credist selects influence-maximizing seed sets from a social
-// graph and an action log using the credit-distribution model, or the
-// High-Degree / PageRank baselines for comparison:
+// graph and an action log using the credit-distribution model, scores
+// given seed sets, or runs a long-lived influence-query HTTP service:
 //
 //	credist -preset flixster-small -k 50
 //	credist -graph data/d.graph -log data/d.log -k 20 -method cd
+//	credist -preset flixster-small -eval 12,99,340
+//	credist serve -preset flixster-small -addr :8632
 //
-// Output: one line per seed with its marginal gain, then the predicted
-// total spread.
+// Selection output: one line per seed with its marginal gain, then the
+// predicted total spread. Run `credist -h` or `credist serve -h` for the
+// full flag reference.
 package main
 
 import (
@@ -20,21 +23,47 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
+		return
+	}
+	runSelect(os.Args[1:])
+}
+
+// presetList renders the valid preset names for help text and errors.
+func presetList() string { return strings.Join(credist.PresetNames(), ", ") }
+
+func runSelect(args []string) {
+	fs := flag.NewFlagSet("credist", flag.ExitOnError)
 	var (
-		preset    = flag.String("preset", "", "generate a built-in dataset instead of loading files")
-		graphPath = flag.String("graph", "", "graph edge-list file")
-		logPath   = flag.String("log", "", "action log file")
-		k         = flag.Int("k", 10, "number of seeds")
-		method    = flag.String("method", "cd", "selection method: cd, highdeg, pagerank")
-		lambda    = flag.Float64("lambda", 0.001, "CD truncation threshold")
-		simple    = flag.Bool("simple-credit", false, "use 1/d_in direct credit instead of the time-aware rule")
-		evalSet   = flag.String("eval", "", "skip selection; score this comma-separated list of user ids instead")
+		preset    = fs.String("preset", "", "generate a built-in dataset instead of loading files; one of: "+presetList())
+		graphPath = fs.String("graph", "", "graph edge-list file (one \"from to\" pair per line, as written by datagen); requires -log")
+		logPath   = fs.String("log", "", "action log file (one \"user action time\" tuple per line, as written by datagen); requires -graph")
+		k         = fs.Int("k", 10, "number of seeds to select")
+		method    = fs.String("method", "cd", "selection method: cd (credit distribution, CELF), highdeg (top out-degree), pagerank (top PageRank on the reversed graph)")
+		lambda    = fs.Float64("lambda", 0.001, "CD truncation threshold: path credits below it are discarded during the scan, bounding memory (paper default 0.001; 0 keeps every credit)")
+		simple    = fs.Bool("simple-credit", false, "use the equal-split 1/d_in direct-credit rule instead of the learned time-aware rule (Eq. 9)")
+		evalSet   = fs.String("eval", "", "skip selection; score this comma-separated list of user ids under the CD model instead (e.g. -eval 3,17,250)")
 	)
-	flag.Parse()
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), `Usage: credist [flags]        select or score influence seed sets
+       credist serve [flags]  run the influence-query HTTP service (see credist serve -h)
+
+Select seeds from a built-in preset or from dataset files:
+
+  credist -preset flixster-small -k 50
+  credist -graph data/d.graph -log data/d.log -k 20 -method cd
+  credist -preset flickr-small -eval 12,99,340
+
+Flags:
+`)
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
 
 	ds, err := loadDataset(*preset, *graphPath, *logPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "credist:", err)
+		fmt.Fprintln(os.Stderr, "credist:", strings.TrimPrefix(err.Error(), "credist: "))
 		os.Exit(1)
 	}
 	st := ds.Stats()
@@ -67,7 +96,7 @@ func main() {
 	case "pagerank":
 		seeds = credist.PageRankSeeds(ds, *k)
 	default:
-		fmt.Fprintf(os.Stderr, "credist: unknown method %q\n", *method)
+		fmt.Fprintf(os.Stderr, "credist: unknown method %q (valid methods: cd, highdeg, pagerank)\n", *method)
 		os.Exit(1)
 	}
 
@@ -108,7 +137,7 @@ func loadDataset(preset, graphPath, logPath string) (*credist.Dataset, error) {
 		return credist.GeneratePreset(preset)
 	}
 	if graphPath == "" || logPath == "" {
-		return nil, fmt.Errorf("provide -preset, or both -graph and -log")
+		return nil, fmt.Errorf("provide -preset (one of: %s), or both -graph and -log", presetList())
 	}
 	return credist.LoadDataset("custom", graphPath, logPath)
 }

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestParseSeeds(t *testing.T) {
 	seeds, err := parseSeeds("1, 2,3", 10)
@@ -28,7 +31,14 @@ func TestLoadDatasetValidation(t *testing.T) {
 	if _, err := loadDataset("", "g-only", ""); err == nil {
 		t.Fatal("graph without log accepted")
 	}
+	// Unknown presets and missing inputs both name the valid presets, so
+	// the error doubles as usage help.
 	if _, err := loadDataset("no-such-preset", "", ""); err == nil {
 		t.Fatal("unknown preset accepted")
+	} else if !strings.Contains(err.Error(), "flixster-small") {
+		t.Errorf("unknown-preset error does not list valid presets: %v", err)
+	}
+	if _, err := loadDataset("", "", ""); !strings.Contains(err.Error(), "flixster-small") {
+		t.Errorf("missing-input error does not list valid presets: %v", err)
 	}
 }

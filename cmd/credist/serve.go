@@ -1,0 +1,107 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"credist/internal/serve"
+)
+
+// runServe is the `credist serve` subcommand: learn a model once, then
+// answer influence queries over HTTP until interrupted. SIGINT/SIGTERM
+// drain in-flight requests before exiting.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("credist serve", flag.ExitOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:8632", "listen address (host:port)")
+		preset    = fs.String("preset", "", "serve a built-in dataset; one of: "+presetList())
+		graphPath = fs.String("graph", "", "graph edge-list file (as written by datagen); requires -log")
+		logPath   = fs.String("log", "", "action log file (as written by datagen); requires -graph")
+		params    = fs.String("params", "", "optional saved model parameters (Model.SaveParams file); skips re-learning the time-aware rule")
+		lambda    = fs.Float64("lambda", 0.001, "CD truncation threshold (paper default 0.001; 0 keeps every credit)")
+		simple    = fs.Bool("simple-credit", false, "use the equal-split 1/d_in direct-credit rule instead of the learned time-aware rule (Eq. 9)")
+		warmK     = fs.Int("warm-k", 0, "precompute and cache the CELF selection for this k before accepting traffic (0 skips warmup)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), `Usage: credist serve [flags]
+
+Run the influence-query HTTP service: learn the credit-distribution model
+from a dataset, hold it as an immutable snapshot, and answer concurrent
+JSON queries. Endpoints:
+
+  GET  /spread?seeds=1,2,3     sigma_cd of a seed set (POST {"seeds":[...]}
+                               or {"sets":[[...],...]} for batches)
+  GET  /gain?candidates=4,5    batched marginal gains, optional &seeds= base
+  GET  /seeds?k=N              CELF seed selection, memoized per snapshot
+  GET  /topk?method=highdeg&k=N  heuristic baseline seeds, CD-scored
+  GET  /healthz                liveness
+  GET  /stats                  snapshot shape, UC entries, resident bytes, QPS
+  POST /reload                 learn from a new source and atomically swap,
+                               e.g. {"preset":"flickr-small","lambda":0.001}
+
+Example:
+
+  credist serve -preset flixster-small -addr :8632 -warm-k 50
+
+Flags:
+`)
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	src := serve.Source{
+		Preset:       *preset,
+		GraphPath:    *graphPath,
+		LogPath:      *logPath,
+		ParamsPath:   *params,
+		Lambda:       *lambda,
+		SimpleCredit: *simple,
+	}
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	start := time.Now()
+	snap, err := serve.Build(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "credist serve:", err)
+		os.Exit(1)
+	}
+	srv := serve.New(snap)
+	srv.Logf = logger.Printf
+	logger.Printf("serve: learned %s in %v: %d users, %d UC entries (%.1f MiB resident)",
+		snap.Dataset().Name, time.Since(start).Round(time.Millisecond),
+		snap.NumUsers(), snap.Entries(), float64(snap.ResidentBytes())/(1<<20))
+	if *warmK > 0 {
+		t := time.Now()
+		res, _ := srv.Current().SelectSeeds(*warmK)
+		logger.Printf("serve: warmed seed cache for k=%d (spread %.2f) in %v",
+			*warmK, res.Spread, time.Since(t).Round(time.Millisecond))
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	logger.Printf("serve: listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "credist serve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	logger.Printf("serve: shutting down, draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "credist serve: shutdown:", err)
+		os.Exit(1)
+	}
+}

@@ -12,24 +12,42 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"credist"
 	"credist/internal/datagen"
 )
 
 func main() {
+	presets := strings.Join(datagen.Names(), ", ")
 	var (
-		preset  = flag.String("preset", "flixster-small", "dataset preset: flixster-small, flickr-small, flixster-large, flickr-large")
-		out     = flag.String("out", ".", "output directory")
-		seed    = flag.Uint64("seed", 0, "override the preset's random seed (0 keeps it)")
-		users   = flag.Int("users", 0, "override the preset's user count (0 keeps it)")
-		actions = flag.Int("actions", 0, "override the preset's action count (0 keeps it)")
+		preset  = flag.String("preset", "flixster-small", "dataset preset to synthesize; one of: "+presets)
+		out     = flag.String("out", ".", "output directory for the .graph and .log files (created if missing)")
+		seed    = flag.Uint64("seed", 0, "override the preset's random seed for a different but equally-shaped dataset (0 keeps the preset's)")
+		users   = flag.Int("users", 0, "override the preset's user count (0 keeps the preset's)")
+		actions = flag.Int("actions", 0, "override the preset's action count (0 keeps the preset's)")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), `Usage: datagen [flags]
+
+Synthesize a paper-shaped dataset and write it as <out>/<preset>.graph
+(edge list) plus <out>/<preset>.log (action log), the formats the credist
+CLI, credist serve, and the library read back:
+
+  datagen -preset flixster-small -out ./data
+  datagen -preset flickr-large -users 10000 -seed 7 -out ./data
+
+Presets: %s
+
+Flags:
+`, presets)
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	cfg, ok := datagen.PresetByName(*preset)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "datagen: unknown preset %q\n", *preset)
+		fmt.Fprintf(os.Stderr, "datagen: unknown preset %q (valid presets: %s)\n", *preset, presets)
 		os.Exit(1)
 	}
 	if *seed != 0 {

@@ -20,12 +20,15 @@
 // SaveParams/LoadModel round trips.
 //
 // The cmd/ tools and examples/ programs demonstrate the full surface,
-// and internal/eval regenerates every table and figure of the paper.
+// internal/eval regenerates every table and figure of the paper, and
+// internal/serve (exposed as `credist serve`) answers the same queries
+// online over HTTP from immutable model snapshots.
 package credist
 
 import (
 	"fmt"
 	"os"
+	"strings"
 
 	"credist/internal/actionlog"
 	"credist/internal/datagen"
@@ -60,12 +63,17 @@ func (d *Dataset) Split() (train, test *Dataset) {
 		&Dataset{Name: d.Name + "-test", Graph: d.Graph, Log: te}
 }
 
+// PresetNames lists the built-in dataset presets accepted by
+// GeneratePreset, in declaration order.
+func PresetNames() []string { return datagen.Names() }
+
 // GeneratePreset synthesizes one of the built-in paper-shaped datasets:
 // "flixster-small", "flickr-small", "flixster-large", or "flickr-large".
 func GeneratePreset(name string) (*Dataset, error) {
 	cfg, ok := datagen.PresetByName(name)
 	if !ok {
-		return nil, fmt.Errorf("credist: unknown preset %q", name)
+		return nil, fmt.Errorf("credist: unknown preset %q (valid presets: %s)",
+			name, strings.Join(datagen.Names(), ", "))
 	}
 	ds := datagen.Generate(cfg)
 	return &Dataset{Name: ds.Name, Graph: ds.Graph, Log: ds.Log}, nil

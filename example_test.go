@@ -43,6 +43,43 @@ func ExampleModel_Spread() {
 	// Output: 0.000
 }
 
+// SelectSeeds runs the paper's seed-selection algorithm (Scan + CELF
+// greedy): seeds come back in selection order and, by submodularity,
+// their marginal gains never increase.
+func ExampleModel_SelectSeeds() {
+	ds := credist.Generate(demoConfig())
+	model := credist.Learn(ds, credist.Options{Lambda: 0.001})
+	seeds, gains := model.SelectSeeds(5)
+	nonIncreasing := true
+	for i := 1; i < len(gains); i++ {
+		if gains[i] > gains[i-1] {
+			nonIncreasing = false
+		}
+	}
+	fmt.Println(len(seeds), nonIncreasing)
+	// Output: 5 true
+}
+
+// A Planner exposes the engine behind SelectSeeds for incremental use:
+// commit seeds one at a time, read marginal gains between commits, and
+// Clone to branch what-if explorations without rescanning the log. This is
+// the hook the serving layer (internal/serve) builds snapshots on.
+func ExampleModel_NewPlanner() {
+	ds := credist.Generate(demoConfig())
+	model := credist.Learn(ds, credist.Options{})
+
+	planner := model.NewPlanner()
+	branch := planner.Clone()
+	res := branch.Select(3) // mutates only the clone
+
+	offline, _ := model.SelectSeeds(3)
+	fmt.Println("clone matches SelectSeeds:", res.Seeds[0] == offline[0])
+	fmt.Println("original planner untouched:", len(planner.Seeds()))
+	// Output:
+	// clone matches SelectSeeds: true
+	// original planner untouched: 0
+}
+
 // The paper's protocol holds out test propagations: split the log
 // 80/20 with the size-stratified rule and learn on the training part.
 func ExampleDataset_Split() {

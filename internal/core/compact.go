@@ -1,6 +1,7 @@
 package core
 
 import (
+	"slices"
 	"sort"
 
 	"credist/internal/actionlog"
@@ -144,10 +145,13 @@ func (e *CompactEngine) Seeds() []graph.NodeID {
 }
 
 // Gain mirrors Engine.Gain (Theorem 3 / Algorithm 4) over the compact
-// layout.
+// layout, including the committed-seed short-circuit.
 func (e *CompactEngine) Gain(x graph.NodeID) float64 {
 	ax := float64(e.au[x])
 	if ax == 0 {
+		return 0
+	}
+	if slices.Contains(e.seeds, x) {
 		return 0
 	}
 	mg := 0.0

@@ -2,6 +2,7 @@ package core
 
 import (
 	"cmp"
+	"maps"
 	"runtime"
 	"slices"
 	"sync"
@@ -321,6 +322,46 @@ func scanAction(p *actionlog.Propagation, model CreditModel, lambda float64, ent
 	return ua, entries
 }
 
+// Clone returns an independent deep copy of the engine: committing seeds to
+// the clone never disturbs the original, and a sequence of Gain/Add calls on
+// the clone produces bit-for-bit the floats the original would have produced.
+// The read-only scan products (Au counts and the per-user action lists) are
+// shared, so cloning costs a copy of the live UC entries and SC maps —
+// milliseconds — instead of the full log rescan NewEngine performs. This is
+// what lets a serving layer keep one scanned engine per model snapshot and
+// hand mutable copies to concurrent seed-selection requests.
+func (e *Engine) Clone() *Engine {
+	c := &Engine{
+		numUsers:  e.numUsers,
+		au:        e.au,        // never mutated after NewEngine
+		actionsOf: e.actionsOf, // never mutated after NewEngine
+		uc:        make([]ucAction, len(e.uc)),
+		sc:        make([]map[int32]float64, len(e.sc)),
+		seeds:     slices.Clone(e.seeds),
+		entries:   e.entries,
+		lambda:    e.lambda,
+	}
+	for i := range e.uc {
+		src, dst := &e.uc[i], &c.uc[i]
+		dst.rowKey = slices.Clone(src.rowKey)
+		dst.colKey = slices.Clone(src.colKey)
+		dst.rows = make([][]ucEntry, len(src.rows))
+		for j, row := range src.rows {
+			dst.rows[j] = slices.Clone(row)
+		}
+		dst.cols = make([][]int32, len(src.cols))
+		for j, col := range src.cols {
+			dst.cols[j] = slices.Clone(col)
+		}
+	}
+	for i, m := range e.sc {
+		if m != nil {
+			c.sc[i] = maps.Clone(m)
+		}
+	}
+	return c
+}
+
 // Credit returns UC[v][u][a] = Gamma^{V-S}_{v,u}(a) under the current seed
 // set. Exposed for tests and diagnostics.
 func (e *Engine) Credit(a actionlog.ActionID, v, u graph.NodeID) float64 {
@@ -363,9 +404,17 @@ func (e *Engine) Seeds() []graph.NodeID {
 // where the 1/A_x term is x's self-credit Gamma^{V-S}_{x,x}(a) = 1. The
 // row walk is in ascending influenced-id order, so the returned float is
 // identical across engine instances built from the same inputs.
+//
+// A committed seed gains exactly 0: sigma_cd(S+x) = sigma_cd(S) when x is
+// already in S. The walk below cannot derive that (Add removed x's row, and
+// SC keeps no diagonal entry), so it is checked up front — CELF never asks,
+// but the batched-gain API accepts arbitrary candidates.
 func (e *Engine) Gain(x graph.NodeID) float64 {
 	ax := float64(e.au[x])
 	if ax == 0 {
+		return 0
+	}
+	if slices.Contains(e.seeds, x) {
 		return 0
 	}
 	mg := 0.0

@@ -291,6 +291,85 @@ func TestEngineDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestGainOfCommittedSeedIsZero pins the sigma_cd(S+x) - sigma_cd(S)
+// contract for x already in S: zero, matching the evaluator's seed dedup.
+// CELF never queries a committed seed, but the batched-gain API does.
+func TestGainOfCommittedSeedIsZero(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 8))
+	g, log := randomInstance(rng, 30, 12)
+	e := NewEngine(g, log, Options{})
+	ev := NewEvaluator(g, log, nil)
+	seeds := []graph.NodeID{4, 9}
+	for _, s := range seeds {
+		e.Add(s)
+	}
+	for _, s := range seeds {
+		if got := e.Gain(s); got != 0 {
+			t.Errorf("Gain(%d) = %g for committed seed, want 0", s, got)
+		}
+		want := ev.Spread(append(append([]graph.NodeID(nil), seeds...), s)) - ev.Spread(seeds)
+		if want != 0 {
+			t.Errorf("evaluator disagrees: Spread(S+%d)-Spread(S) = %g", s, want)
+		}
+	}
+}
+
+// TestEngineClone proves Clone gives full isolation with bit-identical
+// behavior: committing seeds to a clone leaves the original untouched, and
+// the clone's gains, entry counts, and CELF selections match — exactly —
+// those of a fresh engine driven through the same sequence of Adds.
+func TestEngineClone(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 5))
+	g, log := randomInstance(rng, 50, 30)
+	credit := LearnTimeAware(g, log)
+	opts := Options{Lambda: 0.001, Credit: credit}
+	base := NewEngine(g, log, opts)
+
+	baseline := make([]float64, g.NumNodes())
+	for u := range baseline {
+		baseline[u] = base.Gain(graph.NodeID(u))
+	}
+	baseEntries := base.Entries()
+
+	// Drive the clone and a from-scratch reference engine identically.
+	clone := base.Clone()
+	ref := NewEngine(g, log, opts)
+	res := seedsel.CELF(clone, 6)
+	refRes := seedsel.CELF(ref, 6)
+	for i := range res.Seeds {
+		if res.Seeds[i] != refRes.Seeds[i] || res.Gains[i] != refRes.Gains[i] {
+			t.Fatalf("clone CELF diverged at %d: (%d, %b) vs (%d, %b)",
+				i, res.Seeds[i], res.Gains[i], refRes.Seeds[i], refRes.Gains[i])
+		}
+	}
+	if clone.Entries() != ref.Entries() {
+		t.Fatalf("clone entries %d, reference %d", clone.Entries(), ref.Entries())
+	}
+
+	// The original must be exactly as it was before the clone was mutated.
+	if base.Entries() != baseEntries {
+		t.Fatalf("original entries changed: %d -> %d", baseEntries, base.Entries())
+	}
+	if len(base.Seeds()) != 0 {
+		t.Fatalf("original seed set changed: %v", base.Seeds())
+	}
+	for u := range baseline {
+		if got := base.Gain(graph.NodeID(u)); got != baseline[u] {
+			t.Fatalf("original Gain(%d) changed: %b -> %b", u, baseline[u], got)
+		}
+	}
+
+	// A clone taken mid-selection continues exactly like its source.
+	mid := base.Clone()
+	mid.Add(res.Seeds[0])
+	fromClone := mid.Clone()
+	for u := 0; u < g.NumNodes(); u++ {
+		if a, b := mid.Gain(graph.NodeID(u)), fromClone.Gain(graph.NodeID(u)); a != b {
+			t.Fatalf("mid-selection clone Gain(%d): %b vs %b", u, a, b)
+		}
+	}
+}
+
 func TestParallelScanMatchesSerial(t *testing.T) {
 	rng := rand.New(rand.NewPCG(19, 19))
 	g, log := randomInstance(rng, 40, 30)

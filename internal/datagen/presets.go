@@ -88,6 +88,17 @@ func Presets() []Config {
 	return []Config{FlixsterSmall(), FlickrSmall(), FlixsterLarge(), FlickrLarge()}
 }
 
+// Names returns the preset names in declaration order, for help text and
+// unknown-preset error messages.
+func Names() []string {
+	ps := Presets()
+	names := make([]string, len(ps))
+	for i, c := range ps {
+		names[i] = c.Name
+	}
+	return names
+}
+
 // PresetByName returns the configuration with the given Name and whether
 // it exists.
 func PresetByName(name string) (Config, bool) {

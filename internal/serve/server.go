@@ -1,0 +1,450 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"credist"
+)
+
+// Server is the HTTP front end: a snapshot registry, a request router, and
+// request metrics. Create one with New, mount Handler on an http.Server.
+type Server struct {
+	reg *Registry
+	mux *http.ServeMux
+	met *metrics
+	// routeNames and allowed are derived from the handle registrations in
+	// New (metrics keys; path -> allowed verbs for 405s) and are read-only
+	// once New returns.
+	routeNames []string
+	allowed    map[string][]string
+	// reloadMu serializes snapshot builds; queries never take it.
+	reloadMu sync.Mutex
+	// Logf, when set, receives one line per reload. Queries are not logged.
+	Logf func(format string, args ...any)
+}
+
+// maxBodyBytes bounds request bodies; batches beyond this are misuse.
+const maxBodyBytes = 16 << 20
+
+// New wires a server around an initial snapshot.
+func New(sn *Snapshot) *Server {
+	s := &Server{
+		reg:     NewRegistry(sn),
+		mux:     http.NewServeMux(),
+		allowed: make(map[string][]string),
+	}
+	s.handle("spread", "GET /spread", s.handleSpread)
+	s.handle("spread", "POST /spread", s.handleSpread)
+	s.handle("gain", "GET /gain", s.handleGain)
+	s.handle("gain", "POST /gain", s.handleGain)
+	s.handle("seeds", "GET /seeds", s.handleSeeds)
+	s.handle("topk", "GET /topk", s.handleTopK)
+	s.handle("healthz", "GET /healthz", s.handleHealthz)
+	s.handle("stats", "GET /stats", s.handleStats)
+	s.handle("reload", "POST /reload", s.handleReload)
+	s.met = newMetrics(s.routeNames)
+
+	paths := make([]string, 0, len(s.allowed))
+	for p := range s.allowed {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	// Fallback for anything the method-qualified patterns above don't
+	// match: a known path with the wrong verb gets 405 + Allow, everything
+	// else a JSON 404.
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if methods, ok := s.allowed[r.URL.Path]; ok {
+			allow := strings.Join(methods, ", ")
+			w.Header().Set("Allow", allow)
+			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: fmt.Sprintf(
+				"method %s not allowed for %s (allowed: %s)", r.Method, r.URL.Path, allow)})
+			return
+		}
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf(
+			"no such endpoint %q (have: %s)", r.URL.Path, strings.Join(paths, " "))})
+	})
+	return s
+}
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Current returns the live snapshot (for embedding and tests).
+func (s *Server) Current() *Snapshot { return s.reg.Current() }
+
+// handle registers a "METHOD /path" pattern with metrics accounting and
+// JSON error mapping, recording the route name and allowed verb as it
+// goes. Each request pins the current snapshot once, so a concurrent
+// /reload can never switch models mid-request.
+func (s *Server) handle(route, pattern string, h func(sn *Snapshot, r *http.Request) (any, error)) {
+	method, path, ok := strings.Cut(pattern, " ")
+	if !ok {
+		panic("serve: pattern must be \"METHOD /path\": " + pattern)
+	}
+	if !slices.Contains(s.routeNames, route) {
+		s.routeNames = append(s.routeNames, route)
+	}
+	s.allowed[path] = append(s.allowed[path], method)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		s.met.hit(route, time.Now())
+		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		v, err := h(s.reg.Current(), r)
+		if err != nil {
+			code := http.StatusInternalServerError
+			if ae, ok := err.(*apiError); ok {
+				code = ae.code
+			}
+			writeJSON(w, code, errorBody{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+type apiError struct {
+	code int
+	msg  string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &apiError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// --- /spread ---------------------------------------------------------------
+
+type spreadRequest struct {
+	Seeds []credist.NodeID   `json:"seeds,omitempty"`
+	Sets  [][]credist.NodeID `json:"sets,omitempty"`
+}
+
+// SpreadResponse answers a single-set /spread query.
+type SpreadResponse struct {
+	Snapshot int64            `json:"snapshot"`
+	Seeds    []credist.NodeID `json:"seeds"`
+	Spread   float64          `json:"spread"`
+}
+
+// SpreadBatchResponse answers a batched /spread query.
+type SpreadBatchResponse struct {
+	Snapshot int64     `json:"snapshot"`
+	Spreads  []float64 `json:"spreads"`
+}
+
+func (s *Server) handleSpread(sn *Snapshot, r *http.Request) (any, error) {
+	var req spreadRequest
+	if r.Method == http.MethodPost {
+		if err := decodeBody(r, &req); err != nil {
+			return nil, err
+		}
+	} else if err := req.fromQuery(r); err != nil {
+		return nil, err
+	}
+	switch {
+	case req.Seeds != nil && req.Sets != nil:
+		return nil, badRequest("provide seeds or sets, not both")
+	case req.Seeds != nil:
+		if err := validateIDs(req.Seeds, sn.NumUsers()); err != nil {
+			return nil, err
+		}
+		return SpreadResponse{Snapshot: sn.ID, Seeds: req.Seeds, Spread: sn.Spread(req.Seeds)}, nil
+	case req.Sets != nil:
+		for i, set := range req.Sets {
+			if err := validateIDs(set, sn.NumUsers()); err != nil {
+				return nil, badRequest("set %d: %v", i, err)
+			}
+		}
+		return SpreadBatchResponse{Snapshot: sn.ID, Spreads: sn.SpreadBatch(req.Sets)}, nil
+	default:
+		return nil, badRequest("missing seeds (e.g. /spread?seeds=1,2,3)")
+	}
+}
+
+func (req *spreadRequest) fromQuery(r *http.Request) error {
+	raw := r.URL.Query().Get("seeds")
+	if raw == "" {
+		return nil
+	}
+	seeds, err := parseIDList(raw)
+	if err != nil {
+		return err
+	}
+	req.Seeds = seeds
+	return nil
+}
+
+// --- /gain -----------------------------------------------------------------
+
+type gainRequest struct {
+	// Seeds is the base seed set S; empty means gains from scratch.
+	Seeds []credist.NodeID `json:"seeds,omitempty"`
+	// Candidates are scored as sigma_cd(S+c) - sigma_cd(S), batched.
+	Candidates []credist.NodeID `json:"candidates"`
+}
+
+// GainResponse answers /gain; Gains[i] belongs to Candidates[i].
+type GainResponse struct {
+	Snapshot   int64            `json:"snapshot"`
+	Seeds      []credist.NodeID `json:"seeds,omitempty"`
+	Candidates []credist.NodeID `json:"candidates"`
+	Gains      []float64        `json:"gains"`
+}
+
+func (s *Server) handleGain(sn *Snapshot, r *http.Request) (any, error) {
+	var req gainRequest
+	if r.Method == http.MethodPost {
+		if err := decodeBody(r, &req); err != nil {
+			return nil, err
+		}
+	} else {
+		q := r.URL.Query()
+		var err error
+		if req.Candidates, err = parseIDList(q.Get("candidates")); err != nil {
+			return nil, err
+		}
+		if raw := q.Get("seeds"); raw != "" {
+			if req.Seeds, err = parseIDList(raw); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(req.Candidates) == 0 {
+		return nil, badRequest("missing candidates (e.g. /gain?candidates=1,2,3)")
+	}
+	if err := validateIDs(req.Candidates, sn.NumUsers()); err != nil {
+		return nil, err
+	}
+	if err := validateIDs(req.Seeds, sn.NumUsers()); err != nil {
+		return nil, err
+	}
+	return GainResponse{
+		Snapshot:   sn.ID,
+		Seeds:      req.Seeds,
+		Candidates: req.Candidates,
+		Gains:      sn.Gains(req.Seeds, req.Candidates),
+	}, nil
+}
+
+// --- /seeds ----------------------------------------------------------------
+
+// SeedsResponse answers /seeds?k=N with the memoized CELF selection.
+type SeedsResponse struct {
+	Snapshot int64 `json:"snapshot"`
+	K        int   `json:"k"`
+	SeedsResult
+	Cached bool `json:"cached"`
+}
+
+func (s *Server) handleSeeds(sn *Snapshot, r *http.Request) (any, error) {
+	k, err := parseK(r, sn.NumUsers())
+	if err != nil {
+		return nil, err
+	}
+	res, cached := sn.SelectSeeds(k)
+	return SeedsResponse{Snapshot: sn.ID, K: k, SeedsResult: *res, Cached: cached}, nil
+}
+
+// --- /topk -----------------------------------------------------------------
+
+// TopKResponse answers /topk: a heuristic baseline's seeds scored by the
+// CD model.
+type TopKResponse struct {
+	Snapshot int64            `json:"snapshot"`
+	Method   string           `json:"method"`
+	K        int              `json:"k"`
+	Seeds    []credist.NodeID `json:"seeds"`
+	Spread   float64          `json:"spread"`
+}
+
+func (s *Server) handleTopK(sn *Snapshot, r *http.Request) (any, error) {
+	k, err := parseK(r, sn.NumUsers())
+	if err != nil {
+		return nil, err
+	}
+	method := r.URL.Query().Get("method")
+	if method == "" {
+		method = "highdeg"
+	}
+	seeds, spread, err := sn.TopK(method, k)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	return TopKResponse{Snapshot: sn.ID, Method: method, K: k, Seeds: seeds, Spread: spread}, nil
+}
+
+// --- /healthz and /stats ---------------------------------------------------
+
+// HealthResponse answers /healthz.
+type HealthResponse struct {
+	Status   string `json:"status"`
+	Snapshot int64  `json:"snapshot"`
+	Dataset  string `json:"dataset"`
+}
+
+func (s *Server) handleHealthz(sn *Snapshot, _ *http.Request) (any, error) {
+	return HealthResponse{Status: "ok", Snapshot: sn.ID, Dataset: sn.Dataset().Name}, nil
+}
+
+// StatsResponse answers /stats: the live snapshot's shape and the server's
+// traffic counters.
+type StatsResponse struct {
+	Snapshot      int64            `json:"snapshot"`
+	Dataset       string           `json:"dataset"`
+	Source        string           `json:"source"`
+	LoadedAt      time.Time        `json:"loaded_at"`
+	Users         int              `json:"users"`
+	Actions       int              `json:"actions"`
+	Tuples        int              `json:"tuples"`
+	Entries       int64            `json:"entries"`
+	ResidentBytes int64            `json:"resident_bytes"`
+	CachedSeedKs  []int            `json:"cached_seed_ks"`
+	UptimeSec     float64          `json:"uptime_seconds"`
+	Requests      int64            `json:"requests"`
+	RequestsBy    map[string]int64 `json:"requests_by_endpoint"`
+	QPS           float64          `json:"qps_1m"`
+}
+
+func (s *Server) handleStats(sn *Snapshot, _ *http.Request) (any, error) {
+	st := sn.Dataset().Stats()
+	total, per, qps, uptime := s.met.snapshot(time.Now())
+	return StatsResponse{
+		Snapshot:      sn.ID,
+		Dataset:       sn.Dataset().Name,
+		Source:        sn.src.describe(),
+		LoadedAt:      sn.LoadedAt,
+		Users:         sn.NumUsers(),
+		Actions:       st.NumActions,
+		Tuples:        st.NumTuples,
+		Entries:       sn.Entries(),
+		ResidentBytes: sn.ResidentBytes(),
+		CachedSeedKs:  sn.CachedKs(),
+		UptimeSec:     uptime.Seconds(),
+		Requests:      total,
+		RequestsBy:    per,
+		QPS:           qps,
+	}, nil
+}
+
+// --- /reload ---------------------------------------------------------------
+
+// ReloadResponse answers /reload with the installed snapshot's shape.
+type ReloadResponse struct {
+	Snapshot      int64   `json:"snapshot"`
+	Dataset       string  `json:"dataset"`
+	Source        string  `json:"source"`
+	Entries       int64   `json:"entries"`
+	ResidentBytes int64   `json:"resident_bytes"`
+	LoadMillis    float64 `json:"load_ms"`
+}
+
+// handleReload learns a model from the posted Source and swaps it in. The
+// build happens before the swap and outside any lock queries take, so
+// in-flight requests keep answering from the old snapshot and new requests
+// see the new one only once it is fully ready.
+func (s *Server) handleReload(_ *Snapshot, r *http.Request) (any, error) {
+	var src Source
+	if err := decodeBody(r, &src); err != nil {
+		return nil, err
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	start := time.Now()
+	sn, err := Build(src)
+	if err != nil {
+		return nil, badRequest("reload: %v", err)
+	}
+	s.reg.Install(sn)
+	elapsed := time.Since(start)
+	s.logf("serve: reloaded snapshot %d (%s): %d users, %d UC entries, %.0f ms",
+		sn.ID, src.describe(), sn.NumUsers(), sn.Entries(), float64(elapsed.Milliseconds()))
+	return ReloadResponse{
+		Snapshot:      sn.ID,
+		Dataset:       sn.Dataset().Name,
+		Source:        src.describe(),
+		Entries:       sn.Entries(),
+		ResidentBytes: sn.ResidentBytes(),
+		LoadMillis:    float64(elapsed.Nanoseconds()) / 1e6,
+	}, nil
+}
+
+// --- request parsing -------------------------------------------------------
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("bad JSON body: %v", err)
+	}
+	return nil
+}
+
+// parseIDList parses a comma-separated node-id list ("1,2,3"); blanks are
+// tolerated, range checking happens in validateIDs.
+func parseIDList(raw string) ([]credist.NodeID, error) {
+	if raw == "" {
+		return nil, nil
+	}
+	var ids []credist.NodeID
+	for _, part := range strings.Split(raw, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, err := strconv.ParseInt(part, 10, 32)
+		if err != nil {
+			return nil, badRequest("bad user id %q", part)
+		}
+		ids = append(ids, credist.NodeID(id))
+	}
+	return ids, nil
+}
+
+func validateIDs(ids []credist.NodeID, numUsers int) error {
+	for _, id := range ids {
+		if id < 0 || int(id) >= numUsers {
+			return badRequest("user id %d out of range [0,%d)", id, numUsers)
+		}
+	}
+	return nil
+}
+
+func parseK(r *http.Request, numUsers int) (int, error) {
+	raw := r.URL.Query().Get("k")
+	if raw == "" {
+		return 0, badRequest("missing k (e.g. ?k=10)")
+	}
+	k, err := strconv.Atoi(raw)
+	if err != nil || k < 1 {
+		return 0, badRequest("k must be a positive integer, got %q", raw)
+	}
+	if k > numUsers {
+		return 0, badRequest("k %d exceeds user count %d", k, numUsers)
+	}
+	return k, nil
+}

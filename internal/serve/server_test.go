@@ -1,0 +1,305 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"credist"
+	"credist/internal/datagen"
+	"credist/internal/serve"
+)
+
+// demoDataset is a small deterministic dataset shared by the serve tests;
+// learning and scanning it takes milliseconds.
+var demoDataset = sync.OnceValue(func() *credist.Dataset {
+	return credist.Generate(datagen.Config{
+		Name: "demo", NumUsers: 200, OutDegree: 4, Reciprocity: 0.6,
+		NumActions: 120, MeanInfluence: 0.1, MeanDelay: 8,
+		SpontaneousPerAction: 1, Seed: 99,
+	})
+})
+
+var demoModel = sync.OnceValue(func() *credist.Model {
+	return credist.Learn(demoDataset(), credist.Options{Lambda: 0.001})
+})
+
+func newTestServer(t *testing.T) *serve.Server {
+	t.Helper()
+	snap, err := serve.Build(serve.Source{Dataset: demoDataset(), Lambda: 0.001})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return serve.New(snap)
+}
+
+// do performs one request against the handler and decodes the JSON body.
+func do(t *testing.T, h http.Handler, method, target, body string) (int, map[string]any) {
+	t.Helper()
+	var r *http.Request
+	if body != "" {
+		r = httptest.NewRequest(method, target, strings.NewReader(body))
+	} else {
+		r = httptest.NewRequest(method, target, nil)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	var decoded map[string]any
+	if ct := w.Header().Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
+		if err := json.Unmarshal(w.Body.Bytes(), &decoded); err != nil {
+			t.Fatalf("%s %s: bad JSON body %q: %v", method, target, w.Body.String(), err)
+		}
+	}
+	return w.Code, decoded
+}
+
+// TestHandlerTable pins the JSON shape and status code of every endpoint,
+// including the error paths.
+func TestHandlerTable(t *testing.T) {
+	h := newTestServer(t).Handler()
+	cases := []struct {
+		name       string
+		method     string
+		target     string
+		body       string
+		wantStatus int
+		wantKeys   []string // required top-level JSON keys
+		wantErrSub string   // substring the "error" value must contain
+	}{
+		{name: "healthz", method: "GET", target: "/healthz",
+			wantStatus: 200, wantKeys: []string{"status", "snapshot", "dataset"}},
+		{name: "spread GET", method: "GET", target: "/spread?seeds=1,2,3",
+			wantStatus: 200, wantKeys: []string{"snapshot", "seeds", "spread"}},
+		{name: "spread POST", method: "POST", target: "/spread", body: `{"seeds":[1,2,3]}`,
+			wantStatus: 200, wantKeys: []string{"snapshot", "seeds", "spread"}},
+		{name: "spread batch", method: "POST", target: "/spread", body: `{"sets":[[1],[2,3]]}`,
+			wantStatus: 200, wantKeys: []string{"snapshot", "spreads"}},
+		{name: "spread missing seeds", method: "GET", target: "/spread",
+			wantStatus: 400, wantErrSub: "missing seeds"},
+		{name: "spread bad id", method: "GET", target: "/spread?seeds=1,x",
+			wantStatus: 400, wantErrSub: "bad user id"},
+		{name: "spread out of range", method: "GET", target: "/spread?seeds=100000",
+			wantStatus: 400, wantErrSub: "out of range"},
+		{name: "spread seeds and sets", method: "POST", target: "/spread", body: `{"seeds":[1],"sets":[[2]]}`,
+			wantStatus: 400, wantErrSub: "not both"},
+		{name: "spread bad json", method: "POST", target: "/spread", body: `{"seeds":`,
+			wantStatus: 400, wantErrSub: "bad JSON"},
+		{name: "gain GET", method: "GET", target: "/gain?candidates=4,5",
+			wantStatus: 200, wantKeys: []string{"snapshot", "candidates", "gains"}},
+		{name: "gain with base", method: "POST", target: "/gain", body: `{"seeds":[1],"candidates":[4,5]}`,
+			wantStatus: 200, wantKeys: []string{"snapshot", "seeds", "candidates", "gains"}},
+		{name: "gain missing candidates", method: "GET", target: "/gain",
+			wantStatus: 400, wantErrSub: "missing candidates"},
+		{name: "seeds", method: "GET", target: "/seeds?k=3",
+			wantStatus: 200, wantKeys: []string{"snapshot", "k", "seeds", "gains", "spread", "lookups", "cached"}},
+		{name: "seeds missing k", method: "GET", target: "/seeds",
+			wantStatus: 400, wantErrSub: "missing k"},
+		{name: "seeds bad k", method: "GET", target: "/seeds?k=0",
+			wantStatus: 400, wantErrSub: "positive integer"},
+		{name: "seeds k too large", method: "GET", target: "/seeds?k=100000",
+			wantStatus: 400, wantErrSub: "exceeds user count"},
+		{name: "topk highdeg", method: "GET", target: "/topk?method=highdeg&k=3",
+			wantStatus: 200, wantKeys: []string{"snapshot", "method", "k", "seeds", "spread"}},
+		{name: "topk pagerank", method: "GET", target: "/topk?method=pagerank&k=3",
+			wantStatus: 200, wantKeys: []string{"snapshot", "method", "k", "seeds", "spread"}},
+		{name: "topk unknown method", method: "GET", target: "/topk?method=bogus&k=3",
+			wantStatus: 400, wantErrSub: "unknown method"},
+		{name: "stats", method: "GET", target: "/stats",
+			wantStatus: 200, wantKeys: []string{"snapshot", "dataset", "users", "entries", "resident_bytes", "requests", "qps_1m"}},
+		{name: "reload wrong method", method: "GET", target: "/reload",
+			wantStatus: 405},
+		{name: "reload bad json", method: "POST", target: "/reload", body: `{`,
+			wantStatus: 400, wantErrSub: "bad JSON"},
+		{name: "reload unknown preset", method: "POST", target: "/reload", body: `{"preset":"nope"}`,
+			wantStatus: 400, wantErrSub: "valid presets"},
+		{name: "reload unknown field", method: "POST", target: "/reload", body: `{"bogus":1}`,
+			wantStatus: 400, wantErrSub: "bad JSON"},
+		{name: "reload empty source", method: "POST", target: "/reload", body: `{}`,
+			wantStatus: 400, wantErrSub: "needs a preset"},
+		{name: "unknown path", method: "GET", target: "/nope",
+			wantStatus: 404, wantErrSub: "no such endpoint"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body := do(t, h, tc.method, tc.target, tc.body)
+			if status != tc.wantStatus {
+				t.Fatalf("status = %d, want %d (body %v)", status, tc.wantStatus, body)
+			}
+			for _, key := range tc.wantKeys {
+				if _, ok := body[key]; !ok {
+					t.Errorf("response missing key %q: %v", key, body)
+				}
+			}
+			if tc.wantErrSub != "" {
+				msg, _ := body["error"].(string)
+				if !strings.Contains(msg, tc.wantErrSub) {
+					t.Errorf("error = %q, want substring %q", msg, tc.wantErrSub)
+				}
+			}
+		})
+	}
+}
+
+// TestBitIdenticalToOfflineModel is the serving layer's core guarantee:
+// every query answer equals — exactly, not approximately — the value the
+// offline Model produces. JSON carries float64 through Go's shortest
+// round-trip encoding, so even the HTTP boundary preserves the bits.
+func TestBitIdenticalToOfflineModel(t *testing.T) {
+	h := newTestServer(t).Handler()
+	model := demoModel()
+
+	seeds := []credist.NodeID{1, 2, 3}
+	var sr serve.SpreadResponse
+	getJSON(t, h, "GET", "/spread?seeds=1,2,3", "", &sr)
+	if want := model.Spread(seeds); sr.Spread != want {
+		t.Errorf("/spread = %b, offline Spread = %b", sr.Spread, want)
+	}
+
+	var gr serve.GainResponse
+	getJSON(t, h, "GET", "/gain?candidates=4,5,6", "", &gr)
+	if want := model.Gains(nil, []credist.NodeID{4, 5, 6}); !equalFloats(gr.Gains, want) {
+		t.Errorf("/gain = %v, offline Gains = %v", gr.Gains, want)
+	}
+
+	getJSON(t, h, "POST", "/gain", `{"seeds":[1,2],"candidates":[4,5,6]}`, &gr)
+	if want := model.Gains([]credist.NodeID{1, 2}, []credist.NodeID{4, 5, 6}); !equalFloats(gr.Gains, want) {
+		t.Errorf("/gain with base = %v, offline Gains = %v", gr.Gains, want)
+	}
+
+	// A candidate already committed in the base set gains exactly 0.
+	getJSON(t, h, "GET", "/gain?seeds=5&candidates=5,6", "", &gr)
+	if gr.Gains[0] != 0 {
+		t.Errorf("/gain for committed seed = %g, want 0", gr.Gains[0])
+	}
+	if want := model.Gains([]credist.NodeID{5}, []credist.NodeID{5, 6}); !equalFloats(gr.Gains, want) {
+		t.Errorf("/gain committed-seed case = %v, offline Gains = %v", gr.Gains, want)
+	}
+
+	var seedsResp serve.SeedsResponse
+	getJSON(t, h, "GET", "/seeds?k=4", "", &seedsResp)
+	wantSeeds, wantGains := model.SelectSeeds(4)
+	if len(seedsResp.Seeds) != len(wantSeeds) {
+		t.Fatalf("/seeds returned %d seeds, offline %d", len(seedsResp.Seeds), len(wantSeeds))
+	}
+	for i := range wantSeeds {
+		if seedsResp.Seeds[i] != wantSeeds[i] || seedsResp.Gains[i] != wantGains[i] {
+			t.Errorf("seed %d: served (%d, %b), offline (%d, %b)",
+				i, seedsResp.Seeds[i], seedsResp.Gains[i], wantSeeds[i], wantGains[i])
+		}
+	}
+
+	var batch serve.SpreadBatchResponse
+	getJSON(t, h, "POST", "/spread", `{"sets":[[1],[2,3],[4,5,6]]}`, &batch)
+	wantBatch := []float64{
+		model.Spread([]credist.NodeID{1}),
+		model.Spread([]credist.NodeID{2, 3}),
+		model.Spread([]credist.NodeID{4, 5, 6}),
+	}
+	if !equalFloats(batch.Spreads, wantBatch) {
+		t.Errorf("/spread batch = %v, offline = %v", batch.Spreads, wantBatch)
+	}
+}
+
+func TestSeedsMemoizedPerSnapshot(t *testing.T) {
+	h := newTestServer(t).Handler()
+	var first, second serve.SeedsResponse
+	getJSON(t, h, "GET", "/seeds?k=3", "", &first)
+	getJSON(t, h, "GET", "/seeds?k=3", "", &second)
+	if first.Cached {
+		t.Error("first /seeds call reported cached")
+	}
+	if !second.Cached {
+		t.Error("second /seeds call not served from cache")
+	}
+	for i := range first.Seeds {
+		if first.Seeds[i] != second.Seeds[i] || first.Gains[i] != second.Gains[i] {
+			t.Fatalf("cached result diverges at %d", i)
+		}
+	}
+}
+
+// TestReloadSwapsSnapshot reloads from files and checks the snapshot id
+// advances, the seed cache resets, and queries answer from the new model.
+func TestReloadSwapsSnapshot(t *testing.T) {
+	srv := newTestServer(t)
+	h := srv.Handler()
+	dir := t.TempDir()
+	gp, lp := filepath.Join(dir, "d.graph"), filepath.Join(dir, "d.log")
+	if err := credist.SaveDataset(demoDataset(), gp, lp); err != nil {
+		t.Fatalf("SaveDataset: %v", err)
+	}
+
+	var before serve.SeedsResponse
+	getJSON(t, h, "GET", "/seeds?k=3", "", &before)
+
+	var rr serve.ReloadResponse
+	body, _ := json.Marshal(serve.Source{GraphPath: gp, LogPath: lp, Lambda: 0.001})
+	getJSON(t, h, "POST", "/reload", string(body), &rr)
+	if rr.Snapshot != before.Snapshot+1 {
+		t.Errorf("snapshot id = %d, want %d", rr.Snapshot, before.Snapshot+1)
+	}
+	if rr.Entries <= 0 {
+		t.Errorf("reloaded snapshot has %d entries", rr.Entries)
+	}
+
+	// The new snapshot serves the same universe (same dataset round-tripped
+	// through disk), so the CELF selection must be bit-identical — but
+	// recomputed, not cached.
+	var after serve.SeedsResponse
+	getJSON(t, h, "GET", "/seeds?k=3", "", &after)
+	if after.Snapshot != rr.Snapshot {
+		t.Errorf("/seeds answered from snapshot %d, want %d", after.Snapshot, rr.Snapshot)
+	}
+	if after.Cached {
+		t.Error("seed cache leaked across snapshots")
+	}
+	for i := range before.Seeds {
+		if before.Seeds[i] != after.Seeds[i] || before.Gains[i] != after.Gains[i] {
+			t.Fatalf("selection changed across save/load reload at %d: (%d, %b) vs (%d, %b)",
+				i, before.Seeds[i], before.Gains[i], after.Seeds[i], after.Gains[i])
+		}
+	}
+}
+
+func getJSON(t *testing.T, h http.Handler, method, target, body string, out any) {
+	t.Helper()
+	status, _ := doRaw(t, h, method, target, body, out)
+	if status != http.StatusOK {
+		t.Fatalf("%s %s: status %d", method, target, status)
+	}
+}
+
+func doRaw(t *testing.T, h http.Handler, method, target, body string, out any) (int, string) {
+	t.Helper()
+	var r *http.Request
+	if body != "" {
+		r = httptest.NewRequest(method, target, strings.NewReader(body))
+	} else {
+		r = httptest.NewRequest(method, target, nil)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	raw := w.Body.String()
+	if out != nil && w.Code == http.StatusOK {
+		if err := json.Unmarshal(w.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: decode %q: %v", method, target, raw, err)
+		}
+	}
+	return w.Code, raw
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

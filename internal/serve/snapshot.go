@@ -1,0 +1,316 @@
+// Package serve is the online query layer over the credit-distribution
+// model: it holds learned models as immutable snapshots behind an atomic
+// pointer and answers influence queries — spread evaluation, batched
+// marginal gains, CELF seed selection, heuristic top-k — over HTTP/JSON.
+//
+// The paper's pitch is that sigma_cd is computable directly from learned
+// data, with no Monte-Carlo simulation; this package is that pitch taken
+// online. Every query is answered from the snapshot's precomputed scan
+// products, so responses are bit-identical to the offline credist.Model
+// calls, and /reload swaps in a newly learned model without dropping
+// in-flight requests (each request pins the snapshot pointer it started
+// with).
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"credist"
+)
+
+// Source specifies where a snapshot's dataset and model parameters come
+// from. Exactly one of Preset or GraphPath+LogPath must be set (or Dataset,
+// for embedded use). It doubles as the /reload request body.
+type Source struct {
+	// Preset names a built-in synthetic dataset (see credist.PresetNames).
+	Preset string `json:"preset,omitempty"`
+	// GraphPath and LogPath load a dataset from files in the formats
+	// written by cmd/datagen.
+	GraphPath string `json:"graph,omitempty"`
+	LogPath   string `json:"log,omitempty"`
+	// ParamsPath optionally restores time-aware parameters written by
+	// Model.SaveParams instead of re-learning them from the log.
+	ParamsPath string `json:"params,omitempty"`
+	// Lambda is the UC truncation threshold (paper default 0.001).
+	Lambda float64 `json:"lambda,omitempty"`
+	// SimpleCredit selects the 1/d_in direct-credit rule instead of the
+	// time-aware Eq. (9) rule.
+	SimpleCredit bool `json:"simple_credit,omitempty"`
+
+	// Dataset bypasses loading entirely; used by tests and embedders.
+	Dataset *credist.Dataset `json:"-"`
+}
+
+func (src Source) dataset() (*credist.Dataset, error) {
+	switch {
+	case src.Dataset != nil:
+		return src.Dataset, nil
+	case src.Preset != "":
+		if src.GraphPath != "" || src.LogPath != "" {
+			return nil, fmt.Errorf("preset and graph/log are mutually exclusive")
+		}
+		return credist.GeneratePreset(src.Preset)
+	case src.GraphPath != "" && src.LogPath != "":
+		return credist.LoadDataset("custom", src.GraphPath, src.LogPath)
+	default:
+		return nil, fmt.Errorf("source needs a preset (one of: %s) or both graph and log paths",
+			strings.Join(credist.PresetNames(), ", "))
+	}
+}
+
+// describe renders the source for /stats and logs.
+func (src Source) describe() string {
+	switch {
+	case src.Dataset != nil:
+		return "embedded:" + src.Dataset.Name
+	case src.Preset != "":
+		return "preset:" + src.Preset
+	default:
+		return "files:" + src.GraphPath + "," + src.LogPath
+	}
+}
+
+// SeedsResult is a memoized CELF seed selection.
+type SeedsResult struct {
+	Seeds   []credist.NodeID `json:"seeds"`
+	Gains   []float64        `json:"gains"`
+	Spread  float64          `json:"spread"`
+	Lookups int              `json:"lookups"`
+}
+
+// Snapshot is one learned model frozen for serving. All public methods are
+// safe for concurrent use: queries touch only immutable scan products (the
+// evaluator and the base planner, on which only the read-only Gain is ever
+// invoked), and mutable seed selection runs on per-request clones, memoized
+// per k under a lock.
+type Snapshot struct {
+	// ID is assigned by the Registry; monotonically increasing per process.
+	ID int64
+	// LoadedAt is when the snapshot finished building.
+	LoadedAt time.Time
+
+	src   Source
+	model *credist.Model
+	// base is the one scanned planner for this model. Its seed set stays
+	// empty forever; requests that need to commit seeds Clone it.
+	base *credist.Planner
+
+	entries       int64
+	residentBytes int64
+
+	mu        sync.Mutex
+	seedCache map[int]*seedEntry
+}
+
+// seedEntry single-flights one k's CELF run: the first request does the
+// work under the Once, concurrent requests for the same k wait on it, and
+// requests for other ks (or /stats) are never blocked — the snapshot lock
+// only guards the map, not the selection.
+type seedEntry struct {
+	once sync.Once
+	res  atomic.Pointer[SeedsResult]
+}
+
+// Build loads the source's dataset, learns (or restores) the model, and
+// scans the log once. The returned snapshot has ID 0 until a Registry
+// installs it.
+func Build(src Source) (*Snapshot, error) {
+	ds, err := src.dataset()
+	if err != nil {
+		return nil, err
+	}
+	opts := credist.Options{Lambda: src.Lambda, SimpleCredit: src.SimpleCredit}
+	var model *credist.Model
+	if src.ParamsPath != "" {
+		model, err = credist.LoadModel(ds, src.ParamsPath, opts)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		model = credist.Learn(ds, opts)
+	}
+	base := model.NewPlanner()
+	return &Snapshot{
+		LoadedAt:      time.Now(),
+		src:           src,
+		model:         model,
+		base:          base,
+		entries:       base.Entries(),
+		residentBytes: base.ResidentBytes(),
+		seedCache:     make(map[int]*seedEntry),
+	}, nil
+}
+
+// Dataset returns the snapshot's dataset.
+func (sn *Snapshot) Dataset() *credist.Dataset { return sn.model.Dataset() }
+
+// Model returns the underlying learned model.
+func (sn *Snapshot) Model() *credist.Model { return sn.model }
+
+// Entries returns the live UC credit-entry count of the base planner.
+func (sn *Snapshot) Entries() int64 { return sn.entries }
+
+// ResidentBytes returns the UC structure's resident footprint.
+func (sn *Snapshot) ResidentBytes() int64 { return sn.residentBytes }
+
+// NumUsers returns the user-universe size, the bound for node-id inputs.
+func (sn *Snapshot) NumUsers() int { return sn.Dataset().NumUsers() }
+
+// Spread evaluates sigma_cd for one seed set.
+func (sn *Snapshot) Spread(seeds []credist.NodeID) float64 {
+	return sn.model.Spread(seeds)
+}
+
+// SpreadBatch evaluates sigma_cd for many seed sets, fanning the sets over
+// the available cores. Each set is evaluated independently, so the floats
+// are identical to len(sets) sequential Spread calls.
+func (sn *Snapshot) SpreadBatch(sets [][]credist.NodeID) []float64 {
+	out := make([]float64, len(sets))
+	forEach(len(sets), func(i int) { out[i] = sn.model.Spread(sets[i]) })
+	return out
+}
+
+// Gains returns the marginal gain of each candidate against the base seed
+// set, batched. With an empty base the shared scanned planner answers
+// directly (Gain is read-only); otherwise the base planner is cloned and
+// the seeds committed to the clone. Either way every value is bit-identical
+// to credist.Model.Gains on the same arguments.
+func (sn *Snapshot) Gains(base, candidates []credist.NodeID) []float64 {
+	p := sn.base
+	if len(base) > 0 {
+		p = sn.base.Clone()
+		for _, s := range base {
+			p.Add(s)
+		}
+	}
+	out := make([]float64, len(candidates))
+	forEach(len(candidates), func(i int) { out[i] = p.Gain(candidates[i]) })
+	return out
+}
+
+// SelectSeeds runs CELF seed selection for k seeds, memoized per snapshot:
+// the first request for a given k pays for a planner clone and the greedy
+// run, later ones are served from cache (concurrent requests for the same
+// k wait for the single in-flight run). cached reports whether the run was
+// already initiated by an earlier request. The result is bit-identical to
+// the offline Model.SelectSeeds(k).
+func (sn *Snapshot) SelectSeeds(k int) (res *SeedsResult, cached bool) {
+	sn.mu.Lock()
+	e, cached := sn.seedCache[k]
+	if !cached {
+		e = &seedEntry{}
+		sn.seedCache[k] = e
+	}
+	sn.mu.Unlock()
+	e.once.Do(func() {
+		// Engine.Add mutates seed state, so selection must never run on the
+		// shared base planner: clone it, select, throw the clone away.
+		sel := sn.base.Clone().Select(k)
+		r := &SeedsResult{
+			Seeds:   sel.Seeds,
+			Gains:   sel.Gains,
+			Spread:  sel.Spread(),
+			Lookups: sel.Lookups,
+		}
+		if r.Seeds == nil {
+			r.Seeds = []credist.NodeID{}
+		}
+		if r.Gains == nil {
+			r.Gains = []float64{}
+		}
+		e.res.Store(r)
+	})
+	return e.res.Load(), cached
+}
+
+// CachedKs lists the ks with completed memoized selections, sorted, for
+// /stats. An in-flight k appears only once its run finishes.
+func (sn *Snapshot) CachedKs() []int {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	ks := make([]int, 0, len(sn.seedCache))
+	for k, e := range sn.seedCache {
+		if e.res.Load() != nil {
+			ks = append(ks, k)
+		}
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+// TopK returns the k top users under a heuristic baseline ("highdeg" or
+// "pagerank") together with the CD-model spread the set achieves — the
+// paper's "Spread Achieved" comparison (Figure 6) as an online query.
+func (sn *Snapshot) TopK(method string, k int) ([]credist.NodeID, float64, error) {
+	var seeds []credist.NodeID
+	switch method {
+	case "highdeg":
+		seeds = credist.HighDegreeSeeds(sn.Dataset(), k)
+	case "pagerank":
+		seeds = credist.PageRankSeeds(sn.Dataset(), k)
+	default:
+		return nil, 0, fmt.Errorf("unknown method %q (valid: highdeg, pagerank)", method)
+	}
+	return seeds, sn.model.Spread(seeds), nil
+}
+
+// forEach runs fn(0..n-1) over up to GOMAXPROCS goroutines. Results are
+// written by index, so parallelism never reorders a batch.
+func forEach(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Registry hands out the current snapshot and swaps in replacements
+// atomically. Readers pin a snapshot with Current and keep using it for the
+// whole request; a concurrent Install never invalidates it.
+type Registry struct {
+	cur    atomic.Pointer[Snapshot]
+	nextID atomic.Int64
+}
+
+// NewRegistry installs the initial snapshot.
+func NewRegistry(sn *Snapshot) *Registry {
+	r := &Registry{}
+	r.Install(sn)
+	return r
+}
+
+// Current returns the live snapshot.
+func (r *Registry) Current() *Snapshot { return r.cur.Load() }
+
+// Install assigns the snapshot the next ID and makes it current.
+func (r *Registry) Install(sn *Snapshot) {
+	sn.ID = r.nextID.Add(1)
+	r.cur.Store(sn)
+}

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics tracks request counters and a one-minute QPS window for /stats.
+type metrics struct {
+	start time.Time
+	total atomic.Int64
+	// perRoute is fixed at construction, so lookups are lock-free.
+	perRoute map[string]*atomic.Int64
+	qps      qpsWindow
+}
+
+func newMetrics(routes []string) *metrics {
+	m := &metrics{start: time.Now(), perRoute: make(map[string]*atomic.Int64, len(routes))}
+	for _, r := range routes {
+		m.perRoute[r] = &atomic.Int64{}
+	}
+	return m
+}
+
+func (m *metrics) hit(route string, now time.Time) {
+	m.total.Add(1)
+	if c, ok := m.perRoute[route]; ok {
+		c.Add(1)
+	}
+	m.qps.hit(now.Unix())
+}
+
+func (m *metrics) snapshot(now time.Time) (total int64, perRoute map[string]int64, qps float64, uptime time.Duration) {
+	perRoute = make(map[string]int64, len(m.perRoute))
+	for r, c := range m.perRoute {
+		perRoute[r] = c.Load()
+	}
+	return m.total.Load(), perRoute, m.qps.rate(now.Unix()), now.Sub(m.start)
+}
+
+// qpsWindow counts requests in 60 one-second buckets keyed by unix second;
+// stale buckets are lazily reset as the clock wraps around the ring.
+type qpsWindow struct {
+	mu    sync.Mutex
+	count [60]int64
+	stamp [60]int64
+}
+
+func (q *qpsWindow) hit(nowSec int64) {
+	i := nowSec % 60
+	q.mu.Lock()
+	if q.stamp[i] != nowSec {
+		q.stamp[i] = nowSec
+		q.count[i] = 0
+	}
+	q.count[i]++
+	q.mu.Unlock()
+}
+
+// rate averages the requests of the trailing 60 seconds.
+func (q *qpsWindow) rate(nowSec int64) float64 {
+	var sum int64
+	q.mu.Lock()
+	for i := range q.count {
+		if nowSec-q.stamp[i] < 60 {
+			sum += q.count[i]
+		}
+	}
+	q.mu.Unlock()
+	return float64(sum) / 60
+}

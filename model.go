@@ -48,8 +48,34 @@ func Learn(ds *Dataset, opts Options) *Model {
 	}
 }
 
+// Dataset returns the dataset the model is bound to.
+func (m *Model) Dataset() *Dataset { return m.ds }
+
+// Options returns the options the model was learned with.
+func (m *Model) Options() Options { return m.opts }
+
 // Spread predicts the expected influence spread sigma_cd of a seed set.
+// It is safe for concurrent use: evaluation reads only immutable scan
+// products, so any number of goroutines may call Spread (and Gains with an
+// empty base set) on a shared Model.
 func (m *Model) Spread(seeds []NodeID) float64 { return m.eval.Spread(seeds) }
+
+// Gains returns the marginal gain sigma_cd(S+c) - sigma_cd(S) of every
+// candidate c against the base seed set S, batched so the engine scan (or
+// clone) is paid once per call rather than once per candidate. It matches
+// Planner exactly: Gains(base, cs)[i] is bit-for-bit the value a Planner
+// returns from Gain(cs[i]) after Add-ing each base seed in order.
+func (m *Model) Gains(base, candidates []NodeID) []float64 {
+	p := m.NewPlanner()
+	for _, s := range base {
+		p.Add(s)
+	}
+	out := make([]float64, len(candidates))
+	for i, c := range candidates {
+		out[i] = p.Gain(c)
+	}
+	return out
+}
 
 // SelectSeeds picks k seeds with the paper's algorithm (Scan + greedy with
 // CELF) and returns them with their marginal gains; summing the gains
@@ -64,12 +90,56 @@ func (m *Model) SelectSeeds(k int) ([]NodeID, []float64) {
 func (m *Model) Selection(k int) seedsel.Result { return m.selection(k) }
 
 func (m *Model) selection(k int) seedsel.Result {
-	engine := core.NewEngine(m.ds.Graph, m.ds.Log, core.Options{
+	return m.NewPlanner().Select(k)
+}
+
+// Planner is the stateful side of the model: the scanned UC credit
+// structure of Algorithm 2 plus the committed seed set. Gain is read-only
+// (and safe to call from many goroutines at once); Add and Select mutate.
+// A Planner is built by one log scan and duplicated with Clone in
+// milliseconds, which is how a serving layer keeps one immutable planner
+// per model snapshot and hands independent copies to concurrent
+// seed-selection requests.
+type Planner struct {
+	eng *core.Engine
+}
+
+// NewPlanner scans the model's training log (Algorithm 2) and returns a
+// planner with an empty seed set.
+func (m *Model) NewPlanner() *Planner {
+	return &Planner{eng: core.NewEngine(m.ds.Graph, m.ds.Log, core.Options{
 		Lambda: m.opts.Lambda,
 		Credit: m.credit,
-	})
-	return seedsel.CELF(engine, k)
+	})}
 }
+
+// Clone returns an independent deep copy: Add and Select on the clone never
+// disturb the receiver, and the clone's results are bit-identical to those
+// of a freshly scanned planner driven through the same calls.
+func (p *Planner) Clone() *Planner { return &Planner{eng: p.eng.Clone()} }
+
+// Gain returns the marginal gain sigma_cd(S+x) - sigma_cd(S) of candidate x
+// against the committed seed set (Theorem 3). Read-only.
+func (p *Planner) Gain(x NodeID) float64 { return p.eng.Gain(x) }
+
+// Add commits x to the seed set, updating the credit structure incrementally
+// (Algorithm 5).
+func (p *Planner) Add(x NodeID) { p.eng.Add(x) }
+
+// Seeds returns the committed seed set in selection order.
+func (p *Planner) Seeds() []NodeID { return p.eng.Seeds() }
+
+// Select greedily extends the committed seed set by up to k seeds with CELF
+// (Algorithm 3) and returns the selection trace. It mutates the planner;
+// use Clone first to keep the receiver reusable.
+func (p *Planner) Select(k int) seedsel.Result { return seedsel.CELF(p.eng, k) }
+
+// Entries returns the number of live UC credit entries, the paper's memory
+// statistic (Figure 8, Table 4).
+func (p *Planner) Entries() int64 { return p.eng.Entries() }
+
+// ResidentBytes reports the UC structure's resident slice footprint.
+func (p *Planner) ResidentBytes() int64 { return p.eng.ResidentBytes() }
 
 // Influenceability returns the learned infl(u) when the time-aware rule is
 // in use, or 1 under the simple rule (which does not model it).
