@@ -14,6 +14,7 @@ import (
 	"io"
 	"sync"
 	"testing"
+	"time"
 
 	"credist/internal/cascade"
 	"credist/internal/core"
@@ -382,6 +383,65 @@ func BenchmarkCompactEngine(b *testing.B) {
 			b.ReportMetric(float64(e.Entries()), "entries")
 			b.ReportMetric(float64(e.ResidentBytes())/(1<<20), "resident-MiB")
 			b.ReportMetric(res.Spread(), "spread")
+		}
+	})
+}
+
+// BenchmarkAppendVsRescan is the streaming-ingest headline: extending an
+// engine with a 5% held-out action tail (Clone sharing the frozen base +
+// AppendActions scanning only the tail) versus the full rescan a naive
+// reload pays, on the flixster-small preset. The incremental path is
+// required to be >= 10x faster (ISSUE 3 acceptance); the parent benchmark
+// reports the measured one-shot speedup, the sub-benchmarks give the
+// steady-state ns/op.
+func BenchmarkAppendVsRescan(b *testing.B) {
+	cfg, ok := datagen.PresetByName("flixster-small")
+	if !ok {
+		b.Fatal("missing preset")
+	}
+	full := datagen.Generate(cfg)
+	credit := core.LearnTimeAware(full.Graph, full.Log)
+	opts := core.Options{Lambda: 0.001, Credit: credit}
+	n := full.Log.NumActions()
+	headN := n - n/20 // hold out 5%
+	headLog := full.Log.Prefix(headN)
+	base := core.NewEngine(full.Graph, headLog, opts)
+	base.Compact()
+
+	appendOnce := func(b *testing.B) *core.Engine {
+		e := base.Clone()
+		if err := e.AppendActions(full.Graph, full.Log, ActionID(headN)); err != nil {
+			b.Fatal(err)
+		}
+		return e
+	}
+
+	// One-shot speedup in its own sub-benchmark, so a single -benchtime=1x
+	// run (the CI smoke step) still reports the ratio.
+	b.Run("speedup", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			inc := appendOnce(b)
+			appendMs := float64(time.Since(t0).Nanoseconds()) / 1e6
+			t0 = time.Now()
+			rescan := core.NewEngine(full.Graph, full.Log, opts)
+			rescanMs := float64(time.Since(t0).Nanoseconds()) / 1e6
+			if inc.Entries() != rescan.Entries() {
+				b.Fatalf("append entries %d != rescan entries %d", inc.Entries(), rescan.Entries())
+			}
+			b.ReportMetric(appendMs, "append-ms")
+			b.ReportMetric(rescanMs, "rescan-ms")
+			b.ReportMetric(rescanMs/appendMs, "speedup")
+		}
+	})
+	b.Run("append", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			appendOnce(b)
+		}
+	})
+	b.Run("rescan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.NewEngine(full.Graph, full.Log, opts)
 		}
 	})
 }

@@ -6,10 +6,11 @@
 //	credist -graph data/d.graph -log data/d.log -k 20 -method cd
 //	credist -preset flixster-small -eval 12,99,340
 //	credist serve -preset flixster-small -addr :8632
+//	credist ingest -tail data/flixster-small.tail.log
 //
 // Selection output: one line per seed with its marginal gain, then the
-// predicted total spread. Run `credist -h` or `credist serve -h` for the
-// full flag reference.
+// predicted total spread. Run `credist -h`, `credist serve -h`, or
+// `credist ingest -h` for the full flag reference.
 package main
 
 import (
@@ -23,9 +24,15 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "serve" {
-		runServe(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			runServe(os.Args[2:])
+			return
+		case "ingest":
+			runIngest(os.Args[2:])
+			return
+		}
 	}
 	runSelect(os.Args[1:])
 }
@@ -46,8 +53,9 @@ func runSelect(args []string) {
 		evalSet   = fs.String("eval", "", "skip selection; score this comma-separated list of user ids under the CD model instead (e.g. -eval 3,17,250)")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), `Usage: credist [flags]        select or score influence seed sets
-       credist serve [flags]  run the influence-query HTTP service (see credist serve -h)
+		fmt.Fprintf(fs.Output(), `Usage: credist [flags]         select or score influence seed sets
+       credist serve [flags]   run the influence-query HTTP service (see credist serve -h)
+       credist ingest [flags]  stream new actions into a running service (see credist ingest -h)
 
 Select seeds from a built-in preset or from dataset files:
 

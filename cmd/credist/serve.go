@@ -43,9 +43,14 @@ JSON queries. Endpoints:
   GET  /seeds?k=N              CELF seed selection, memoized per snapshot
   GET  /topk?method=highdeg&k=N  heuristic baseline seeds, CD-scored
   GET  /healthz                liveness
-  GET  /stats                  snapshot shape, UC entries, resident bytes, QPS
+  GET  /stats                  snapshot shape, base/delta UC entries, QPS
   POST /reload                 learn from a new source and atomically swap,
                                e.g. {"preset":"flickr-small","lambda":0.001}
+  POST /ingest                 append new propagations incrementally (only the
+                               tail is scanned) and swap in the successor,
+                               e.g. {"tuples":[{"user":1,"action":2200,"time":3}]}
+                               or {"log":"data/flixster-small.tail.log"};
+                               see also "credist ingest"
 
 Example:
 

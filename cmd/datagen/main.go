@@ -4,7 +4,10 @@
 //	datagen -preset flixster-small -out ./data
 //
 // produces ./data/flixster-small.graph and ./data/flixster-small.log in
-// the plain-text formats the credist CLI and library read back.
+// the plain-text formats the credist CLI and library read back. With
+// -stream, a fraction of the actions is held out into a third file,
+// ./data/flixster-small.tail.log, ready to be streamed into a running
+// service with `credist ingest` (or Model.Ingest).
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"strings"
 
 	"credist"
+	"credist/internal/actionlog"
 	"credist/internal/datagen"
 )
 
@@ -26,6 +30,7 @@ func main() {
 		seed    = flag.Uint64("seed", 0, "override the preset's random seed for a different but equally-shaped dataset (0 keeps the preset's)")
 		users   = flag.Int("users", 0, "override the preset's user count (0 keeps the preset's)")
 		actions = flag.Int("actions", 0, "override the preset's action count (0 keeps the preset's)")
+		stream  = flag.Float64("stream", 0, "hold out this fraction of the actions (by id, at least one) into <out>/<preset>.tail.log for streaming-ingest demos and benchmarks (0 disables; must be < 1)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), `Usage: datagen [flags]
@@ -36,6 +41,14 @@ CLI, credist serve, and the library read back:
 
   datagen -preset flixster-small -out ./data
   datagen -preset flickr-large -users 10000 -seed 7 -out ./data
+
+With -stream, the last fraction of the actions is held out of the log
+into <out>/<preset>.tail.log, so a service started on the head can be
+grown incrementally:
+
+  datagen -preset flixster-small -stream 0.05 -out ./data
+  credist serve -graph ./data/flixster-small.graph -log ./data/flixster-small.log &
+  credist ingest -tail ./data/flixster-small.tail.log
 
 Presets: %s
 
@@ -60,6 +73,11 @@ Flags:
 		cfg.NumActions = *actions
 	}
 
+	if *stream < 0 || *stream >= 1 {
+		fmt.Fprintf(os.Stderr, "datagen: -stream must be in [0, 1), got %g\n", *stream)
+		os.Exit(1)
+	}
+
 	ds := credist.Generate(cfg)
 	st := ds.Stats()
 	fmt.Printf("%s: %d users, %d edges, %d propagations, %d tuples (mean size %.1f)\n",
@@ -69,11 +87,51 @@ Flags:
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
+
+	// With -stream, the written log is the head; the tail actions go to a
+	// separate tuple file with their original (continuing) action ids, so
+	// appending the tail to the head reproduces the full log exactly.
+	var tail []actionlog.Tuple
+	full := ds.Log
+	if *stream > 0 {
+		tailN := int(float64(full.NumActions()) * *stream)
+		if tailN < 1 {
+			tailN = 1
+		}
+		headN := full.NumActions() - tailN
+		for a := headN; a < full.NumActions(); a++ {
+			tail = append(tail, full.Action(credist.ActionID(a))...)
+		}
+		ds = &credist.Dataset{Name: ds.Name, Graph: ds.Graph, Log: full.Prefix(headN)}
+	}
+
 	graphPath := filepath.Join(*out, cfg.Name+".graph")
 	logPath := filepath.Join(*out, cfg.Name+".log")
 	if err := credist.SaveDataset(ds, graphPath, logPath); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s and %s\n", graphPath, logPath)
+	if tail == nil {
+		fmt.Printf("wrote %s and %s\n", graphPath, logPath)
+		return
+	}
+
+	tailPath := filepath.Join(*out, cfg.Name+".tail.log")
+	tf, err := os.Create(tailPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	if err := actionlog.WriteTuples(tf, full.NumUsers(), tail); err != nil {
+		tf.Close()
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	if err := tf.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s and %s (head: %d actions) + %s (tail: %d actions, %d tuples)\n",
+		graphPath, logPath, ds.Log.NumActions(), tailPath,
+		full.NumActions()-ds.Log.NumActions(), len(tail))
 }

@@ -27,6 +27,7 @@ package credist
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -40,6 +41,23 @@ type NodeID = graph.NodeID
 
 // ActionID identifies an action (one propagation) in an action log.
 type ActionID = actionlog.ActionID
+
+// Tuple records that User performed Action at Time — one line of the
+// action log, and the unit Model.Ingest streams in.
+type Tuple = actionlog.Tuple
+
+// ReadTuples parses a tuple stream in the action-log text format (an
+// optional leading user-count line, then "user action time" lines), the
+// shape cmd/datagen's -stream mode writes for held-out action tails. The
+// tuples are returned in file order, ready for Model.Ingest. The
+// user-count header is parsed and dropped: model ingestion bounds the
+// universe by the social graph, so a header can only matter for
+// standalone log use — Log.AppendFromReader honors it there, and the
+// serving layer rejects headers exceeding the graph.
+func ReadTuples(r io.Reader) ([]Tuple, error) {
+	tuples, _, err := actionlog.ParseTuples(r)
+	return tuples, err
+}
 
 // Dataset couples a social graph with an action log over its users.
 type Dataset struct {

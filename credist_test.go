@@ -164,6 +164,98 @@ func TestSelectionResultExtras(t *testing.T) {
 	}
 }
 
+// TestModelIngestMatchesRelearnFreeReference: ingesting a held-out action
+// tail yields, bit for bit, the model one gets by binding the same frozen
+// parameters (via SaveParams/LoadModel) to the combined dataset — and the
+// incrementally extended planner matches a freshly scanned one.
+func TestModelIngestMatchesRelearnFreeReference(t *testing.T) {
+	full := Generate(tinyConfig(9))
+	n := full.Log.NumActions()
+	headN := n - n/20
+	headDS := &Dataset{Name: "head", Graph: full.Graph, Log: full.Log.Prefix(headN)}
+	var tail []Tuple
+	for a := headN; a < n; a++ {
+		tail = append(tail, full.Log.Action(ActionID(a))...)
+	}
+
+	model := Learn(headDS, Options{Lambda: 0.001})
+	base := model.NewPlanner()
+	base.Compact()
+
+	grown, err := model.Ingest(tail)
+	if err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if grown.Dataset().Log.NumActions() != n {
+		t.Fatalf("ingested model has %d actions, want %d", grown.Dataset().Log.NumActions(), n)
+	}
+	// The receiver still answers from the head log.
+	if model.Dataset().Log.NumActions() != headN {
+		t.Fatalf("receiver mutated: %d actions", model.Dataset().Log.NumActions())
+	}
+
+	path := filepath.Join(t.TempDir(), "params.txt")
+	if err := model.SaveParams(path); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := LoadModel(&Dataset{Name: "combined", Graph: full.Graph, Log: grown.Dataset().Log}, path, Options{Lambda: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seeds, _ := ref.SelectSeeds(4)
+	if a, b := grown.Spread(seeds), ref.Spread(seeds); a != b {
+		t.Fatalf("ingested Spread %b != reference %b", a, b)
+	}
+	gs, ggains := grown.SelectSeeds(4)
+	for i := range seeds {
+		if gs[i] != seeds[i] {
+			t.Fatalf("ingested model selects %v, reference %v", gs, seeds)
+		}
+	}
+
+	planner, err := grown.ExtendPlanner(base)
+	if err != nil {
+		t.Fatalf("ExtendPlanner: %v", err)
+	}
+	if planner.NumActions() != n || planner.DeltaActions() != n-headN {
+		t.Fatalf("planner covers %d actions (%d delta)", planner.NumActions(), planner.DeltaActions())
+	}
+	fresh := grown.NewPlanner()
+	for _, s := range seeds {
+		if a, b := planner.Gain(s), fresh.Gain(s); a != b {
+			t.Fatalf("extended planner Gain(%d) %b != fresh %b", s, a, b)
+		}
+	}
+	res := planner.Clone().Select(4)
+	for i := range res.Seeds {
+		if res.Seeds[i] != gs[i] || res.Gains[i] != ggains[i] {
+			t.Fatalf("extended planner CELF diverged at %d", i)
+		}
+	}
+
+	// Guard rails: planners from a different parameter lineage are refused,
+	// as are tuples outside the graph universe.
+	other := Learn(headDS, Options{Lambda: 0.001})
+	if _, err := grown.ExtendPlanner(other.NewPlanner()); err == nil {
+		t.Fatal("foreign planner accepted")
+	}
+	// The simple-credit rule is parameterless (every model holds the same
+	// credit value), so the lineage check falls to the truncation threshold.
+	sA := Learn(headDS, Options{SimpleCredit: true, Lambda: 0.5})
+	sB := Learn(headDS, Options{SimpleCredit: true, Lambda: 0.001})
+	sGrown, err := sB.Ingest(tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sGrown.ExtendPlanner(sA.NewPlanner()); err == nil {
+		t.Fatal("simple-credit planner with mismatched lambda accepted")
+	}
+	if _, err := grown.Ingest([]Tuple{{User: NodeID(full.NumUsers()), Action: ActionID(n), Time: 1}}); err == nil {
+		t.Fatal("tuple beyond graph universe accepted")
+	}
+}
+
 func TestModelSaveLoadParams(t *testing.T) {
 	ds := Generate(tinyConfig(8))
 	model := Learn(ds, Options{})

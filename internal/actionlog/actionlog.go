@@ -6,6 +6,8 @@ package actionlog
 
 import (
 	"fmt"
+	"io"
+	"math"
 	"sort"
 
 	"credist/internal/graph"
@@ -153,6 +155,129 @@ func FromTuples(numUsers int, tuples []Tuple) (*Log, error) {
 		}
 	}
 	return b.Build(), nil
+}
+
+// Append returns a new Log extended with a batch of complete new
+// propagations; the receiver is never modified, so readers of the old log
+// (and engines scanned from it) keep working while the successor is built.
+// The batch must be in the log's canonical scan order — sorted by action,
+// then time, then user — and its action ids must continue the log
+// contiguously from NumActions(): appending to an already-scanned action
+// would retroactively rewrite its propagation DAG, and skipped ids would
+// let one bad tuple size every per-action structure downstream.
+// Out-of-order timestamps, non-finite times, negative users, and
+// duplicate (user, action) pairs are rejected. Users with ids beyond the
+// current universe are registered: NumUsers grows to cover them.
+func (l *Log) Append(batch []Tuple) (*Log, error) {
+	return l.appendTuples(batch, l.numUsers)
+}
+
+// AppendFromReader parses a tuple stream in the text format of Read — an
+// optional leading user-count line (which may grow the universe) followed
+// by "user action time" lines — and appends it. It returns the extended
+// log and the number of tuples appended.
+func (l *Log) AppendFromReader(r io.Reader) (*Log, int, error) {
+	batch, minUsers, err := ParseTuples(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	nl, err := l.appendTuples(batch, minUsers)
+	if err != nil {
+		return nil, 0, err
+	}
+	return nl, len(batch), nil
+}
+
+// appendTuples validates the batch and builds the successor log. minUsers
+// is a floor for the new universe size (from an explicit header); the
+// largest appended user id can raise it further.
+func (l *Log) appendTuples(batch []Tuple, minUsers int) (*Log, error) {
+	nUsers := l.numUsers
+	if minUsers > nUsers {
+		nUsers = minUsers
+	}
+	first := ActionID(l.NumActions())
+	inAction := make(map[graph.NodeID]struct{})
+	for i, t := range batch {
+		switch {
+		case t.Action < first:
+			return nil, fmt.Errorf("actionlog: append tuple %d targets existing action %d (new actions start at %d)", i, t.Action, first)
+		case t.User < 0:
+			return nil, fmt.Errorf("actionlog: append tuple %d has negative user %d", i, t.User)
+		case math.IsNaN(t.Time) || math.IsInf(t.Time, 0):
+			return nil, fmt.Errorf("actionlog: append tuple %d has non-finite time %v", i, t.Time)
+		}
+		if i == 0 && t.Action != first {
+			return nil, fmt.Errorf("actionlog: append must start at action %d, got %d", first, t.Action)
+		}
+		if i > 0 {
+			prev := batch[i-1]
+			switch {
+			case t.Action < prev.Action:
+				return nil, fmt.Errorf("actionlog: append tuple %d out of order: action %d after %d", i, t.Action, prev.Action)
+			case t.Action > prev.Action+1:
+				return nil, fmt.Errorf("actionlog: append tuple %d skips action ids: %d after %d", i, t.Action, prev.Action)
+			case t.Action == prev.Action && t.Time < prev.Time:
+				return nil, fmt.Errorf("actionlog: append tuple %d out of order: time %g after %g within action %d", i, t.Time, prev.Time, t.Action)
+			case t.Action == prev.Action && t.Time == prev.Time && t.User < prev.User:
+				return nil, fmt.Errorf("actionlog: append tuple %d out of order: user %d after %d on a timestamp tie", i, t.User, prev.User)
+			}
+			if t.Action != prev.Action {
+				clear(inAction)
+			}
+		}
+		if _, dup := inAction[t.User]; dup {
+			return nil, fmt.Errorf("actionlog: user %d appears twice in appended action %d", t.User, t.Action)
+		}
+		inAction[t.User] = struct{}{}
+		if int(t.User) >= nUsers {
+			nUsers = int(t.User) + 1
+		}
+	}
+
+	maxAction := first - 1
+	if len(batch) > 0 {
+		maxAction = batch[len(batch)-1].Action
+	}
+	nl := &Log{
+		tuples:     make([]Tuple, 0, len(l.tuples)+len(batch)),
+		actionIdx:  make([]int32, maxAction+2),
+		numUsers:   nUsers,
+		userCounts: make([]int32, nUsers),
+	}
+	nl.tuples = append(append(nl.tuples, l.tuples...), batch...)
+	// Offsets [0, first] carry over; the appended range starts as raw
+	// per-action counts and a prefix sum seeded by actionIdx[first] (the
+	// old tuple count) turns them into offsets.
+	copy(nl.actionIdx, l.actionIdx)
+	copy(nl.userCounts, l.userCounts)
+	for _, t := range batch {
+		nl.actionIdx[t.Action+1]++
+		nl.userCounts[t.User]++
+	}
+	for a := int(first); a <= int(maxAction); a++ {
+		nl.actionIdx[a+1] += nl.actionIdx[a]
+	}
+	return nl, nil
+}
+
+// Prefix returns the log restricted to its first n actions — the head
+// side of a streaming hold-out split. Action and user ids are unchanged;
+// tuple storage is shared with the receiver (both logs are immutable).
+func (l *Log) Prefix(n int) *Log {
+	if n < 0 || n > l.NumActions() {
+		panic(fmt.Sprintf("actionlog: prefix of %d actions from a log of %d", n, l.NumActions()))
+	}
+	nl := &Log{
+		tuples:     l.tuples[:l.actionIdx[n]:l.actionIdx[n]],
+		actionIdx:  l.actionIdx[: n+1 : n+1],
+		numUsers:   l.numUsers,
+		userCounts: make([]int32, l.numUsers),
+	}
+	for _, t := range nl.tuples {
+		nl.userCounts[t.User]++
+	}
+	return nl
 }
 
 // Restrict returns a new Log containing only the given actions, renumbered

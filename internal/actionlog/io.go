@@ -30,6 +30,78 @@ func Write(w io.Writer, l *Log) error {
 	return bw.Flush()
 }
 
+// WriteTuples serializes a tuple batch in the format Write uses — a
+// user-count line followed by "user action time" lines in the order given.
+// It is how cmd/datagen emits a held-out action tail for streaming-ingest
+// demos; ParseTuples and Log.AppendFromReader read it back.
+func WriteTuples(w io.Writer, numUsers int, tuples []Tuple) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d\n", numUsers); err != nil {
+		return err
+	}
+	for _, t := range tuples {
+		if _, err := fmt.Fprintf(bw, "%d %d %g\n", t.User, t.Action, t.Time); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseTuples reads a tuple stream in the text format of Read: an optional
+// leading user-count line, then one "user action time" tuple per line, in
+// file order (no sorting or dedup — Log.Append validates). It returns the
+// tuples and the user-count header, or 0 when the header is absent. Blank
+// lines and '#' comments are ignored.
+func ParseTuples(r io.Reader) ([]Tuple, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var tuples []Tuple
+	minUsers := 0
+	sawHeader, sawTuple := false, false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 1 {
+			if sawHeader || sawTuple {
+				return nil, 0, fmt.Errorf("actionlog: line %d: unexpected user-count line %q", lineNo, line)
+			}
+			n, err := strconv.Atoi(fields[0])
+			if err != nil || n < 0 {
+				return nil, 0, fmt.Errorf("actionlog: line %d: bad user count %q", lineNo, line)
+			}
+			minUsers = n
+			sawHeader = true
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, 0, fmt.Errorf("actionlog: line %d: expected 'user action time', got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, 0, fmt.Errorf("actionlog: line %d: bad user: %w", lineNo, err)
+		}
+		a, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, 0, fmt.Errorf("actionlog: line %d: bad action: %w", lineNo, err)
+		}
+		t, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("actionlog: line %d: bad time: %w", lineNo, err)
+		}
+		tuples = append(tuples, Tuple{User: graph.NodeID(u), Action: ActionID(a), Time: t})
+		sawTuple = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	return tuples, minUsers, nil
+}
+
 // Read parses the format written by Write. Blank lines and '#' comments
 // are ignored.
 func Read(r io.Reader) (*Log, error) {

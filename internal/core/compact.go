@@ -44,9 +44,7 @@ type compactUC struct {
 
 // rowRange returns [lo,hi) of entries with influencer v.
 func (c *compactUC) rowRange(v int32) (int, int) {
-	lo := sort.Search(len(c.vs), func(i int) bool { return c.vs[i] >= v })
-	hi := sort.Search(len(c.vs), func(i int) bool { return c.vs[i] > v })
-	return lo, hi
+	return sortedRange(c.vs, v)
 }
 
 // colRange returns [lo,hi) into byU of entries with influenced u.
@@ -59,8 +57,8 @@ func (c *compactUC) colRange(u int32) (int, int) {
 // find returns the entry index of (v,u) or -1.
 func (c *compactUC) find(v, u int32) int {
 	lo, hi := c.rowRange(v)
-	i := lo + sort.Search(hi-lo, func(i int) bool { return c.us[lo+i] >= u })
-	if i < hi && c.us[i] == u {
+	l, _ := sortedRange(c.us[lo:hi], u)
+	if i := lo + l; i < hi && c.us[i] == u {
 		return i
 	}
 	return -1

@@ -99,3 +99,40 @@ func TestCompactEmptyAndInactive(t *testing.T) {
 		t.Fatalf("Seeds = %v", got)
 	}
 }
+
+// TestResidentBytesAccounting keeps the representation comparison honest:
+// both engines report a non-trivial footprint that scales with their live
+// entries, the flattened layout's fixed 20-byte entries stay leaner than
+// the sorted rows' 16-byte cells plus column mirror, and compacting the
+// row engine (exact-size re-allocation) never grows it.
+func TestResidentBytesAccounting(t *testing.T) {
+	rng := rand.New(rand.NewPCG(55, 5))
+	g, log := randomInstance(rng, 40, 20)
+	rows := NewEngine(g, log, Options{})
+	flat := NewCompactEngine(g, log, Options{})
+	if rows.Entries() != flat.Entries() {
+		t.Fatalf("entries %d vs %d", rows.Entries(), flat.Entries())
+	}
+	n := rows.Entries()
+	if n == 0 {
+		t.Fatal("empty instance")
+	}
+	// Lower bounds: every live entry occupies at least its cell.
+	if rows.ResidentBytes() < n*16 {
+		t.Errorf("row engine reports %d bytes for %d entries", rows.ResidentBytes(), n)
+	}
+	if flat.ResidentBytes() < n*20 {
+		t.Errorf("compact engine reports %d bytes for %d entries", flat.ResidentBytes(), n)
+	}
+	before := rows.ResidentBytes()
+	rows.Compact()
+	if rows.ResidentBytes() > before {
+		t.Errorf("Compact grew residency: %d -> %d", before, rows.ResidentBytes())
+	}
+	// The flattened layout has no per-row slice headers or insert slack, so
+	// after compaction it is still at most the row engine's footprint plus
+	// its permutation index.
+	if flat.ResidentBytes() > rows.ResidentBytes()+n*8 {
+		t.Errorf("compact layout heavier than expected: %d vs rows %d", flat.ResidentBytes(), rows.ResidentBytes())
+	}
+}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"testing"
+
+	"credist/internal/actionlog"
+	"credist/internal/graph"
+	"credist/internal/seedsel"
+)
+
+// TestAppendActionsBitIdenticalToRescan is the streaming engine's core
+// guarantee: scanning a prefix and appending the held-out ~5% tail yields
+// an engine whose gains, CELF seed sequence (with gains), spreads, and
+// entry counts are bit-for-bit those of a from-scratch NewEngine over the
+// combined log with the same frozen credit rule.
+func TestAppendActionsBitIdenticalToRescan(t *testing.T) {
+	rng := rand.New(rand.NewPCG(71, 7))
+	for trial := 0; trial < 5; trial++ {
+		g, log := randomInstance(rng, 50+rng.IntN(20), 40+rng.IntN(10))
+		credit := LearnTimeAware(g, log)
+		opts := Options{Lambda: 0.001, Credit: credit}
+		headN := log.NumActions() - (log.NumActions()+19)/20 // hold out ~5%
+		head := log.Prefix(headN)
+
+		full := NewEngine(g, log, opts)
+		inc := NewEngine(g, head, opts)
+		if err := inc.AppendActions(g, log, actionlog.ActionID(headN)); err != nil {
+			t.Fatalf("trial %d: AppendActions: %v", trial, err)
+		}
+
+		if full.Entries() != inc.Entries() {
+			t.Fatalf("trial %d: entries %d vs %d", trial, full.Entries(), inc.Entries())
+		}
+		if inc.NumActions() != log.NumActions() {
+			t.Fatalf("trial %d: NumActions %d, want %d", trial, inc.NumActions(), log.NumActions())
+		}
+		if inc.DeltaActions() != log.NumActions()-headN {
+			t.Fatalf("trial %d: DeltaActions %d, want %d", trial, inc.DeltaActions(), log.NumActions()-headN)
+		}
+		for u := 0; u < g.NumNodes(); u++ {
+			gf, gi := full.Gain(graph.NodeID(u)), inc.Gain(graph.NodeID(u))
+			if gf != gi {
+				t.Fatalf("trial %d: Gain(%d) not bit-identical: %b vs %b", trial, u, gf, gi)
+			}
+		}
+
+		rf := seedsel.CELF(full, 8)
+		ri := seedsel.CELF(inc, 8)
+		if len(rf.Seeds) != len(ri.Seeds) {
+			t.Fatalf("trial %d: CELF lengths %d vs %d", trial, len(rf.Seeds), len(ri.Seeds))
+		}
+		for i := range rf.Seeds {
+			if rf.Seeds[i] != ri.Seeds[i] || rf.Gains[i] != ri.Gains[i] {
+				t.Fatalf("trial %d: CELF diverged at %d: (%d, %b) vs (%d, %b)",
+					trial, i, rf.Seeds[i], rf.Gains[i], ri.Seeds[i], ri.Gains[i])
+			}
+		}
+
+		// The extended evaluator agrees with a from-scratch one, bit for bit.
+		evHead := NewEvaluator(g, head, credit)
+		evInc, err := evHead.Extend(g, log, actionlog.ActionID(headN))
+		if err != nil {
+			t.Fatalf("trial %d: Extend: %v", trial, err)
+		}
+		evFull := NewEvaluator(g, log, credit)
+		if a, b := evFull.Spread(rf.Seeds), evInc.Spread(rf.Seeds); a != b {
+			t.Fatalf("trial %d: Spread not bit-identical: %b vs %b", trial, a, b)
+		}
+	}
+}
+
+// TestAppendActionsParallelDeterministic: the tail scan shards per action,
+// so serial and fully parallel appends agree exactly.
+func TestAppendActionsParallelDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(72, 8))
+	g, log := randomInstance(rng, 60, 40)
+	credit := LearnTimeAware(g, log)
+	headN := 30
+	head := log.Prefix(headN)
+	serial := NewEngine(g, head, Options{Lambda: 0.001, Credit: credit, Workers: 1})
+	parallel := NewEngine(g, head, Options{Lambda: 0.001, Credit: credit, Workers: runtime.GOMAXPROCS(0)})
+	if err := serial.AppendActions(g, log, actionlog.ActionID(headN)); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.AppendActions(g, log, actionlog.ActionID(headN)); err != nil {
+		t.Fatal(err)
+	}
+	if serial.Entries() != parallel.Entries() {
+		t.Fatalf("entries %d vs %d", serial.Entries(), parallel.Entries())
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		if gs, gp := serial.Gain(graph.NodeID(u)), parallel.Gain(graph.NodeID(u)); gs != gp {
+			t.Fatalf("Gain(%d): %b vs %b", u, gs, gp)
+		}
+	}
+}
+
+// TestAppendActionsLeavesBaseFrozen: deriving a successor engine from a
+// compacted base (Clone + AppendActions) must leave the base — which may
+// be serving queries concurrently — untouched, while the successor and
+// seed selections on clones of either stay isolated and exact.
+func TestAppendActionsLeavesBaseFrozen(t *testing.T) {
+	rng := rand.New(rand.NewPCG(73, 9))
+	g, log := randomInstance(rng, 50, 30)
+	credit := LearnTimeAware(g, log)
+	opts := Options{Lambda: 0.001, Credit: credit}
+	headN := 24
+	head := log.Prefix(headN)
+
+	base := NewEngine(g, head, opts)
+	base.Compact()
+	baseline := make([]float64, g.NumNodes())
+	for u := range baseline {
+		baseline[u] = base.Gain(graph.NodeID(u))
+	}
+	baseEntries := base.Entries()
+
+	succ := base.Clone()
+	if err := succ.AppendActions(g, log, actionlog.ActionID(headN)); err != nil {
+		t.Fatal(err)
+	}
+	// Selection on a clone of the successor exercises copy-on-write over
+	// both shared base shards and the successor's own delta shards.
+	sel := seedsel.CELF(succ.Clone(), 6)
+	ref := seedsel.CELF(NewEngine(g, log, opts), 6)
+	for i := range ref.Seeds {
+		if sel.Seeds[i] != ref.Seeds[i] || sel.Gains[i] != ref.Gains[i] {
+			t.Fatalf("successor CELF diverged at %d: (%d, %b) vs (%d, %b)",
+				i, sel.Seeds[i], sel.Gains[i], ref.Seeds[i], ref.Gains[i])
+		}
+	}
+
+	// The base is bit-exactly as it was.
+	if base.Entries() != baseEntries {
+		t.Fatalf("base entries changed: %d -> %d", baseEntries, base.Entries())
+	}
+	if base.NumActions() != headN {
+		t.Fatalf("base action count changed: %d", base.NumActions())
+	}
+	for u := range baseline {
+		if got := base.Gain(graph.NodeID(u)); got != baseline[u] {
+			t.Fatalf("base Gain(%d) changed: %b -> %b", u, baseline[u], got)
+		}
+	}
+}
+
+// TestCompactFoldsDelta: Compact resets the delta counters, never changes
+// a result bit, and leaves the engine cheaply cloneable.
+func TestCompactFoldsDelta(t *testing.T) {
+	rng := rand.New(rand.NewPCG(74, 1))
+	g, log := randomInstance(rng, 40, 24)
+	credit := LearnTimeAware(g, log)
+	opts := Options{Lambda: 0.001, Credit: credit}
+	headN := 20
+	head := log.Prefix(headN)
+	e := NewEngine(g, head, opts)
+	e.Compact()
+	if err := e.AppendActions(g, log, actionlog.ActionID(headN)); err != nil {
+		t.Fatal(err)
+	}
+	if e.DeltaActions() != log.NumActions()-headN || e.DeltaEntries() <= 0 {
+		t.Fatalf("delta = %d actions / %d entries before compact", e.DeltaActions(), e.DeltaEntries())
+	}
+	before := make([]float64, g.NumNodes())
+	for u := range before {
+		before[u] = e.Gain(graph.NodeID(u))
+	}
+	resident := e.ResidentBytes()
+	e.Compact()
+	if e.DeltaActions() != 0 || e.DeltaEntries() != 0 {
+		t.Fatalf("delta = %d actions / %d entries after compact", e.DeltaActions(), e.DeltaEntries())
+	}
+	if e.Entries() == 0 || e.ResidentBytes() > resident {
+		t.Fatalf("compact grew residency: %d -> %d", resident, e.ResidentBytes())
+	}
+	for u := range before {
+		if got := e.Gain(graph.NodeID(u)); got != before[u] {
+			t.Fatalf("Gain(%d) changed across Compact: %b -> %b", u, before[u], got)
+		}
+	}
+	// A post-compact clone shares every shard yet selects identically.
+	a := seedsel.CELF(e.Clone(), 5)
+	b := seedsel.CELF(NewEngine(g, log, opts), 5)
+	for i := range b.Seeds {
+		if a.Seeds[i] != b.Seeds[i] || a.Gains[i] != b.Gains[i] {
+			t.Fatalf("post-compact clone CELF diverged at %d", i)
+		}
+	}
+}
+
+// TestAppendActionsRegistersUnseenUsers: a tail may introduce users the
+// prefix never saw (the log universe grows); the engine registers them as
+// long as the graph covers them, and matches a full rescan.
+func TestAppendActionsRegistersUnseenUsers(t *testing.T) {
+	b := graph.NewBuilder(6)
+	for _, e := range [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {0, 5}} {
+		_ = b.AddEdge(e[0], e[1])
+	}
+	g := b.Build()
+	lb := actionlog.NewBuilder(4) // users 4 and 5 unseen in the head
+	_ = lb.Add(0, 0, 1)
+	_ = lb.Add(1, 0, 2)
+	_ = lb.Add(2, 1, 1)
+	_ = lb.Add(3, 1, 2)
+	head := lb.Build()
+	combined, err := head.Append([]actionlog.Tuple{
+		{User: 4, Action: 2, Time: 1}, {User: 5, Action: 2, Time: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inc := NewEngine(g, head, Options{})
+	if err := inc.AppendActions(g, combined, 2); err != nil {
+		t.Fatalf("AppendActions: %v", err)
+	}
+	if inc.NumNodes() != 6 {
+		t.Fatalf("NumNodes = %d, want 6", inc.NumNodes())
+	}
+	full := NewEngine(g, combined, Options{})
+	for u := 0; u < 6; u++ {
+		if gf, gi := full.Gain(graph.NodeID(u)), inc.Gain(graph.NodeID(u)); gf != gi {
+			t.Fatalf("Gain(%d): %b vs %b", u, gf, gi)
+		}
+	}
+	if inc.ActionCount(4) != 1 || inc.ActionCount(5) != 1 {
+		t.Fatalf("A_4=%d A_5=%d, want 1/1", inc.ActionCount(4), inc.ActionCount(5))
+	}
+}
+
+// TestAppendActionsErrors pins the guard rails.
+func TestAppendActionsErrors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(75, 2))
+	g, log := randomInstance(rng, 20, 10)
+	head := log.Prefix(8)
+
+	e := NewEngine(g, head, Options{})
+	if err := e.AppendActions(g, log, 5); err == nil {
+		t.Error("from mismatch accepted")
+	}
+	if err := e.AppendActions(g, head, 8); err != nil {
+		t.Errorf("no-op append rejected: %v", err)
+	}
+
+	e2 := NewEngine(g, head, Options{})
+	e2.Add(0)
+	if err := e2.AppendActions(g, log, 8); err != ErrSeedsCommitted {
+		t.Errorf("append after Add = %v, want ErrSeedsCommitted", err)
+	}
+
+	// A universe beyond the graph is rejected.
+	grown, err := head.Append([]actionlog.Tuple{{User: graph.NodeID(g.NumNodes()), Action: 8, Time: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e3 := NewEngine(g, head, Options{})
+	if err := e3.AppendActions(g, grown, 8); err == nil {
+		t.Error("universe beyond graph accepted")
+	}
+
+	ev := NewEvaluator(g, head, nil)
+	if _, err := ev.Extend(g, log, 5); err == nil {
+		t.Error("evaluator from mismatch accepted")
+	}
+	if _, err := ev.Extend(g, grown, 8); err == nil {
+		t.Error("evaluator universe beyond graph accepted")
+	}
+}

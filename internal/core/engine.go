@@ -1,7 +1,7 @@
 package core
 
 import (
-	"cmp"
+	"fmt"
 	"maps"
 	"runtime"
 	"slices"
@@ -19,191 +19,43 @@ import (
 // Theorem 3 in time linear in the touched credit entries (Algorithm 4) and
 // Add maintains UC and SC incrementally via Lemmas 2 and 3 (Algorithm 5).
 //
-// UC is stored as sorted sparse rows, so every walk — scan, gain, seed
-// update — visits entries in a fixed (influencer, influenced) order and
-// the floating-point results are bit-for-bit identical across runs,
-// reloads, and worker counts.
+// UC is stored as sorted sparse rows (sparse.go), so every walk — scan,
+// gain, seed update — visits entries in a fixed (influencer, influenced)
+// order and the floating-point results are bit-for-bit identical across
+// runs, reloads, and worker counts.
+//
+// Shards split into a frozen base and a mutable delta. Because credits
+// never cross actions, an engine can grow by scanning only new actions
+// (AppendActions) while the already-scanned shards stay untouched, and
+// sibling engines (Clone) share frozen shards instead of copying them:
+// Add copies a shard on first write (copy-on-write), so the shared base is
+// never mutated. Compact folds the delta into the base, re-freezing the
+// engine so future clones are cheap again.
 type Engine struct {
-	numUsers  int
+	numUsers int
+	// au and actionsOf are mutated in place only while ownsUsers is true
+	// (the engine holds the sole reference); once shared by Clone or
+	// frozen by Compact, AppendActions/IngestAction replace them wholesale
+	// instead, so siblings keep a consistent view.
+	ownsUsers bool
 	au        []int32   // Au: actions performed per user (training log)
 	actionsOf [][]int32 // per user: training actions they performed
 
-	uc      []ucAction          // indexed by action id
+	// uc[a] points at action a's shard. owned[a] reports whether this
+	// engine may mutate the shard in place; unowned shards are shared with
+	// sibling engines and are copied by mutShard before the first write.
+	uc    []*ucAction
+	owned []bool
+
 	sc      []map[int32]float64 // per action: Gamma_{S,x}(a) for current seeds
 	seeds   []graph.NodeID
 	entries int64 // live UC entry count, for memory accounting
 	lambda  float64
-}
+	credit  CreditModel // the direct-credit rule the shards were scanned with
+	workers int         // raw Options.Workers, reused by AppendActions
 
-// ucEntry is one cell of an influencer's credit row.
-type ucEntry struct {
-	u int32   // influenced user
-	c float64 // Gamma^{V-S}_{v,u}(a)
-}
-
-// ucAction holds one action's credit matrix as sorted sparse rows: rowKey
-// lists the influencers in ascending order and rows[i] holds rowKey[i]'s
-// (influenced, credit) cells sorted by influenced id. colKey/cols mirror
-// the structure column-wise (influenced -> sorted influencer ids) so seed
-// updates can walk a column without scanning every row. All four slices
-// are kept exactly in sync; iteration order is therefore fixed, which
-// makes every float summation over the structure deterministic.
-type ucAction struct {
-	rowKey []int32
-	rows   [][]ucEntry
-	colKey []int32
-	cols   [][]int32
-}
-
-// searchRow locates influenced id u in a sorted row.
-func searchRow(row []ucEntry, u int32) (int, bool) {
-	return slices.BinarySearchFunc(row, u, func(e ucEntry, u int32) int {
-		return cmp.Compare(e.u, u)
-	})
-}
-
-// row returns v's credit cells, sorted by influenced id, or nil.
-func (ua *ucAction) row(v int32) []ucEntry {
-	if i, ok := slices.BinarySearch(ua.rowKey, v); ok {
-		return ua.rows[i]
-	}
-	return nil
-}
-
-// col returns the sorted influencer ids with credit over u, or nil.
-func (ua *ucAction) col(u int32) []int32 {
-	if i, ok := slices.BinarySearch(ua.colKey, u); ok {
-		return ua.cols[i]
-	}
-	return nil
-}
-
-// get returns the credit of entry (v,u) and whether it exists.
-func (ua *ucAction) get(v, u int32) (float64, bool) {
-	row := ua.row(v)
-	if i, ok := searchRow(row, u); ok {
-		return row[i].c, true
-	}
-	return 0, false
-}
-
-// cell returns a pointer to the credit of entry (v,u), creating the entry
-// (and mirroring it in the column index) when absent; created reports
-// whether it did. The pointer is valid until the next structural change.
-func (ua *ucAction) cell(v, u int32) (cr *float64, created bool) {
-	ri, ok := slices.BinarySearch(ua.rowKey, v)
-	if !ok {
-		ua.rowKey = slices.Insert(ua.rowKey, ri, v)
-		ua.rows = slices.Insert(ua.rows, ri, []ucEntry(nil))
-	}
-	ei, found := searchRow(ua.rows[ri], u)
-	if !found {
-		ua.rows[ri] = slices.Insert(ua.rows[ri], ei, ucEntry{u: u})
-		ua.colInsert(u, v)
-	}
-	return &ua.rows[ri][ei].c, !found
-}
-
-// colInsert mirrors a new entry (v,u) into the column index.
-func (ua *ucAction) colInsert(u, v int32) {
-	ci, ok := slices.BinarySearch(ua.colKey, u)
-	if !ok {
-		ua.colKey = slices.Insert(ua.colKey, ci, u)
-		ua.cols = slices.Insert(ua.cols, ci, []int32(nil))
-	}
-	if vi, found := slices.BinarySearch(ua.cols[ci], v); !found {
-		ua.cols[ci] = slices.Insert(ua.cols[ci], vi, v)
-	}
-}
-
-// colRemove drops v from u's column, pruning the column when it empties.
-func (ua *ucAction) colRemove(u, v int32) {
-	ci, ok := slices.BinarySearch(ua.colKey, u)
-	if !ok {
-		return
-	}
-	vi, found := slices.BinarySearch(ua.cols[ci], v)
-	if !found {
-		return
-	}
-	ua.cols[ci] = slices.Delete(ua.cols[ci], vi, vi+1)
-	if len(ua.cols[ci]) == 0 {
-		ua.colKey = slices.Delete(ua.colKey, ci, ci+1)
-		ua.cols = slices.Delete(ua.cols, ci, ci+1)
-	}
-}
-
-// rowRemoveEntry drops cell (v,u) from v's row, pruning the row when it
-// empties; it does not touch the column index.
-func (ua *ucAction) rowRemoveEntry(v, u int32) bool {
-	ri, ok := slices.BinarySearch(ua.rowKey, v)
-	if !ok {
-		return false
-	}
-	ei, found := searchRow(ua.rows[ri], u)
-	if !found {
-		return false
-	}
-	ua.rows[ri] = slices.Delete(ua.rows[ri], ei, ei+1)
-	if len(ua.rows[ri]) == 0 {
-		ua.rowKey = slices.Delete(ua.rowKey, ri, ri+1)
-		ua.rows = slices.Delete(ua.rows, ri, ri+1)
-	}
-	return true
-}
-
-// find locates entry (v,u), returning its row and cell indexes.
-func (ua *ucAction) find(v, u int32) (ri, ei int, ok bool) {
-	ri, ok = slices.BinarySearch(ua.rowKey, v)
-	if !ok {
-		return 0, 0, false
-	}
-	ei, ok = searchRow(ua.rows[ri], u)
-	return ri, ei, ok
-}
-
-// remove deletes entry (v,u) from both indexes; reports whether it existed.
-func (ua *ucAction) remove(v, u int32) bool {
-	if !ua.rowRemoveEntry(v, u) {
-		return false
-	}
-	ua.colRemove(u, v)
-	return true
-}
-
-// removeRow deletes v's entire row, unmirroring every cell from the column
-// index; returns how many entries were removed.
-func (ua *ucAction) removeRow(v int32) int {
-	ri, ok := slices.BinarySearch(ua.rowKey, v)
-	if !ok {
-		return 0
-	}
-	row := ua.rows[ri]
-	ua.rowKey = slices.Delete(ua.rowKey, ri, ri+1)
-	ua.rows = slices.Delete(ua.rows, ri, ri+1)
-	for _, en := range row {
-		ua.colRemove(en.u, v)
-	}
-	return len(row)
-}
-
-// removeCol deletes u's entire column, dropping every (v,u) cell from the
-// rows; returns how many entries were removed.
-func (ua *ucAction) removeCol(u int32) int {
-	ci, ok := slices.BinarySearch(ua.colKey, u)
-	if !ok {
-		return 0
-	}
-	col := ua.cols[ci]
-	ua.colKey = slices.Delete(ua.colKey, ci, ci+1)
-	ua.cols = slices.Delete(ua.cols, ci, ci+1)
-	n := 0
-	for _, v := range col {
-		if ua.rowRemoveEntry(v, u) {
-			n++
-		}
-	}
-	return n
+	baseActions  int   // shards [0, baseActions) form the frozen base
+	deltaEntries int64 // entries the delta shards contributed when scanned
 }
 
 // Options configures engine construction.
@@ -222,57 +74,35 @@ type Options struct {
 	Workers int
 }
 
-// NewEngine scans the training log and returns a ready engine.
+// NewEngine scans the training log and returns a ready engine. The fresh
+// engine owns every shard, so seed selection mutates in place with no
+// copy-on-write cost; call Compact to freeze it for cheap cloning.
 func NewEngine(g *graph.Graph, train *actionlog.Log, opts Options) *Engine {
 	model := opts.Credit
 	if model == nil {
 		model = SimpleCredit{}
 	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	numActions := train.NumActions()
-	if workers > numActions {
-		workers = numActions
-	}
-	if workers < 1 {
-		workers = 1
-	}
 	e := &Engine{
-		numUsers:  train.NumUsers(),
-		au:        make([]int32, train.NumUsers()),
-		actionsOf: make([][]int32, train.NumUsers()),
-		uc:        make([]ucAction, numActions),
-		sc:        make([]map[int32]float64, numActions),
-		lambda:    opts.Lambda,
+		numUsers:    train.NumUsers(),
+		ownsUsers:   true,
+		au:          make([]int32, train.NumUsers()),
+		actionsOf:   make([][]int32, train.NumUsers()),
+		sc:          make([]map[int32]float64, numActions),
+		lambda:      opts.Lambda,
+		credit:      model,
+		workers:     opts.Workers,
+		baseActions: numActions,
 	}
 	for u := 0; u < train.NumUsers(); u++ {
 		e.au[u] = int32(train.ActionCount(graph.NodeID(u)))
 	}
-
-	props := make([]*actionlog.Propagation, numActions)
-	var wg sync.WaitGroup
-	var next atomic.Int64
-	entries := make([]int64, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				a := next.Add(1) - 1
-				if a >= int64(numActions) {
-					return
-				}
-				p := actionlog.BuildPropagation(train, g, actionlog.ActionID(a))
-				props[a] = p
-				e.uc[a], entries[w] = scanAction(p, model, e.lambda, entries[w])
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, n := range entries {
-		e.entries += n
+	shards, props, entries := scanShards(g, train, 0, numActions, model, e.lambda, e.workers)
+	e.uc = shards
+	e.entries = entries
+	e.owned = make([]bool, numActions)
+	for a := range e.owned {
+		e.owned[a] = true
 	}
 	// actionsOf is rebuilt serially in action order so its contents do not
 	// depend on worker scheduling.
@@ -282,6 +112,51 @@ func NewEngine(g *graph.Graph, train *actionlog.Log, opts Options) *Engine {
 		}
 	}
 	return e
+}
+
+// scanShards builds the UC shards (and propagation DAGs) of actions
+// [from, to) of the log, fanned over a worker pool. Shards are written by
+// index, so the result is independent of scheduling.
+func scanShards(g *graph.Graph, log *actionlog.Log, from, to int, model CreditModel, lambda float64, workers int) ([]*ucAction, []*actionlog.Propagation, int64) {
+	n := to - from
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	shards := make([]*ucAction, n)
+	props := make([]*actionlog.Propagation, n)
+	perWorker := make([]int64, workers)
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				a := actionlog.ActionID(from + int(i))
+				p := actionlog.BuildPropagation(log, g, a)
+				props[i] = p
+				shard, tally := scanAction(p, model, lambda, perWorker[w])
+				shards[i] = &shard
+				perWorker[w] = tally
+			}
+		}(w)
+	}
+	wg.Wait()
+	var entries int64
+	for _, n := range perWorker {
+		entries += n
+	}
+	return shards, props, entries
 }
 
 // scanAction processes one propagation chronologically (the per-action
@@ -322,37 +197,163 @@ func scanAction(p *actionlog.Propagation, model CreditModel, lambda float64, ent
 	return ua, entries
 }
 
-// Clone returns an independent deep copy of the engine: committing seeds to
-// the clone never disturbs the original, and a sequence of Gain/Add calls on
-// the clone produces bit-for-bit the floats the original would have produced.
-// The read-only scan products (Au counts and the per-user action lists) are
-// shared, so cloning costs a copy of the live UC entries and SC maps —
-// milliseconds — instead of the full log rescan NewEngine performs. This is
-// what lets a serving layer keep one scanned engine per model snapshot and
-// hand mutable copies to concurrent seed-selection requests.
+// AppendActions extends the engine with the tail of a combined log without
+// re-scanning the prefix: log must contain the engine's already-scanned
+// actions as [0, from) and from must equal NumActions(). The tail
+// [from, log.NumActions()) is scanned in parallel into delta shards, au
+// and actionsOf are extended (copied first when shared with clones, via
+// mutUsers), and users the engine has not seen — the log universe may
+// have grown — are registered, provided the graph covers them. Gain,
+// Spread via SC, and CELF selections on the result are bit-for-bit
+// identical to a from-scratch NewEngine over the combined log with the
+// same credit rule, because every carried-over structure is per-action
+// and Au only grows.
+//
+// Appending is only legal before the first Add: committed seeds turn UC
+// into the V-S restriction, which raw per-action credits would corrupt.
+func (e *Engine) AppendActions(g *graph.Graph, log *actionlog.Log, from actionlog.ActionID) error {
+	if len(e.seeds) > 0 {
+		return ErrSeedsCommitted
+	}
+	if int(from) != len(e.uc) {
+		return fmt.Errorf("core: append from action %d, but engine has scanned %d", from, len(e.uc))
+	}
+	if log.NumActions() < int(from) {
+		return fmt.Errorf("core: combined log has %d actions, fewer than the %d already scanned", log.NumActions(), from)
+	}
+	if log.NumUsers() > g.NumNodes() {
+		return fmt.Errorf("core: log universe (%d users) exceeds the graph (%d nodes)", log.NumUsers(), g.NumNodes())
+	}
+	if log.NumUsers() < e.numUsers {
+		return fmt.Errorf("core: log universe shrank: %d users, engine has %d", log.NumUsers(), e.numUsers)
+	}
+	to := log.NumActions()
+	shards, props, entries := scanShards(g, log, int(from), to, e.credit, e.lambda, e.workers)
+
+	// The per-user walk is serial and in action order, so actionsOf ends
+	// up exactly as NewEngine over the combined log would build it.
+	e.mutUsers(log.NumUsers())
+	for i, p := range props {
+		a := from + actionlog.ActionID(i)
+		for _, u := range p.Users {
+			e.au[u]++
+			e.actionsOf[u] = append(e.actionsOf[u], a)
+		}
+	}
+
+	uc := make([]*ucAction, to)
+	copy(uc, e.uc)
+	copy(uc[from:], shards)
+	owned := make([]bool, to)
+	copy(owned, e.owned)
+	for a := int(from); a < to; a++ {
+		owned[a] = true
+	}
+	sc := make([]map[int32]float64, to)
+	copy(sc, e.sc)
+
+	e.uc = uc
+	e.owned = owned
+	e.sc = sc
+	e.entries += entries
+	e.deltaEntries += entries
+	return nil
+}
+
+// mutUsers makes the per-user state (au, actionsOf) privately mutable and
+// at least newNumUsers long. While the engine owns it — fresh from
+// NewEngine, or after a previous call — mutation happens in place, so a
+// trickle of IngestAction calls costs only the touched users; once shared
+// by Clone or frozen by Compact, the next mutation pays one full copy.
+func (e *Engine) mutUsers(newNumUsers int) {
+	if newNumUsers < e.numUsers {
+		newNumUsers = e.numUsers
+	}
+	if !e.ownsUsers {
+		au := make([]int32, newNumUsers)
+		copy(au, e.au)
+		actionsOf := make([][]int32, newNumUsers)
+		for u, row := range e.actionsOf {
+			actionsOf[u] = slices.Clone(row)
+		}
+		e.au, e.actionsOf = au, actionsOf
+		e.ownsUsers = true
+	} else if newNumUsers > e.numUsers {
+		au := make([]int32, newNumUsers)
+		copy(au, e.au)
+		actionsOf := make([][]int32, newNumUsers)
+		copy(actionsOf, e.actionsOf) // inner rows are already private
+		e.au, e.actionsOf = au, actionsOf
+	}
+	e.numUsers = newNumUsers
+}
+
+// Compact folds the delta into the base and freezes the engine: every
+// shard this engine owns is re-allocated at exact size (shedding the
+// growth slack the incremental scan left) and released to shared status,
+// so subsequent Clones copy nothing and Add falls back to copy-on-write.
+// The delta counters reset; results are unchanged. Compact must not run
+// concurrently with readers of the same engine.
+func (e *Engine) Compact() {
+	// Owned shards anywhere, plus every delta shard: a delta frozen by an
+	// earlier Freeze is no longer owned but still carries its scan-time
+	// growth slack, and folding it into the base is the moment to shed it.
+	for a := range e.uc {
+		if e.owned[a] || a >= e.baseActions {
+			e.uc[a] = cloneShard(e.uc[a])
+			e.owned[a] = false
+		}
+	}
+	e.baseActions = len(e.uc)
+	e.deltaEntries = 0
+	// Freeze the per-user state too: future clones share it, and the next
+	// ingest copies it back out.
+	e.ownsUsers = false
+}
+
+// Clone returns an independent engine: committing seeds to the clone never
+// disturbs the original, and a sequence of Gain/Add calls on the clone
+// produces bit-for-bit the floats the original would have produced. Frozen
+// (unowned) shards and the read-only per-user state are shared, so cloning
+// a compacted engine costs an outer-slice copy — microseconds — while
+// shards the receiver still owns (its delta, or shards it already mutated)
+// are deep-copied. This is what lets a serving layer keep one scanned
+// engine per model snapshot and hand mutable copies to concurrent
+// seed-selection requests.
 func (e *Engine) Clone() *Engine {
 	c := &Engine{
-		numUsers:  e.numUsers,
-		au:        e.au,        // never mutated after NewEngine
-		actionsOf: e.actionsOf, // never mutated after NewEngine
-		uc:        make([]ucAction, len(e.uc)),
-		sc:        make([]map[int32]float64, len(e.sc)),
-		seeds:     slices.Clone(e.seeds),
-		entries:   e.entries,
-		lambda:    e.lambda,
+		numUsers:     e.numUsers,
+		uc:           slices.Clone(e.uc),
+		owned:        slices.Clone(e.owned),
+		sc:           make([]map[int32]float64, len(e.sc)),
+		seeds:        slices.Clone(e.seeds),
+		entries:      e.entries,
+		lambda:       e.lambda,
+		credit:       e.credit,
+		workers:      e.workers,
+		baseActions:  e.baseActions,
+		deltaEntries: e.deltaEntries,
 	}
-	for i := range e.uc {
-		src, dst := &e.uc[i], &c.uc[i]
-		dst.rowKey = slices.Clone(src.rowKey)
-		dst.colKey = slices.Clone(src.colKey)
-		dst.rows = make([][]ucEntry, len(src.rows))
-		for j, row := range src.rows {
-			dst.rows[j] = slices.Clone(row)
+	// Shards the receiver owns may be mutated by its future Adds or
+	// compacted away, so the clone takes private copies; shared shards are
+	// frozen and stay shared.
+	for a, own := range c.owned {
+		if own {
+			c.uc[a] = cloneShard(c.uc[a])
 		}
-		dst.cols = make([][]int32, len(src.cols))
-		for j, col := range src.cols {
-			dst.cols[j] = slices.Clone(col)
+	}
+	// Same for the per-user state: an owning receiver mutates it in place
+	// on ingest, so the clone copies; a frozen one is shared.
+	if e.ownsUsers {
+		c.ownsUsers = true
+		c.au = slices.Clone(e.au)
+		c.actionsOf = make([][]int32, len(e.actionsOf))
+		for u, row := range e.actionsOf {
+			c.actionsOf[u] = slices.Clone(row)
 		}
+	} else {
+		c.au = e.au
+		c.actionsOf = e.actionsOf
 	}
 	for i, m := range e.sc {
 		if m != nil {
@@ -360,6 +361,16 @@ func (e *Engine) Clone() *Engine {
 		}
 	}
 	return c
+}
+
+// mutShard returns action a's shard ready for in-place mutation, copying
+// it first when it is shared with sibling engines (copy-on-write).
+func (e *Engine) mutShard(a int32) *ucAction {
+	if !e.owned[a] {
+		e.uc[a] = cloneShard(e.uc[a])
+		e.owned[a] = true
+	}
+	return e.uc[a]
 }
 
 // Credit returns UC[v][u][a] = Gamma^{V-S}_{v,u}(a) under the current seed
@@ -383,6 +394,35 @@ func (e *Engine) SeedCredit(a actionlog.ActionID, x graph.NodeID) float64 {
 // Entries returns the number of live UC entries, the memory statistic
 // reported in Figure 8 and Table 4.
 func (e *Engine) Entries() int64 { return e.entries }
+
+// CreditModel returns the direct-credit rule the shards were scanned with.
+func (e *Engine) CreditModel() CreditModel { return e.credit }
+
+// Lambda returns the truncation threshold the shards were scanned with.
+func (e *Engine) Lambda() float64 { return e.lambda }
+
+// Freeze releases every shard and the per-user state to shared status
+// without copying anything or folding the delta (unlike Compact, the
+// delta counters and the shards' capacity slack are kept). Clones of a
+// frozen engine share everything, and any later mutation — an Add on a
+// clone, a fresh ingest — pays copy-on-write. Serving snapshots freeze
+// their base planner before publishing it, so per-request clones stay
+// cheap between compactions. Must not run concurrently with other calls
+// on the same engine.
+func (e *Engine) Freeze() {
+	for a := range e.owned {
+		e.owned[a] = false
+	}
+	e.ownsUsers = false
+}
+
+// DeltaEntries returns the UC entries contributed by actions appended
+// since construction or the last Compact — the delta's size, as scanned.
+func (e *Engine) DeltaEntries() int64 { return e.deltaEntries }
+
+// DeltaActions returns how many appended actions sit outside the frozen
+// base (zero after NewEngine or Compact).
+func (e *Engine) DeltaActions() int { return len(e.uc) - e.baseActions }
 
 // NumNodes returns the user-universe size, making Engine usable as a
 // seedsel.Estimator.
@@ -438,11 +478,13 @@ func (e *Engine) Gain(x graph.NodeID) float64 {
 // Finally x's row and column are removed, matching the V-S superscript
 // semantics of Theorem 3. Both walks follow sorted id order; the Lemma 2
 // deletions never touch x's own row or column, so the snapshots below
-// stay valid throughout.
+// stay valid throughout. Shards shared with sibling engines are copied
+// before the first write, so Add never disturbs a clone or the frozen
+// base of a serving snapshot.
 func (e *Engine) Add(x graph.NodeID) {
 	xi := int32(x)
 	for _, a := range e.actionsOf[x] {
-		ua := &e.uc[a]
+		ua := e.mutShard(a)
 		row := ua.row(xi) // (u, Gamma^{V-S}_{x,u}(a)) cells
 		col := ua.col(xi) // v ids with Gamma^{V-S}_{v,x}(a) > 0
 		scx := 0.0
@@ -486,24 +528,17 @@ func (e *Engine) Add(x graph.NodeID) {
 	e.seeds = append(e.seeds, x)
 }
 
-// ResidentBytes reports the UC structure's slice footprint: 16 bytes per
-// entry in the rows (int32 influenced id + float64 credit, padded) plus 4
-// bytes in the column index, with per-row slice headers on top. On the
-// flixster-small preset this measures 34.4 bytes per live entry (32.0
-// MiB total), versus 71.5 bytes per entry (66.4 MiB) for the mirrored
-// map-of-maps representation it replaced.
+// ResidentBytes reports the UC structure's slice footprint (16 bytes per
+// row entry plus the column mirror and slice headers; see
+// ucAction.residentBytes). Shards shared with sibling engines are counted
+// in full for every engine referencing them. On the flixster-small preset
+// this measures 34.4 bytes per live entry (32.0 MiB total), versus 71.5
+// bytes per entry (66.4 MiB) for the mirrored map-of-maps representation
+// it replaced.
 func (e *Engine) ResidentBytes() int64 {
 	var bytes int64
-	for i := range e.uc {
-		ua := &e.uc[i]
-		bytes += int64(cap(ua.rowKey))*4 + int64(cap(ua.colKey))*4
-		for _, row := range ua.rows {
-			bytes += int64(cap(row)) * 16
-		}
-		for _, col := range ua.cols {
-			bytes += int64(cap(col)) * 4
-		}
-		bytes += int64(cap(ua.rows)+cap(ua.cols)) * 24 // inner slice headers
+	for _, ua := range e.uc {
+		bytes += ua.residentBytes()
 	}
 	return bytes
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"credist/internal/actionlog"
 	"credist/internal/graph"
 )
@@ -19,6 +21,7 @@ type Evaluator struct {
 	actionsOf [][]int32
 	props     []*actionlog.Propagation
 	gammas    [][][]float64 // per action, per child, aligned with Parents
+	credit    CreditModel   // the rule gammas were computed with
 }
 
 // NewEvaluator precomputes propagation DAGs and direct credits for the
@@ -33,6 +36,7 @@ func NewEvaluator(g *graph.Graph, train *actionlog.Log, model CreditModel) *Eval
 		actionsOf: make([][]int32, train.NumUsers()),
 		props:     make([]*actionlog.Propagation, train.NumActions()),
 		gammas:    make([][][]float64, train.NumActions()),
+		credit:    model,
 	}
 	for u := 0; u < train.NumUsers(); u++ {
 		ev.au[u] = int32(train.ActionCount(graph.NodeID(u)))
@@ -59,6 +63,74 @@ func NewEvaluator(g *graph.Graph, train *actionlog.Log, model CreditModel) *Eval
 
 // NumUsers returns the user-universe size.
 func (ev *Evaluator) NumUsers() int { return ev.numUsers }
+
+// NumActions returns how many actions the evaluator covers.
+func (ev *Evaluator) NumActions() int { return len(ev.props) }
+
+// Extend returns a new evaluator over the combined log, computing
+// propagation DAGs and direct credits only for the tail
+// [from, log.NumActions()): log must contain the evaluator's existing
+// actions as [0, from) and from must equal NumActions(). The receiver is
+// untouched — prefix DAGs and gammas are shared, per-user state is
+// rebuilt — so concurrent Spread calls on the old evaluator keep their
+// answers while the successor is assembled. Spread on the result is
+// bit-identical to NewEvaluator over the combined log with the same
+// credit rule: the shared prefix structures are per-action, and the A_u
+// normalizers are recomputed from the combined log exactly as
+// NewEvaluator would.
+func (ev *Evaluator) Extend(g *graph.Graph, log *actionlog.Log, from actionlog.ActionID) (*Evaluator, error) {
+	if int(from) != len(ev.props) {
+		return nil, fmt.Errorf("core: extend from action %d, but evaluator covers %d", from, len(ev.props))
+	}
+	if log.NumActions() < int(from) {
+		return nil, fmt.Errorf("core: combined log has %d actions, fewer than the %d already covered", log.NumActions(), from)
+	}
+	if log.NumUsers() > g.NumNodes() {
+		return nil, fmt.Errorf("core: log universe (%d users) exceeds the graph (%d nodes)", log.NumUsers(), g.NumNodes())
+	}
+	if log.NumUsers() < ev.numUsers {
+		return nil, fmt.Errorf("core: log universe shrank: %d users, evaluator has %d", log.NumUsers(), ev.numUsers)
+	}
+	ne := &Evaluator{
+		numUsers:  log.NumUsers(),
+		au:        make([]int32, log.NumUsers()),
+		actionsOf: make([][]int32, log.NumUsers()),
+		props:     make([]*actionlog.Propagation, log.NumActions()),
+		gammas:    make([][][]float64, log.NumActions()),
+		credit:    ev.credit,
+	}
+	for u := 0; u < log.NumUsers(); u++ {
+		ne.au[u] = int32(log.ActionCount(graph.NodeID(u)))
+	}
+	copy(ne.actionsOf, ev.actionsOf)
+	copy(ne.props, ev.props)
+	copy(ne.gammas, ev.gammas)
+	appended := make(map[graph.NodeID][]int32)
+	for a := int(from); a < log.NumActions(); a++ {
+		p := actionlog.BuildPropagation(log, g, actionlog.ActionID(a))
+		ne.props[a] = p
+		ga := make([][]float64, len(p.Users))
+		for i, u := range p.Users {
+			appended[u] = append(appended[u], int32(a))
+			if len(p.Parents[i]) == 0 {
+				continue
+			}
+			gi := make([]float64, len(p.Parents[i]))
+			for k, j := range p.Parents[i] {
+				gi[k] = ev.credit.Gamma(p, int32(i), j)
+			}
+			ga[i] = gi
+		}
+		ne.gammas[a] = ga
+	}
+	// Touched users get fresh action lists; everyone else shares the
+	// receiver's (never mutated again).
+	for u, tail := range appended {
+		merged := make([]int32, 0, len(ne.actionsOf[u])+len(tail))
+		ne.actionsOf[u] = append(append(merged, ne.actionsOf[u]...), tail...)
+	}
+	return ne, nil
+}
 
 // Spread computes sigma_cd(S) = sum_u kappa_{S,u}. Each seed with at least
 // one training action contributes exactly 1 (its own kappa); every other

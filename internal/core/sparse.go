@@ -1,0 +1,229 @@
+package core
+
+import (
+	"cmp"
+	"slices"
+	"sort"
+)
+
+// This file holds the sorted-sparse shard shared by Engine and
+// CompactEngine: the ucAction structure, its binary-search helpers, and
+// the shard copy used by copy-on-write and Compact. Keeping every sorted
+// search in one place means the base/delta merge path and the flattened
+// ablation reuse one implementation instead of growing private copies.
+
+// ucEntry is one cell of an influencer's credit row.
+type ucEntry struct {
+	u int32   // influenced user
+	c float64 // Gamma^{V-S}_{v,u}(a)
+}
+
+// ucAction holds one action's credit matrix as sorted sparse rows: rowKey
+// lists the influencers in ascending order and rows[i] holds rowKey[i]'s
+// (influenced, credit) cells sorted by influenced id. colKey/cols mirror
+// the structure column-wise (influenced -> sorted influencer ids) so seed
+// updates can walk a column without scanning every row. All four slices
+// are kept exactly in sync; iteration order is therefore fixed, which
+// makes every float summation over the structure deterministic.
+type ucAction struct {
+	rowKey []int32
+	rows   [][]ucEntry
+	colKey []int32
+	cols   [][]int32
+}
+
+// searchRow locates influenced id u in a sorted row.
+func searchRow(row []ucEntry, u int32) (int, bool) {
+	return slices.BinarySearchFunc(row, u, func(e ucEntry, u int32) int {
+		return cmp.Compare(e.u, u)
+	})
+}
+
+// sortedRange returns the half-open index range [lo, hi) of value k in an
+// ascending int32 slice; lo == hi when k is absent. Both bounds are found
+// by binary search (rows can hold thousands of duplicates of one key). It
+// is the row/column range search shared by the flattened CompactEngine
+// layout.
+func sortedRange(keys []int32, k int32) (int, int) {
+	lo := sort.Search(len(keys), func(i int) bool { return keys[i] >= k })
+	hi := lo + sort.Search(len(keys)-lo, func(i int) bool { return keys[lo+i] > k })
+	return lo, hi
+}
+
+// cloneShard returns an exact deep copy of a shard. It backs Engine's
+// copy-on-write Add (the first mutation of a shared shard copies it) and
+// Compact (re-allocating a delta shard to exact size sheds the growth
+// slack slices.Insert left behind).
+func cloneShard(src *ucAction) *ucAction {
+	dst := &ucAction{
+		rowKey: slices.Clone(src.rowKey),
+		colKey: slices.Clone(src.colKey),
+		rows:   make([][]ucEntry, len(src.rows)),
+		cols:   make([][]int32, len(src.cols)),
+	}
+	for i, row := range src.rows {
+		dst.rows[i] = slices.Clone(row)
+	}
+	for i, col := range src.cols {
+		dst.cols[i] = slices.Clone(col)
+	}
+	return dst
+}
+
+// row returns v's credit cells, sorted by influenced id, or nil.
+func (ua *ucAction) row(v int32) []ucEntry {
+	if i, ok := slices.BinarySearch(ua.rowKey, v); ok {
+		return ua.rows[i]
+	}
+	return nil
+}
+
+// col returns the sorted influencer ids with credit over u, or nil.
+func (ua *ucAction) col(u int32) []int32 {
+	if i, ok := slices.BinarySearch(ua.colKey, u); ok {
+		return ua.cols[i]
+	}
+	return nil
+}
+
+// get returns the credit of entry (v,u) and whether it exists.
+func (ua *ucAction) get(v, u int32) (float64, bool) {
+	row := ua.row(v)
+	if i, ok := searchRow(row, u); ok {
+		return row[i].c, true
+	}
+	return 0, false
+}
+
+// cell returns a pointer to the credit of entry (v,u), creating the entry
+// (and mirroring it in the column index) when absent; created reports
+// whether it did. The pointer is valid until the next structural change.
+func (ua *ucAction) cell(v, u int32) (cr *float64, created bool) {
+	ri, ok := slices.BinarySearch(ua.rowKey, v)
+	if !ok {
+		ua.rowKey = slices.Insert(ua.rowKey, ri, v)
+		ua.rows = slices.Insert(ua.rows, ri, []ucEntry(nil))
+	}
+	ei, found := searchRow(ua.rows[ri], u)
+	if !found {
+		ua.rows[ri] = slices.Insert(ua.rows[ri], ei, ucEntry{u: u})
+		ua.colInsert(u, v)
+	}
+	return &ua.rows[ri][ei].c, !found
+}
+
+// colInsert mirrors a new entry (v,u) into the column index.
+func (ua *ucAction) colInsert(u, v int32) {
+	ci, ok := slices.BinarySearch(ua.colKey, u)
+	if !ok {
+		ua.colKey = slices.Insert(ua.colKey, ci, u)
+		ua.cols = slices.Insert(ua.cols, ci, []int32(nil))
+	}
+	if vi, found := slices.BinarySearch(ua.cols[ci], v); !found {
+		ua.cols[ci] = slices.Insert(ua.cols[ci], vi, v)
+	}
+}
+
+// colRemove drops v from u's column, pruning the column when it empties.
+func (ua *ucAction) colRemove(u, v int32) {
+	ci, ok := slices.BinarySearch(ua.colKey, u)
+	if !ok {
+		return
+	}
+	vi, found := slices.BinarySearch(ua.cols[ci], v)
+	if !found {
+		return
+	}
+	ua.cols[ci] = slices.Delete(ua.cols[ci], vi, vi+1)
+	if len(ua.cols[ci]) == 0 {
+		ua.colKey = slices.Delete(ua.colKey, ci, ci+1)
+		ua.cols = slices.Delete(ua.cols, ci, ci+1)
+	}
+}
+
+// rowRemoveEntry drops cell (v,u) from v's row, pruning the row when it
+// empties; it does not touch the column index.
+func (ua *ucAction) rowRemoveEntry(v, u int32) bool {
+	ri, ok := slices.BinarySearch(ua.rowKey, v)
+	if !ok {
+		return false
+	}
+	ei, found := searchRow(ua.rows[ri], u)
+	if !found {
+		return false
+	}
+	ua.rows[ri] = slices.Delete(ua.rows[ri], ei, ei+1)
+	if len(ua.rows[ri]) == 0 {
+		ua.rowKey = slices.Delete(ua.rowKey, ri, ri+1)
+		ua.rows = slices.Delete(ua.rows, ri, ri+1)
+	}
+	return true
+}
+
+// find locates entry (v,u), returning its row and cell indexes.
+func (ua *ucAction) find(v, u int32) (ri, ei int, ok bool) {
+	ri, ok = slices.BinarySearch(ua.rowKey, v)
+	if !ok {
+		return 0, 0, false
+	}
+	ei, ok = searchRow(ua.rows[ri], u)
+	return ri, ei, ok
+}
+
+// remove deletes entry (v,u) from both indexes; reports whether it existed.
+func (ua *ucAction) remove(v, u int32) bool {
+	if !ua.rowRemoveEntry(v, u) {
+		return false
+	}
+	ua.colRemove(u, v)
+	return true
+}
+
+// removeRow deletes v's entire row, unmirroring every cell from the column
+// index; returns how many entries were removed.
+func (ua *ucAction) removeRow(v int32) int {
+	ri, ok := slices.BinarySearch(ua.rowKey, v)
+	if !ok {
+		return 0
+	}
+	row := ua.rows[ri]
+	ua.rowKey = slices.Delete(ua.rowKey, ri, ri+1)
+	ua.rows = slices.Delete(ua.rows, ri, ri+1)
+	for _, en := range row {
+		ua.colRemove(en.u, v)
+	}
+	return len(row)
+}
+
+// removeCol deletes u's entire column, dropping every (v,u) cell from the
+// rows; returns how many entries were removed.
+func (ua *ucAction) removeCol(u int32) int {
+	ci, ok := slices.BinarySearch(ua.colKey, u)
+	if !ok {
+		return 0
+	}
+	col := ua.cols[ci]
+	ua.colKey = slices.Delete(ua.colKey, ci, ci+1)
+	ua.cols = slices.Delete(ua.cols, ci, ci+1)
+	n := 0
+	for _, v := range col {
+		if ua.rowRemoveEntry(v, u) {
+			n++
+		}
+	}
+	return n
+}
+
+// residentBytes reports the shard's slice footprint: 16 bytes per entry in
+// the rows (int32 influenced id + float64 credit, padded) plus 4 bytes in
+// the column index, with per-row slice headers on top.
+func (ua *ucAction) residentBytes() int64 {
+	bytes := int64(cap(ua.rowKey))*4 + int64(cap(ua.colKey))*4
+	for _, row := range ua.rows {
+		bytes += int64(cap(row)) * 16
+	}
+	for _, col := range ua.cols {
+		bytes += int64(cap(col)) * 4
+	}
+	return bytes + int64(cap(ua.rows)+cap(ua.cols))*24 // inner slice headers
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"os"
 	"slices"
 	"sort"
 	"strconv"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"credist"
+	"credist/internal/actionlog"
 )
 
 // Server is the HTTP front end: a snapshot registry, a request router, and
@@ -50,6 +52,7 @@ func New(sn *Snapshot) *Server {
 	s.handle("healthz", "GET /healthz", s.handleHealthz)
 	s.handle("stats", "GET /stats", s.handleStats)
 	s.handle("reload", "POST /reload", s.handleReload)
+	s.handle("ingest", "POST /ingest", s.handleIngest)
 	s.met = newMetrics(s.routeNames)
 
 	paths := make([]string, 0, len(s.allowed))
@@ -322,6 +325,11 @@ type StatsResponse struct {
 	Actions       int              `json:"actions"`
 	Tuples        int              `json:"tuples"`
 	Entries       int64            `json:"entries"`
+	BaseEntries   int64            `json:"base_entries"`
+	DeltaEntries  int64            `json:"delta_entries"`
+	DeltaActions  int              `json:"delta_actions"`
+	Ingests       int64            `json:"ingests"`
+	LastIngest    *time.Time       `json:"last_ingest,omitempty"`
 	ResidentBytes int64            `json:"resident_bytes"`
 	CachedSeedKs  []int            `json:"cached_seed_ks"`
 	UptimeSec     float64          `json:"uptime_seconds"`
@@ -333,7 +341,7 @@ type StatsResponse struct {
 func (s *Server) handleStats(sn *Snapshot, _ *http.Request) (any, error) {
 	st := sn.Dataset().Stats()
 	total, per, qps, uptime := s.met.snapshot(time.Now())
-	return StatsResponse{
+	resp := StatsResponse{
 		Snapshot:      sn.ID,
 		Dataset:       sn.Dataset().Name,
 		Source:        sn.src.describe(),
@@ -342,13 +350,21 @@ func (s *Server) handleStats(sn *Snapshot, _ *http.Request) (any, error) {
 		Actions:       st.NumActions,
 		Tuples:        st.NumTuples,
 		Entries:       sn.Entries(),
+		BaseEntries:   sn.BaseEntries(),
+		DeltaEntries:  sn.DeltaEntries(),
+		DeltaActions:  sn.DeltaActions(),
+		Ingests:       sn.Ingests(),
 		ResidentBytes: sn.ResidentBytes(),
 		CachedSeedKs:  sn.CachedKs(),
 		UptimeSec:     uptime.Seconds(),
 		Requests:      total,
 		RequestsBy:    per,
 		QPS:           qps,
-	}, nil
+	}
+	if t := sn.LastIngest(); !t.IsZero() {
+		resp.LastIngest = &t
+	}
+	return resp, nil
 }
 
 // --- /reload ---------------------------------------------------------------
@@ -390,6 +406,114 @@ func (s *Server) handleReload(_ *Snapshot, r *http.Request) (any, error) {
 		Entries:       sn.Entries(),
 		ResidentBytes: sn.ResidentBytes(),
 		LoadMillis:    float64(elapsed.Nanoseconds()) / 1e6,
+	}, nil
+}
+
+// --- /ingest ---------------------------------------------------------------
+
+// IngestTuple is one streamed action-log line.
+type IngestTuple struct {
+	User   credist.NodeID   `json:"user"`
+	Action credist.ActionID `json:"action"`
+	Time   float64          `json:"time"`
+}
+
+// ingestRequest feeds new propagations to the current snapshot. Tuples are
+// inline; Log alternatively names a server-side file in the action-log
+// text format (as written by `datagen -stream`). Both may be combined: the
+// file's tuples are appended first, then the inline batch.
+type ingestRequest struct {
+	Tuples  []IngestTuple `json:"tuples,omitempty"`
+	LogPath string        `json:"log,omitempty"`
+	// Compact folds the accumulated delta into the frozen base after the
+	// append, trimming memory and re-freezing the snapshot.
+	Compact bool `json:"compact,omitempty"`
+}
+
+// IngestResponse answers /ingest with the successor snapshot's shape.
+type IngestResponse struct {
+	Snapshot       int64   `json:"snapshot"`
+	Dataset        string  `json:"dataset"`
+	AppendedTuples int     `json:"appended_tuples"`
+	Actions        int     `json:"actions"`
+	Users          int     `json:"users"`
+	Entries        int64   `json:"entries"`
+	BaseEntries    int64   `json:"base_entries"`
+	DeltaEntries   int64   `json:"delta_entries"`
+	DeltaActions   int     `json:"delta_actions"`
+	ResidentBytes  int64   `json:"resident_bytes"`
+	IngestMillis   float64 `json:"ingest_ms"`
+}
+
+// handleIngest extends the current snapshot with streamed propagations and
+// atomically swaps in the successor. Like /reload, the build happens
+// before the swap and outside any lock queries take, so in-flight requests
+// keep answering from the predecessor — which shares its frozen shards
+// with the successor instead of being copied. Unlike /reload, nothing is
+// relearned or rescanned except the appended action tail.
+func (s *Server) handleIngest(_ *Snapshot, r *http.Request) (any, error) {
+	var req ingestRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	var tuples []credist.Tuple
+	minUsers := 0
+	if req.LogPath != "" {
+		f, err := os.Open(req.LogPath)
+		if err != nil {
+			return nil, badRequest("ingest: %v", err)
+		}
+		fileTuples, header, err := actionlog.ParseTuples(f)
+		f.Close()
+		if err != nil {
+			// Deliberately vague: parse errors quote the offending line, and
+			// echoing file contents to HTTP clients would turn this
+			// server-side path option into a remote file reader. The CLI
+			// parses tails client-side with full error detail.
+			return nil, badRequest("ingest: %q is not a parseable action-log tail", req.LogPath)
+		}
+		tuples = fileTuples
+		minUsers = header
+	}
+	for _, t := range req.Tuples {
+		tuples = append(tuples, credist.Tuple{User: t.User, Action: t.Action, Time: t.Time})
+	}
+	if len(tuples) == 0 {
+		return nil, badRequest("ingest: no tuples (provide \"tuples\" or a server-side \"log\" path)")
+	}
+	// Successor builds are serialized with each other and with reloads so
+	// two concurrent ingests cannot both extend the same predecessor.
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	start := time.Now()
+	cur := s.reg.Current()
+	// The social graph bounds the universe: a tail header declaring more
+	// users than the graph holds cannot be honored, only rejected —
+	// silently shrinking the declared universe would let the same file
+	// mean different things here and in Log.AppendFromReader.
+	if minUsers > cur.NumUsers() {
+		return nil, badRequest("ingest: tail header declares %d users, but the graph has %d nodes", minUsers, cur.NumUsers())
+	}
+	sn, err := cur.Ingest(tuples, req.Compact)
+	if err != nil {
+		return nil, badRequest("ingest: %v", err)
+	}
+	s.reg.Install(sn)
+	elapsed := time.Since(start)
+	s.logf("serve: ingested %d tuples into snapshot %d (%d actions, %d delta entries), %.0f ms",
+		len(tuples), sn.ID, sn.Dataset().Log.NumActions(), sn.DeltaEntries(), float64(elapsed.Milliseconds()))
+	return IngestResponse{
+		Snapshot:       sn.ID,
+		Dataset:        sn.Dataset().Name,
+		AppendedTuples: len(tuples),
+		Actions:        sn.Dataset().Log.NumActions(),
+		Users:          sn.NumUsers(),
+		Entries:        sn.Entries(),
+		BaseEntries:    sn.BaseEntries(),
+		DeltaEntries:   sn.DeltaEntries(),
+		DeltaActions:   sn.DeltaActions(),
+		ResidentBytes:  sn.ResidentBytes(),
+		IngestMillis:   float64(elapsed.Nanoseconds()) / 1e6,
 	}, nil
 }
 

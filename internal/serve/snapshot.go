@@ -98,11 +98,21 @@ type Snapshot struct {
 	src   Source
 	model *credist.Model
 	// base is the one scanned planner for this model. Its seed set stays
-	// empty forever; requests that need to commit seeds Clone it.
+	// empty forever — it is compacted (frozen) at build time, so requests
+	// that need to commit seeds Clone it by sharing shards and rely on the
+	// engine's copy-on-write to stay isolated.
 	base *credist.Planner
 
 	entries       int64
 	residentBytes int64
+
+	// Streaming-ingest lineage: delta shape of the base planner plus when
+	// and how often this snapshot line has ingested since its last full
+	// build ({} for a freshly built or reloaded snapshot).
+	deltaEntries int64
+	deltaActions int
+	ingests      int64
+	lastIngest   time.Time
 
 	mu        sync.Mutex
 	seedCache map[int]*seedEntry
@@ -136,6 +146,9 @@ func Build(src Source) (*Snapshot, error) {
 		model = credist.Learn(ds, opts)
 	}
 	base := model.NewPlanner()
+	// Freeze the scan product: every shard becomes shared, so per-request
+	// planner clones copy an outer slice instead of the whole UC store.
+	base.Compact()
 	return &Snapshot{
 		LoadedAt:      time.Now(),
 		src:           src,
@@ -143,6 +156,46 @@ func Build(src Source) (*Snapshot, error) {
 		base:          base,
 		entries:       base.Entries(),
 		residentBytes: base.ResidentBytes(),
+		seedCache:     make(map[int]*seedEntry),
+	}, nil
+}
+
+// Ingest builds the successor snapshot extended with a batch of new
+// propagations, incrementally: the model's learned parameters stay
+// frozen, the base planner is cloned (frozen shards shared) and only the
+// appended action tail is scanned. The receiver keeps serving unchanged —
+// nothing it references is mutated — and the memoized seed selections are
+// invalidated simply by the successor starting with an empty cache.
+// compact additionally folds the accumulated delta into the frozen base
+// before the successor is published.
+func (sn *Snapshot) Ingest(tuples []credist.Tuple, compact bool) (*Snapshot, error) {
+	model, err := sn.model.Ingest(tuples)
+	if err != nil {
+		return nil, err
+	}
+	base, err := model.ExtendPlanner(sn.base)
+	if err != nil {
+		return nil, err
+	}
+	if compact {
+		base.Compact()
+	}
+	// Freeze before publishing: the successor's delta shards and per-user
+	// state go shared, so per-request planner clones stay cheap even when
+	// the operator never sends compact (Compact above already froze; this
+	// is then a no-op).
+	base.Freeze()
+	return &Snapshot{
+		LoadedAt:      time.Now(),
+		src:           sn.src,
+		model:         model,
+		base:          base,
+		entries:       base.Entries(),
+		residentBytes: base.ResidentBytes(),
+		deltaEntries:  base.DeltaEntries(),
+		deltaActions:  base.DeltaActions(),
+		ingests:       sn.ingests + 1,
+		lastIngest:    time.Now(),
 		seedCache:     make(map[int]*seedEntry),
 	}, nil
 }
@@ -155,6 +208,23 @@ func (sn *Snapshot) Model() *credist.Model { return sn.model }
 
 // Entries returns the live UC credit-entry count of the base planner.
 func (sn *Snapshot) Entries() int64 { return sn.entries }
+
+// BaseEntries returns the UC entries in the frozen base shards.
+func (sn *Snapshot) BaseEntries() int64 { return sn.entries - sn.deltaEntries }
+
+// DeltaEntries returns the UC entries in the not-yet-compacted delta.
+func (sn *Snapshot) DeltaEntries() int64 { return sn.deltaEntries }
+
+// DeltaActions returns how many ingested actions sit outside the base.
+func (sn *Snapshot) DeltaActions() int { return sn.deltaActions }
+
+// Ingests returns how many ingest generations this snapshot line has
+// accumulated since its last full build or reload.
+func (sn *Snapshot) Ingests() int64 { return sn.ingests }
+
+// LastIngest returns when the latest ingest finished (zero time if the
+// snapshot came from a full build or reload).
+func (sn *Snapshot) LastIngest() time.Time { return sn.lastIngest }
 
 // ResidentBytes returns the UC structure's resident footprint.
 func (sn *Snapshot) ResidentBytes() int64 { return sn.residentBytes }

@@ -77,6 +77,66 @@ func (m *Model) Gains(base, candidates []NodeID) []float64 {
 	return out
 }
 
+// Ingest returns a new Model extended with a batch of complete new
+// propagations, without relearning: the credit parameters stay frozen and
+// only the appended tail is processed (prefix propagation DAGs and direct
+// credits are shared with the receiver, which keeps answering queries
+// unchanged). The batch follows Log.Append's contract — canonical
+// (action, time, user) order, action ids starting at the log's current
+// NumActions() — and every user must exist in the social graph. Results on
+// the new model are bit-identical to a model over the combined dataset
+// with the same parameters (e.g. one restored by LoadModel).
+func (m *Model) Ingest(tuples []Tuple) (*Model, error) {
+	newLog, err := m.ds.Log.Append(tuples)
+	if err != nil {
+		return nil, err
+	}
+	if newLog.NumUsers() > m.ds.Graph.NumNodes() {
+		return nil, fmt.Errorf("credist: ingested log universe (%d users) exceeds the graph (%d nodes)",
+			newLog.NumUsers(), m.ds.Graph.NumNodes())
+	}
+	eval, err := m.eval.Extend(m.ds.Graph, newLog, ActionID(m.ds.Log.NumActions()))
+	if err != nil {
+		return nil, err
+	}
+	return &Model{
+		ds:     &Dataset{Name: m.ds.Name, Graph: m.ds.Graph, Log: newLog},
+		opts:   m.opts,
+		credit: m.credit,
+		eval:   eval,
+	}, nil
+}
+
+// ExtendPlanner derives a planner for this (post-Ingest) model from one
+// scanned against the pre-ingest log: the planner is cloned — frozen
+// shards shared, not copied — and only the appended action tail is
+// scanned. The source planner must come from the model lineage this model
+// was ingested from (same credit parameters, a prefix of the same log)
+// and must not have committed seeds. Mismatched credit parameters,
+// truncation thresholds, and user universes are rejected; a planner from
+// a different log that happens to agree on all of those (possible only
+// with the parameterless simple-credit rule) cannot be detected cheaply
+// and yields meaningless results — pairing planners with their own model
+// lineage is the caller's contract. Gains and CELF selections on the
+// result are bit-identical to those of a freshly scanned NewPlanner, at a
+// fraction of the cost; see BenchmarkAppendVsRescan.
+func (m *Model) ExtendPlanner(p *Planner) (*Planner, error) {
+	if p.eng.CreditModel() != m.credit {
+		return nil, fmt.Errorf("credist: planner was scanned with different credit parameters than this model")
+	}
+	if pl, ml := p.eng.Lambda(), m.opts.Lambda; pl != ml {
+		return nil, fmt.Errorf("credist: planner was scanned with lambda %g, model uses %g", pl, ml)
+	}
+	if pn, gn := p.eng.NumNodes(), m.ds.Graph.NumNodes(); pn > gn {
+		return nil, fmt.Errorf("credist: planner universe (%d users) exceeds the model's graph (%d nodes)", pn, gn)
+	}
+	np := p.Clone()
+	if err := np.eng.AppendActions(m.ds.Graph, m.ds.Log, ActionID(p.eng.NumActions())); err != nil {
+		return nil, err
+	}
+	return np, nil
+}
+
 // SelectSeeds picks k seeds with the paper's algorithm (Scan + greedy with
 // CELF) and returns them with their marginal gains; summing the gains
 // gives the predicted spread of the whole set.
@@ -140,6 +200,29 @@ func (p *Planner) Entries() int64 { return p.eng.Entries() }
 
 // ResidentBytes reports the UC structure's resident slice footprint.
 func (p *Planner) ResidentBytes() int64 { return p.eng.ResidentBytes() }
+
+// NumActions returns how many actions the planner has scanned.
+func (p *Planner) NumActions() int { return p.eng.NumActions() }
+
+// DeltaActions returns how many appended actions sit outside the frozen
+// base (zero for a fresh or compacted planner).
+func (p *Planner) DeltaActions() int { return p.eng.DeltaActions() }
+
+// DeltaEntries returns the UC entries the appended actions contributed.
+func (p *Planner) DeltaEntries() int64 { return p.eng.DeltaEntries() }
+
+// Compact folds appended delta shards into the frozen base and releases
+// every shard to shared status, so subsequent Clones copy nothing (seed
+// selection then works copy-on-write). Must not run concurrently with
+// other calls on the same planner; results are unchanged.
+func (p *Planner) Compact() { p.eng.Compact() }
+
+// Freeze releases every shard to shared status without folding the delta:
+// Clones copy nothing, later mutations pay copy-on-write, and the delta
+// accounting survives for stats. The serving layer freezes a snapshot's
+// base planner before publishing it. Must not run concurrently with other
+// calls on the same planner.
+func (p *Planner) Freeze() { p.eng.Freeze() }
 
 // Influenceability returns the learned infl(u) when the time-aware rule is
 // in use, or 1 under the simple rule (which does not model it).
