@@ -1,16 +1,18 @@
 // Command credist selects influence-maximizing seed sets from a social
 // graph and an action log using the credit-distribution model, scores
-// given seed sets, or runs a long-lived influence-query HTTP service:
+// given seed sets, persists learned models as binary snapshots, or runs a
+// long-lived influence-query HTTP service:
 //
 //	credist -preset flixster-small -k 50
 //	credist -graph data/d.graph -log data/d.log -k 20 -method cd
 //	credist -preset flixster-small -eval 12,99,340
-//	credist serve -preset flixster-small -addr :8632
+//	credist learn -preset flixster-small -o model.bin
+//	credist serve -preset flixster-small -model model.bin -addr :8632
 //	credist ingest -tail data/flixster-small.tail.log
 //
 // Selection output: one line per seed with its marginal gain, then the
-// predicted total spread. Run `credist -h`, `credist serve -h`, or
-// `credist ingest -h` for the full flag reference.
+// predicted total spread. Run `credist -h`, `credist learn -h`, `credist
+// serve -h`, or `credist ingest -h` for the full flag reference.
 package main
 
 import (
@@ -26,6 +28,9 @@ import (
 func main() {
 	if len(os.Args) > 1 {
 		switch os.Args[1] {
+		case "learn":
+			runLearn(os.Args[2:])
+			return
 		case "serve":
 			runServe(os.Args[2:])
 			return
@@ -54,6 +59,7 @@ func runSelect(args []string) {
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), `Usage: credist [flags]         select or score influence seed sets
+       credist learn [flags]   learn once and save a binary model snapshot (see credist learn -h)
        credist serve [flags]   run the influence-query HTTP service (see credist serve -h)
        credist ingest [flags]  stream new actions into a running service (see credist ingest -h)
 

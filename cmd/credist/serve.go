@@ -26,7 +26,9 @@ func runServe(args []string) {
 		graphPath = fs.String("graph", "", "graph edge-list file (as written by datagen); requires -log")
 		logPath   = fs.String("log", "", "action log file (as written by datagen); requires -graph")
 		params    = fs.String("params", "", "optional saved model parameters (Model.SaveParams file); skips re-learning the time-aware rule")
-		lambda    = fs.Float64("lambda", 0.001, "CD truncation threshold (paper default 0.001; 0 keeps every credit)")
+		model     = fs.String("model", "", "optional binary model snapshot (credist learn -o / POST /snapshot file): skips learning and the full log scan, processing only log actions past the snapshot")
+		tail      = fs.String("tail", "", "optional action-tail file (as written by `datagen -stream`) appended to the log before the model binds; with -model, how a restart catches up past a checkpoint")
+		lambda    = fs.Float64("lambda", 0.001, "CD truncation threshold (paper default 0.001; 0 keeps every credit); with -model, must match the stored value or be left unset")
 		simple    = fs.Bool("simple-credit", false, "use the equal-split 1/d_in direct-credit rule instead of the learned time-aware rule (Eq. 9)")
 		warmK     = fs.Int("warm-k", 0, "precompute and cache the CELF selection for this k before accepting traffic (0 skips warmup)")
 	)
@@ -51,10 +53,16 @@ JSON queries. Endpoints:
                                e.g. {"tuples":[{"user":1,"action":2200,"time":3}]}
                                or {"log":"data/flixster-small.tail.log"};
                                see also "credist ingest"
+  POST /snapshot               checkpoint the current model as a binary
+                               snapshot at a server-side path, e.g.
+                               {"path":"data/model.bin"}; restart from it
+                               with -model for a millisecond cold start
 
-Example:
+Examples:
 
   credist serve -preset flixster-small -addr :8632 -warm-k 50
+  credist learn -graph d.graph -log d.log -o model.bin
+  credist serve -graph d.graph -log d.log -model model.bin   # no relearn/rescan
 
 Flags:
 `)
@@ -62,13 +70,40 @@ Flags:
 	}
 	fs.Parse(args)
 
+	// With -model the snapshot's stored options are authoritative; only an
+	// explicitly passed -lambda/-simple-credit should be checked against
+	// them, not the flag defaults. Explicit zero values are rejected
+	// outright: Options{Lambda: 0} is also the "adopt the stored options"
+	// sentinel, so they could never be distinguished from unset and would
+	// silently skip the mismatch check.
+	explicit := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	srcLambda, srcSimple := *lambda, *simple
+	if *model != "" {
+		if explicit["lambda"] && *lambda == 0 {
+			fmt.Fprintln(os.Stderr, "credist serve: -lambda 0 with -model is indistinguishable from unset; omit -lambda (the snapshot's stored options are authoritative)")
+			os.Exit(1)
+		}
+		if explicit["simple-credit"] && !*simple {
+			fmt.Fprintln(os.Stderr, "credist serve: -simple-credit=false with -model is indistinguishable from unset; omit it (the snapshot's stored options are authoritative)")
+			os.Exit(1)
+		}
+		if !explicit["lambda"] {
+			srcLambda = 0
+		}
+		if !explicit["simple-credit"] {
+			srcSimple = false
+		}
+	}
 	src := serve.Source{
 		Preset:       *preset,
 		GraphPath:    *graphPath,
 		LogPath:      *logPath,
 		ParamsPath:   *params,
-		Lambda:       *lambda,
-		SimpleCredit: *simple,
+		ModelPath:    *model,
+		TailPath:     *tail,
+		Lambda:       srcLambda,
+		SimpleCredit: srcSimple,
 	}
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 	start := time.Now()
@@ -79,12 +114,26 @@ Flags:
 	}
 	srv := serve.New(snap)
 	srv.Logf = logger.Printf
-	logger.Printf("serve: learned %s in %v: %d users, %d UC entries (%.1f MiB resident)",
-		snap.Dataset().Name, time.Since(start).Round(time.Millisecond),
-		snap.NumUsers(), snap.Entries(), float64(snap.ResidentBytes())/(1<<20))
+	if *model != "" {
+		logger.Printf("serve: cold-started %s from snapshot %s in %v: %d users, %d UC entries (%.1f MiB resident), %d actions from the file + %d appended from the log",
+			snap.Dataset().Name, *model, time.Since(start).Round(time.Millisecond),
+			snap.NumUsers(), snap.Entries(), float64(snap.ResidentBytes())/(1<<20),
+			snap.ModelActions(), snap.TailActions())
+	} else {
+		logger.Printf("serve: learned %s in %v: %d users, %d UC entries (%.1f MiB resident)",
+			snap.Dataset().Name, time.Since(start).Round(time.Millisecond),
+			snap.NumUsers(), snap.Entries(), float64(snap.ResidentBytes())/(1<<20))
+	}
 	if *warmK > 0 {
 		t := time.Now()
-		res, _ := srv.Current().SelectSeeds(*warmK)
+		res, err := srv.Warm(*warmK)
+		if err != nil {
+			// A failed warm-up must not be shrugged off: the operator asked
+			// for a hot cache, so serving cold (or from a zero-valued
+			// result) is a startup failure.
+			fmt.Fprintln(os.Stderr, "credist serve: warm-up:", err)
+			os.Exit(1)
+		}
 		logger.Printf("serve: warmed seed cache for k=%d (spread %.2f) in %v",
 			*warmK, res.Spread, time.Since(t).Round(time.Millisecond))
 	}

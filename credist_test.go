@@ -1,7 +1,9 @@
 package credist
 
 import (
+	"io"
 	"math"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -253,6 +255,154 @@ func TestModelIngestMatchesRelearnFreeReference(t *testing.T) {
 	}
 	if _, err := grown.Ingest([]Tuple{{User: NodeID(full.NumUsers()), Action: ActionID(n), Time: 1}}); err == nil {
 		t.Fatal("tuple beyond graph universe accepted")
+	}
+}
+
+// TestModelSnapshotSaveLoadBitIdentical is the cold-start acceptance
+// test at the facade level: a model saved as a binary snapshot over a log
+// prefix, reloaded against the combined dataset (which appends only the
+// held-out tail), answers Spread, batched Gains, and CELF selection with
+// exactly the bits of the reference model that ingested the same tail —
+// which PR 3 proved bit-identical to a from-scratch rescan.
+func TestModelSnapshotSaveLoadBitIdentical(t *testing.T) {
+	full := Generate(tinyConfig(10))
+	n := full.Log.NumActions()
+	headN := n - n/20
+	headDS := &Dataset{Name: "head", Graph: full.Graph, Log: full.Log.Prefix(headN)}
+	var tail []Tuple
+	for a := headN; a < n; a++ {
+		tail = append(tail, full.Log.Action(ActionID(a))...)
+	}
+
+	for _, opts := range []Options{{Lambda: 0.001}, {SimpleCredit: true, Lambda: 0.001}} {
+		model := Learn(headDS, opts)
+		ref, err := model.Ingest(tail)
+		if err != nil {
+			t.Fatalf("Ingest: %v", err)
+		}
+		path := filepath.Join(t.TempDir(), "model.bin")
+		if err := model.Save(path); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+
+		combined := &Dataset{Name: "combined", Graph: full.Graph, Log: ref.Dataset().Log}
+		loaded, err := LoadModel(combined, path, Options{})
+		if err != nil {
+			t.Fatalf("LoadModel: %v", err)
+		}
+		if loaded.Options() != opts {
+			t.Fatalf("loaded options %+v, want %+v", loaded.Options(), opts)
+		}
+		// The loaded planner's delta is exactly the appended tail.
+		if p := loaded.NewPlanner(); p.NumActions() != n || p.DeltaActions() != n-headN {
+			t.Fatalf("loaded planner covers %d actions (%d delta), want %d (%d)",
+				p.NumActions(), p.DeltaActions(), n, n-headN)
+		}
+
+		seeds, gains := ref.SelectSeeds(4)
+		ls, lg := loaded.SelectSeeds(4)
+		for i := range seeds {
+			if ls[i] != seeds[i] || lg[i] != gains[i] {
+				t.Fatalf("opts %+v: selection diverged at %d: (%d, %b) vs (%d, %b)",
+					opts, i, ls[i], lg[i], seeds[i], gains[i])
+			}
+		}
+		if a, b := loaded.Spread(seeds), ref.Spread(seeds); a != b {
+			t.Fatalf("opts %+v: Spread %b != reference %b", opts, a, b)
+		}
+		cands := []NodeID{0, 1, 2, 3, 4, 5}
+		ga, gb := loaded.Gains(seeds[:2], cands), ref.Gains(seeds[:2], cands)
+		for i := range ga {
+			if ga[i] != gb[i] {
+				t.Fatalf("opts %+v: Gains[%d] %b != %b", opts, i, ga[i], gb[i])
+			}
+		}
+
+		// Explicit matching options are accepted; mismatched ones are not.
+		if _, err := LoadModel(combined, path, opts); err != nil {
+			t.Fatalf("matching options rejected: %v", err)
+		}
+		if _, err := LoadModel(combined, path, Options{Lambda: 0.5, SimpleCredit: opts.SimpleCredit}); err == nil {
+			t.Fatal("mismatched lambda accepted")
+		}
+	}
+}
+
+// TestLoadModelSnapshotLineageErrors exercises the refusal paths: a
+// snapshot must not bind to a dataset it was not built from.
+func TestLoadModelSnapshotLineageErrors(t *testing.T) {
+	ds := Generate(tinyConfig(11))
+	model := Learn(ds, Options{Lambda: 0.001})
+	path := filepath.Join(t.TempDir(), "model.bin")
+	if err := model.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Different graph (fresh generation, different seed).
+	other := Generate(tinyConfig(12))
+	if _, err := LoadModel(other, path, Options{}); err == nil {
+		t.Error("foreign dataset accepted")
+	}
+	// Log shorter than the snapshot's scanned prefix.
+	short := &Dataset{Name: "short", Graph: ds.Graph, Log: ds.Log.Prefix(ds.Log.NumActions() - 1)}
+	if _, err := LoadModel(short, path, Options{}); err == nil {
+		t.Error("truncated log accepted")
+	}
+	// Corrupt file.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x10
+	bad := filepath.Join(t.TempDir(), "corrupt.bin")
+	if err := os.WriteFile(bad, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(ds, bad, Options{}); err == nil {
+		t.Error("corrupt snapshot accepted")
+	}
+}
+
+// TestWriteSnapshotPlannerValidation covers the explicit-planner path the
+// serving layer uses to checkpoint its live planner.
+func TestWriteSnapshotPlannerValidation(t *testing.T) {
+	ds := Generate(tinyConfig(13))
+	model := Learn(ds, Options{Lambda: 0.001})
+	p := model.NewPlanner()
+
+	path := filepath.Join(t.TempDir(), "model.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.WriteSnapshot(f, p); err != nil {
+		t.Fatalf("WriteSnapshot(planner): %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(ds, path, Options{})
+	if err != nil {
+		t.Fatalf("LoadModel: %v", err)
+	}
+	s1, _ := model.SelectSeeds(3)
+	s2, _ := loaded.SelectSeeds(3)
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("selection diverged: %v vs %v", s2, s1)
+		}
+	}
+
+	// A planner from another model lineage is refused.
+	foreign := Learn(ds, Options{Lambda: 0.001})
+	if err := model.WriteSnapshot(io.Discard, foreign.NewPlanner()); err == nil {
+		t.Error("foreign planner accepted")
+	}
+	// A planner with committed seeds is refused.
+	committed := model.NewPlanner()
+	committed.Add(s1[0])
+	if err := model.WriteSnapshot(io.Discard, committed); err == nil {
+		t.Error("planner with committed seeds accepted")
 	}
 }
 

@@ -70,6 +70,12 @@ func (c *TimeAwareCredit) Tau(v, u graph.NodeID) (float64, bool) {
 // Influenceability returns the learned infl(u).
 func (c *TimeAwareCredit) Influenceability(u graph.NodeID) float64 { return c.infl[u] }
 
+// UniverseSize returns how many users the learned parameters cover (the
+// graph size at learn time). Callers binding restored parameters to a
+// graph must ensure every graph node is covered, or Gamma will index out
+// of range.
+func (c *TimeAwareCredit) UniverseSize() int { return len(c.infl) }
+
 // LearnTimeAware learns the parameters of the time-aware credit rule from
 // the training log, exactly as Section 4 prescribes:
 //

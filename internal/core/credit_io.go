@@ -52,11 +52,16 @@ func WriteTimeAware(w io.Writer, c *TimeAwareCredit) error {
 	return bw.Flush()
 }
 
-// ReadTimeAware parses the format written by WriteTimeAware.
+// ReadTimeAware parses the format written by WriteTimeAware. Malformed
+// input is rejected with a line-numbered error; that includes a repeated
+// numUsers header (which would silently discard every previously parsed
+// infl entry) and duplicate infl or tau records (where last-wins would
+// mask a corrupted or concatenated file).
 func ReadTimeAware(r io.Reader) (*TimeAwareCredit, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	c := &TimeAwareCredit{tau: make(map[graph.Edge]float64)}
+	seenInfl := make(map[int]struct{})
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -69,6 +74,9 @@ func ReadTimeAware(r io.Reader) (*TimeAwareCredit, error) {
 		case "numUsers":
 			if len(fields) != 2 {
 				return nil, fmt.Errorf("core: line %d: malformed numUsers", lineNo)
+			}
+			if c.infl != nil {
+				return nil, fmt.Errorf("core: line %d: duplicate numUsers header (would discard %d parsed infl entries)", lineNo, len(seenInfl))
 			}
 			n, err := strconv.Atoi(fields[1])
 			if err != nil || n < 0 {
@@ -83,6 +91,10 @@ func ReadTimeAware(r io.Reader) (*TimeAwareCredit, error) {
 			if err != nil || u < 0 || u >= len(c.infl) {
 				return nil, fmt.Errorf("core: line %d: bad user %q", lineNo, fields[1])
 			}
+			if _, dup := seenInfl[u]; dup {
+				return nil, fmt.Errorf("core: line %d: duplicate infl record for user %d", lineNo, u)
+			}
+			seenInfl[u] = struct{}{}
 			v, err := strconv.ParseFloat(fields[2], 64)
 			if err != nil {
 				return nil, fmt.Errorf("core: line %d: bad infl value: %w", lineNo, err)
@@ -104,7 +116,11 @@ func ReadTimeAware(r io.Reader) (*TimeAwareCredit, error) {
 			if err != nil {
 				return nil, fmt.Errorf("core: line %d: bad tau value: %w", lineNo, err)
 			}
-			c.tau[graph.Edge{From: graph.NodeID(from), To: graph.NodeID(to)}] = v
+			e := graph.Edge{From: graph.NodeID(from), To: graph.NodeID(to)}
+			if _, dup := c.tau[e]; dup {
+				return nil, fmt.Errorf("core: line %d: duplicate tau record for edge (%d,%d)", lineNo, from, to)
+			}
+			c.tau[e] = v
 		default:
 			return nil, fmt.Errorf("core: line %d: unknown record %q", lineNo, fields[0])
 		}

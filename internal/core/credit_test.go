@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"math/rand/v2"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -293,5 +294,59 @@ func TestReadTimeAwareErrors(t *testing.T) {
 		if _, err := ReadTimeAware(bytes.NewBufferString(in)); err == nil {
 			t.Errorf("input %q: expected error", in)
 		}
+	}
+}
+
+// TestReadTimeAwareRejectsDuplicates pins the repeated-record hardening: a
+// second numUsers header used to silently discard every parsed infl entry,
+// and duplicate infl/tau records used to resolve last-wins. All three are
+// now line-numbered errors.
+func TestReadTimeAwareRejectsDuplicates(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		wantSub string
+	}{
+		{
+			name:    "repeated numUsers header",
+			in:      "numUsers 3\ninfl 0 0.5\nnumUsers 3\n",
+			wantSub: "line 3: duplicate numUsers",
+		},
+		{
+			name:    "repeated numUsers without infl",
+			in:      "numUsers 3\nnumUsers 4\n",
+			wantSub: "line 2: duplicate numUsers",
+		},
+		{
+			name:    "duplicate infl record",
+			in:      "numUsers 3\ninfl 1 0.5\ninfl 1 0.7\n",
+			wantSub: "line 3: duplicate infl record for user 1",
+		},
+		{
+			name:    "duplicate tau record",
+			in:      "numUsers 3\ntau 0 1 2.5\ntau 0 1 9\n",
+			wantSub: "line 3: duplicate tau record for edge (0,1)",
+		},
+		{
+			name:    "duplicate tau after other edges",
+			in:      "numUsers 3\ntau 0 1 2.5\ntau 1 2 3\ntau 0 1 2.5\n",
+			wantSub: "line 4: duplicate tau record for edge (0,1)",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadTimeAware(bytes.NewBufferString(tc.in))
+			if err == nil {
+				t.Fatalf("input %q accepted", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error = %q, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+	// Distinct records remain accepted.
+	ok := "numUsers 3\ninfl 0 0.5\ninfl 1 0.25\ntau 0 1 2.5\ntau 1 0 3\n"
+	if _, err := ReadTimeAware(bytes.NewBufferString(ok)); err != nil {
+		t.Fatalf("valid input rejected: %v", err)
 	}
 }

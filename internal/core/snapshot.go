@@ -1,0 +1,638 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"slices"
+	"sort"
+
+	"credist/internal/actionlog"
+	"credist/internal/graph"
+)
+
+// This file implements durable binary model snapshots: a learned, scanned
+// Engine — the expensive product of LearnTimeAware plus the Algorithm 2
+// log scan — serialized once and reloaded on process start, so cold start
+// becomes a file read plus an AppendActions over only the log tail the
+// snapshot has not seen. The format is versioned, little-endian, and
+// carries the graph/log lineage (dataset name, user count, scanned action
+// count, content hashes) so a snapshot can refuse to bind to a dataset it
+// was not built from. Float64 values are stored as raw IEEE-754 bits, so a
+// write/read round trip is bit-exact and every Gain/Spread/CELF result of
+// a reloaded engine is identical to the engine that was saved.
+//
+// Layout (all integers little-endian):
+//
+//	magic    8 bytes "CREDSNAP"
+//	version  u32 (currently 1)
+//	lineage  dataset name (u32 len + bytes), u32 numUsers, u32 numActions,
+//	         u64 graphHash, u64 logHash (word-folded FNV over the scanned
+//	         prefix; see HashGraph / HashLogPrefix)
+//	params   f64 lambda; u8 credit tag (0 simple, 1 time-aware);
+//	         time-aware: u32 inflLen + f64s, u32 tauCount +
+//	         (i32 from, i32 to, f64 tau) sorted strictly by (from, to)
+//	users    per user: u32 count + i32 action ids, strictly ascending
+//	shards   per action: u32 rowCount, u32 entryTotal (sum of the row
+//	         entry counts, letting the reader allocate exactly once);
+//	         per row: i32 influencer id (strictly ascending), u32
+//	         entryCount >= 1, then (i32 influenced id strictly
+//	         ascending, f64 credit) cells
+//	footer   u32 CRC-32 (IEEE) of every preceding byte
+//
+// Only the row-major half of each shard is stored; the column mirror is
+// rebuilt deterministically on load, as are the Au normalizers (the length
+// of each user's action list). Strict ordering makes the encoding of a
+// given engine unique: saving a loaded engine reproduces the file byte for
+// byte.
+
+const (
+	snapshotMagic   = "CREDSNAP"
+	snapshotVersion = 1
+
+	creditTagSimple    = 0
+	creditTagTimeAware = 1
+
+	// maxSnapshotDim bounds header-declared dimensions (users, actions,
+	// name length) so a corrupt count fails fast instead of driving a huge
+	// allocation; snapCursor.count additionally validates every element
+	// count against the payload bytes actually present before allocating.
+	maxSnapshotDim = 1 << 30
+)
+
+// Lineage identifies the dataset a snapshot was learned and scanned from.
+// NumActions is the scanned prefix length: a combined log with more
+// actions is a legal load target (the tail is appended), one with fewer or
+// different actions is not.
+type Lineage struct {
+	Dataset    string
+	NumUsers   int
+	NumActions int
+	GraphHash  uint64
+	LogHash    uint64
+}
+
+// DatasetLineage captures the lineage of a (graph, log) pair as scanned in
+// full: the log's user universe, every action, and content hashes of both
+// structures.
+func DatasetLineage(name string, g *graph.Graph, log *actionlog.Log) Lineage {
+	return Lineage{
+		Dataset:    name,
+		NumUsers:   log.NumUsers(),
+		NumActions: log.NumActions(),
+		GraphHash:  HashGraph(g),
+		LogHash:    HashLogPrefix(log, log.NumActions()),
+	}
+}
+
+// Check validates a load target against the recorded lineage: the graph
+// must hash-match exactly, and the log must contain the recorded scanned
+// prefix verbatim (it may be longer — the caller appends the tail).
+func (lin Lineage) Check(g *graph.Graph, log *actionlog.Log) error {
+	if h := HashGraph(g); h != lin.GraphHash {
+		return fmt.Errorf("core: snapshot lineage mismatch: graph hash %016x, snapshot was built against %016x", h, lin.GraphHash)
+	}
+	if log.NumActions() < lin.NumActions {
+		return fmt.Errorf("core: snapshot covers %d actions but the log holds only %d (the snapshot is newer than the log)", lin.NumActions, log.NumActions())
+	}
+	if log.NumUsers() < lin.NumUsers {
+		return fmt.Errorf("core: snapshot universe has %d users but the log has only %d", lin.NumUsers, log.NumUsers())
+	}
+	if h := HashLogPrefix(log, lin.NumActions); h != lin.LogHash {
+		return fmt.Errorf("core: snapshot lineage mismatch: log prefix hash %016x over %d actions, snapshot recorded %016x", h, lin.NumActions, lin.LogHash)
+	}
+	return nil
+}
+
+// fnv64 is an inline FNV-style accumulator over 32/64-bit words; the
+// stdlib hash.Hash64 interface costs an allocation and an interface call
+// per write, and lineage hashing walks millions of tuples.
+type fnv64 uint64
+
+const fnvOffset64 fnv64 = 14695981039346656037
+
+// u32/u64 fold a whole word per step (xor then multiply, FNV-style)
+// rather than byte-wise: lineage hashing visits every log tuple, and the
+// word-folded variant is an order of magnitude cheaper at equivalent
+// mixing for this fixed-width integer stream.
+func (h fnv64) u32(v uint32) fnv64 {
+	h ^= fnv64(v)
+	h *= 1099511628211
+	return h
+}
+
+func (h fnv64) u64(v uint64) fnv64 {
+	h ^= fnv64(v)
+	h *= 1099511628211
+	return h
+}
+
+// HashGraph returns a content hash of the graph: node count plus every
+// directed edge in from-major order.
+func HashGraph(g *graph.Graph) uint64 {
+	h := fnvOffset64.u32(uint32(g.NumNodes()))
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.Out(graph.NodeID(u)) {
+			h = h.u32(uint32(u)).u32(uint32(v))
+		}
+	}
+	return uint64(h)
+}
+
+// HashLogPrefix returns a content hash of the log's first actions
+// propagations: every (user, action, time) tuple in canonical scan order,
+// with timestamps hashed as raw float64 bits. The universe size is
+// deliberately excluded — appending a tail may register new users without
+// invalidating the already-scanned prefix.
+func HashLogPrefix(log *actionlog.Log, actions int) uint64 {
+	h := fnvOffset64
+	for a := 0; a < actions; a++ {
+		for _, t := range log.Action(actionlog.ActionID(a)) {
+			h = h.u32(uint32(t.User)).u32(uint32(t.Action)).u64(math.Float64bits(t.Time))
+		}
+	}
+	return uint64(h)
+}
+
+// IsSnapshotHeader reports whether p (at least the first 8 bytes of a
+// file) starts with the binary snapshot magic. Callers use it to sniff
+// snapshot files apart from the text parameter format.
+func IsSnapshotHeader(p []byte) bool {
+	return len(p) >= len(snapshotMagic) && string(p[:len(snapshotMagic)]) == snapshotMagic
+}
+
+// snapWriter wraps an output stream with little-endian encoding helpers, a
+// running CRC, and sticky error handling.
+type snapWriter struct {
+	w   io.Writer
+	crc uint32
+	err error
+	buf []byte
+}
+
+func (sw *snapWriter) bytes(p []byte) {
+	if sw.err != nil {
+		return
+	}
+	sw.crc = crc32.Update(sw.crc, crc32.IEEETable, p)
+	_, sw.err = sw.w.Write(p)
+}
+
+func (sw *snapWriter) u8(v uint8) { sw.bytes([]byte{v}) }
+func (sw *snapWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	sw.bytes(b[:])
+}
+func (sw *snapWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	sw.bytes(b[:])
+}
+func (sw *snapWriter) f64(v float64) { sw.u64(math.Float64bits(v)) }
+
+func (sw *snapWriter) str(s string) {
+	sw.u32(uint32(len(s)))
+	sw.bytes([]byte(s))
+}
+
+// i32s writes a whole int32 slice through the scratch buffer in one pass.
+func (sw *snapWriter) i32s(vs []int32) {
+	need := len(vs) * 4
+	if cap(sw.buf) < need {
+		sw.buf = make([]byte, need)
+	}
+	b := sw.buf[:need]
+	for i, v := range vs {
+		binary.LittleEndian.PutUint32(b[i*4:], uint32(v))
+	}
+	sw.bytes(b)
+}
+
+// WriteSnapshot serializes the engine and its lineage in the binary
+// snapshot format. The engine must not have committed seeds (a snapshot
+// restores the raw per-action credit structure, which Add destructively
+// restricts to V-S), and the lineage must describe exactly the log the
+// engine has scanned.
+func (e *Engine) WriteSnapshot(w io.Writer, lin Lineage) error {
+	if len(e.seeds) > 0 {
+		return errors.New("core: cannot snapshot an engine with committed seeds")
+	}
+	if lin.NumUsers != e.numUsers || lin.NumActions != e.NumActions() {
+		return fmt.Errorf("core: snapshot lineage covers %d users/%d actions, engine has scanned %d/%d",
+			lin.NumUsers, lin.NumActions, e.numUsers, e.NumActions())
+	}
+	// Mirror the reader's bound: a longer name would write a CRC-valid
+	// file that every subsequent load refuses.
+	if len(lin.Dataset) > 1<<16 {
+		return fmt.Errorf("core: snapshot dataset name is %d bytes, limit is %d", len(lin.Dataset), 1<<16)
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	sw := &snapWriter{w: bw}
+	sw.bytes([]byte(snapshotMagic))
+	sw.u32(snapshotVersion)
+
+	sw.str(lin.Dataset)
+	sw.u32(uint32(lin.NumUsers))
+	sw.u32(uint32(lin.NumActions))
+	sw.u64(lin.GraphHash)
+	sw.u64(lin.LogHash)
+
+	sw.f64(e.lambda)
+	switch credit := e.credit.(type) {
+	case SimpleCredit:
+		sw.u8(creditTagSimple)
+	case *TimeAwareCredit:
+		sw.u8(creditTagTimeAware)
+		sw.u32(uint32(len(credit.infl)))
+		for _, v := range credit.infl {
+			sw.f64(v)
+		}
+		edges := make([]graph.Edge, 0, len(credit.tau))
+		for ed := range credit.tau {
+			edges = append(edges, ed)
+		}
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].From != edges[j].From {
+				return edges[i].From < edges[j].From
+			}
+			return edges[i].To < edges[j].To
+		})
+		sw.u32(uint32(len(edges)))
+		for _, ed := range edges {
+			sw.u32(uint32(ed.From))
+			sw.u32(uint32(ed.To))
+			sw.f64(credit.tau[ed])
+		}
+	default:
+		return fmt.Errorf("core: cannot snapshot engine with credit model %T", e.credit)
+	}
+
+	for u := 0; u < e.numUsers; u++ {
+		sw.u32(uint32(len(e.actionsOf[u])))
+		sw.i32s(e.actionsOf[u])
+	}
+
+	for _, ua := range e.uc {
+		sw.u32(uint32(len(ua.rowKey)))
+		total := 0
+		for _, row := range ua.rows {
+			total += len(row)
+		}
+		sw.u32(uint32(total))
+		for ri, v := range ua.rowKey {
+			row := ua.rows[ri]
+			sw.u32(uint32(v))
+			sw.u32(uint32(len(row)))
+			need := len(row) * 12
+			if cap(sw.buf) < need {
+				sw.buf = make([]byte, need)
+			}
+			b := sw.buf[:need]
+			for i, en := range row {
+				binary.LittleEndian.PutUint32(b[i*12:], uint32(en.u))
+				binary.LittleEndian.PutUint64(b[i*12+4:], math.Float64bits(en.c))
+			}
+			sw.bytes(b)
+		}
+	}
+
+	// The CRC footer covers everything above; it is written raw (not
+	// through sw.bytes) so it does not fold into itself.
+	if sw.err == nil {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], sw.crc)
+		_, sw.err = bw.Write(b[:])
+	}
+	if sw.err != nil {
+		return fmt.Errorf("core: write snapshot: %w", sw.err)
+	}
+	return bw.Flush()
+}
+
+// snapCursor decodes the snapshot payload from an in-memory buffer with
+// sticky error handling. The whole file is read (and CRC-verified) before
+// parsing starts, so every declared count can be validated against the
+// bytes actually present before anything is allocated — a corrupt header
+// can neither over-allocate nor panic.
+type snapCursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (sc *snapCursor) fail(format string, args ...any) {
+	if sc.err == nil {
+		sc.err = fmt.Errorf("core: snapshot: "+format, args...)
+	}
+}
+
+func (sc *snapCursor) remaining() int { return len(sc.b) - sc.off }
+
+// take returns the next n payload bytes, or nil after flagging truncation.
+func (sc *snapCursor) take(n int) []byte {
+	if sc.err != nil {
+		return nil
+	}
+	if n < 0 || sc.remaining() < n {
+		sc.fail("truncated input: need %d bytes, have %d", n, sc.remaining())
+		return nil
+	}
+	b := sc.b[sc.off : sc.off+n]
+	sc.off += n
+	return b
+}
+
+func (sc *snapCursor) u8() uint8 {
+	b := sc.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (sc *snapCursor) u32() uint32 {
+	b := sc.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (sc *snapCursor) u64() uint64 {
+	b := sc.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (sc *snapCursor) f64() float64 { return math.Float64frombits(sc.u64()) }
+
+// count reads an element count whose records occupy recSize bytes each,
+// rejecting values the remaining payload cannot possibly hold.
+func (sc *snapCursor) count(what string, recSize int) int {
+	v := sc.u32()
+	if sc.err != nil {
+		return 0
+	}
+	if v > maxSnapshotDim || int64(v)*int64(recSize) > int64(sc.remaining()) {
+		sc.fail("%s count %d exceeds the remaining %d payload bytes", what, v, sc.remaining())
+		return 0
+	}
+	return int(v)
+}
+
+func (sc *snapCursor) str(what string) string {
+	n := sc.u32()
+	if sc.err == nil && n > 1<<16 {
+		sc.fail("%s length %d exceeds sanity bound", what, n)
+		return ""
+	}
+	return string(sc.take(int(n)))
+}
+
+// ReadSnapshot parses a snapshot written by WriteSnapshot and rebuilds the
+// engine: the column mirror of every shard and the Au normalizers are
+// reconstructed deterministically from the stored rows. The returned
+// engine is frozen (every shard shared) with the full scanned range as its
+// base, has no committed seeds, and is bit-for-bit equivalent to the saved
+// engine. Corrupt or truncated input — bad magic, impossible counts,
+// unordered keys, a CRC mismatch, trailing garbage — is rejected with an
+// error, never a panic or an unbounded allocation.
+func ReadSnapshot(r io.Reader) (*Engine, Lineage, error) {
+	var lin Lineage
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, lin, fmt.Errorf("core: snapshot: read: %w", err)
+	}
+	if len(data) < len(snapshotMagic)+4+4 {
+		return nil, lin, errors.New("core: snapshot: truncated input: shorter than the fixed header")
+	}
+	if !IsSnapshotHeader(data) {
+		return nil, lin, errors.New("core: snapshot: bad magic (not a snapshot file)")
+	}
+	// Integrity first: the CRC footer covers the whole payload, so every
+	// later structural check runs on bytes known to be exactly what
+	// WriteSnapshot produced (or the file is rejected here, wholesale).
+	payload, footer := data[:len(data)-4], data[len(data)-4:]
+	if got, want := binary.LittleEndian.Uint32(footer), crc32.ChecksumIEEE(payload); got != want {
+		return nil, lin, fmt.Errorf("core: snapshot: checksum mismatch (file %08x, computed %08x): corrupt or truncated input", got, want)
+	}
+
+	sc := &snapCursor{b: payload, off: len(snapshotMagic)}
+	if v := sc.u32(); sc.err == nil && v != snapshotVersion {
+		return nil, lin, fmt.Errorf("core: snapshot: unsupported version %d (have %d)", v, snapshotVersion)
+	}
+	lin.Dataset = sc.str("dataset name")
+	lin.NumUsers = sc.count("user", 4)
+	lin.NumActions = sc.count("action", 4)
+	lin.GraphHash = sc.u64()
+	lin.LogHash = sc.u64()
+
+	lambda := sc.f64()
+	var credit CreditModel
+	switch tag := sc.u8(); {
+	case sc.err != nil:
+	case tag == creditTagSimple:
+		credit = SimpleCredit{}
+	case tag == creditTagTimeAware:
+		ta := &TimeAwareCredit{}
+		inflLen := sc.count("influenceability", 8)
+		if inflLen < lin.NumUsers {
+			return nil, lin, fmt.Errorf("core: snapshot: influenceability table covers %d users, lineage declares %d", inflLen, lin.NumUsers)
+		}
+		ta.infl = make([]float64, inflLen)
+		for i := range ta.infl {
+			ta.infl[i] = sc.f64()
+		}
+		tauCount := sc.count("tau", 16)
+		ta.tau = make(map[graph.Edge]float64, tauCount)
+		prev := graph.Edge{From: -1, To: -1}
+		for i := 0; i < tauCount && sc.err == nil; i++ {
+			e := graph.Edge{From: graph.NodeID(sc.u32()), To: graph.NodeID(sc.u32())}
+			tau := sc.f64()
+			if sc.err != nil {
+				break
+			}
+			if e.From < 0 || e.To < 0 {
+				sc.fail("negative tau edge (%d,%d)", e.From, e.To)
+				break
+			}
+			if e.From < prev.From || (e.From == prev.From && e.To <= prev.To) {
+				sc.fail("tau records out of order at edge (%d,%d)", e.From, e.To)
+				break
+			}
+			prev = e
+			ta.tau[e] = tau
+		}
+		credit = ta
+	default:
+		return nil, lin, fmt.Errorf("core: snapshot: unknown credit model tag %d", tag)
+	}
+	if sc.err != nil {
+		return nil, lin, sc.err
+	}
+
+	e := &Engine{
+		numUsers:    lin.NumUsers,
+		au:          make([]int32, lin.NumUsers),
+		actionsOf:   make([][]int32, lin.NumUsers),
+		uc:          make([]*ucAction, 0, lin.NumActions),
+		owned:       make([]bool, lin.NumActions),
+		sc:          make([]map[int32]float64, lin.NumActions),
+		lambda:      lambda,
+		credit:      credit,
+		baseActions: lin.NumActions,
+	}
+
+	for u := 0; u < lin.NumUsers && sc.err == nil; u++ {
+		n := sc.count("user action", 4)
+		row := make([]int32, n)
+		prev := int32(-1)
+		for i := range row {
+			a := int32(sc.u32())
+			if sc.err != nil {
+				break
+			}
+			if a < 0 || int(a) >= lin.NumActions {
+				sc.fail("user %d action id %d out of range [0,%d)", u, a, lin.NumActions)
+				break
+			}
+			if a <= prev {
+				sc.fail("user %d action ids out of order at %d", u, a)
+				break
+			}
+			prev = a
+			row[i] = a
+		}
+		e.actionsOf[u] = row
+		e.au[u] = int32(n)
+	}
+
+	// Scratch for the column-mirror rebuild, reused across shards: per-user
+	// column sizes and fill cursors, reset only for the users a shard
+	// touched. This keeps the rebuild allocation-light and map-free — it is
+	// the hot loop of cold start.
+	colSize := make([]int32, lin.NumUsers)
+	colPos := make([]int32, lin.NumUsers)
+
+	for a := 0; a < lin.NumActions && sc.err == nil; a++ {
+		ua := &ucAction{}
+		rowCount := sc.count("row", 8)
+		entryTotal := sc.count("shard entry", 12)
+		ua.rowKey = make([]int32, 0, rowCount)
+		ua.rows = make([][]ucEntry, 0, rowCount)
+		rowLens := make([]int, 0, rowCount)
+		flat := make([]ucEntry, 0, entryTotal)
+		var touched []int32
+		prevKey := int32(-1)
+		for ri := 0; ri < rowCount && sc.err == nil; ri++ {
+			v := int32(sc.u32())
+			if sc.err != nil {
+				break
+			}
+			if v < 0 || int(v) >= lin.NumUsers {
+				sc.fail("action %d row key %d out of range [0,%d)", a, v, lin.NumUsers)
+				break
+			}
+			if v <= prevKey {
+				sc.fail("action %d row keys out of order at %d", a, v)
+				break
+			}
+			prevKey = v
+			n := sc.count("entry", 12)
+			if sc.err != nil {
+				break
+			}
+			if n == 0 {
+				sc.fail("action %d row %d is empty", a, v)
+				break
+			}
+			if len(flat)+n > entryTotal {
+				sc.fail("action %d rows exceed the declared entry total %d", a, entryTotal)
+				break
+			}
+			cells := sc.take(n * 12)
+			if cells == nil {
+				break
+			}
+			start := len(flat)
+			prevU := int32(-1)
+			for off := 0; off < len(cells); off += 12 {
+				u := int32(binary.LittleEndian.Uint32(cells[off:]))
+				if u < 0 || int(u) >= lin.NumUsers {
+					sc.fail("action %d entry id %d out of range [0,%d)", a, u, lin.NumUsers)
+					break
+				}
+				if u <= prevU {
+					sc.fail("action %d row %d entries out of order at %d", a, v, u)
+					break
+				}
+				prevU = u
+				if colSize[u] == 0 {
+					touched = append(touched, u)
+				}
+				colSize[u]++
+				flat = append(flat, ucEntry{u: u, c: math.Float64frombits(binary.LittleEndian.Uint64(cells[off+4:]))})
+			}
+			if sc.err != nil {
+				break
+			}
+			ua.rowKey = append(ua.rowKey, v)
+			rowLens = append(rowLens, len(flat)-start)
+		}
+		if sc.err != nil {
+			break
+		}
+		if len(flat) != entryTotal {
+			sc.fail("action %d holds %d entries, header declared %d", a, len(flat), entryTotal)
+			break
+		}
+		// Carve the per-row windows out of the flat cell store. Capacity is
+		// clamped per window, so a later copy-on-write mutation of one row
+		// can never bleed into its neighbor.
+		off := 0
+		for _, n := range rowLens {
+			ua.rows = append(ua.rows, flat[off:off+n:off+n])
+			off += n
+		}
+		e.entries += int64(len(flat))
+
+		// Column mirror: influenced ids sorted, and each column's
+		// influencer list accumulates in ascending order because the outer
+		// row walk is ascending.
+		slices.Sort(touched)
+		ua.colKey = touched
+		ua.cols = make([][]int32, len(touched))
+		colBack := make([]int32, len(flat))
+		off = 0
+		for i, u := range touched {
+			n := int(colSize[u])
+			ua.cols[i] = colBack[off : off : off+n]
+			colPos[u] = int32(i)
+			off += n
+		}
+		for ri, v := range ua.rowKey {
+			for _, en := range ua.rows[ri] {
+				ci := colPos[en.u]
+				ua.cols[ci] = append(ua.cols[ci], v)
+			}
+		}
+		for _, u := range touched {
+			colSize[u] = 0
+		}
+		e.uc = append(e.uc, ua)
+	}
+	if sc.err != nil {
+		return nil, lin, sc.err
+	}
+	if sc.remaining() != 0 {
+		return nil, lin, errors.New("core: snapshot: trailing data after payload")
+	}
+	return e, lin, nil
+}

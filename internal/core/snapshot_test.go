@@ -1,0 +1,321 @@
+package core
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"credist/internal/actionlog"
+	"credist/internal/graph"
+	"credist/internal/seedsel"
+)
+
+// snapshotInstance builds a learned, scanned engine plus its lineage for
+// the snapshot tests.
+func snapshotInstance(t *testing.T, seed uint64, users, actions int) (*graph.Graph, *actionlog.Log, *Engine, Lineage) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed^0xfeed))
+	g, log := randomInstance(rng, users, actions)
+	credit := LearnTimeAware(g, log)
+	e := NewEngine(g, log, Options{Lambda: 0.001, Credit: credit})
+	return g, log, e, DatasetLineage("snap-test", g, log)
+}
+
+func writeSnapshot(t *testing.T, e *Engine, lin Lineage) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := e.WriteSnapshot(&buf, lin); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// requireEnginesBitIdentical compares two engines through their public
+// query surface: entry counts, every user's marginal gain, and the full
+// CELF selection (seeds and gains) must match bit for bit. Engines are
+// cloned before selection so the originals stay reusable.
+func requireEnginesBitIdentical(t *testing.T, want, got *Engine, k int) {
+	t.Helper()
+	if want.Entries() != got.Entries() {
+		t.Fatalf("entries %d != %d", got.Entries(), want.Entries())
+	}
+	if want.NumNodes() != got.NumNodes() {
+		t.Fatalf("numUsers %d != %d", got.NumNodes(), want.NumNodes())
+	}
+	if want.NumActions() != got.NumActions() {
+		t.Fatalf("numActions %d != %d", got.NumActions(), want.NumActions())
+	}
+	for u := 0; u < want.NumNodes(); u++ {
+		gw, gg := want.Gain(graph.NodeID(u)), got.Gain(graph.NodeID(u))
+		if gw != gg {
+			t.Fatalf("Gain(%d) not bit-identical: %b vs %b", u, gg, gw)
+		}
+	}
+	rw := seedsel.CELF(want.Clone(), k)
+	rg := seedsel.CELF(got.Clone(), k)
+	if len(rw.Seeds) != len(rg.Seeds) {
+		t.Fatalf("CELF lengths %d vs %d", len(rg.Seeds), len(rw.Seeds))
+	}
+	for i := range rw.Seeds {
+		if rw.Seeds[i] != rg.Seeds[i] || rw.Gains[i] != rg.Gains[i] {
+			t.Fatalf("CELF diverged at %d: (%d, %b) vs (%d, %b)",
+				i, rg.Seeds[i], rg.Gains[i], rw.Seeds[i], rw.Gains[i])
+		}
+	}
+}
+
+// TestSnapshotRoundTripBitExact is the format's core guarantee: a loaded
+// engine answers every query with the saved engine's exact bits, the
+// lineage survives, and re-serializing the loaded engine reproduces the
+// file byte for byte (the encoding of a given engine is unique).
+func TestSnapshotRoundTripBitExact(t *testing.T) {
+	_, _, e, lin := snapshotInstance(t, 31, 60, 40)
+	data := writeSnapshot(t, e, lin)
+
+	back, backLin, err := ReadSnapshot(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if backLin != lin {
+		t.Fatalf("lineage round trip: %+v != %+v", backLin, lin)
+	}
+	if back.Lambda() != e.Lambda() {
+		t.Fatalf("lambda %g != %g", back.Lambda(), e.Lambda())
+	}
+	requireEnginesBitIdentical(t, e, back, 8)
+
+	// The time-aware parameters must survive bit-exact too.
+	orig := e.CreditModel().(*TimeAwareCredit)
+	restored := back.CreditModel().(*TimeAwareCredit)
+	if len(orig.infl) != len(restored.infl) || len(orig.tau) != len(restored.tau) {
+		t.Fatalf("credit params shape changed: infl %d/%d tau %d/%d",
+			len(restored.infl), len(orig.infl), len(restored.tau), len(orig.tau))
+	}
+	for u := range orig.infl {
+		if orig.infl[u] != restored.infl[u] {
+			t.Fatalf("infl(%d) %b != %b", u, restored.infl[u], orig.infl[u])
+		}
+	}
+	for ed, tau := range orig.tau {
+		if got, ok := restored.tau[ed]; !ok || got != tau {
+			t.Fatalf("tau(%v) %b,%v != %b", ed, got, ok, tau)
+		}
+	}
+
+	again := writeSnapshot(t, back, backLin)
+	if !bytes.Equal(again, data) {
+		t.Fatal("re-serialized snapshot is not byte-identical")
+	}
+}
+
+// TestSnapshotSimpleCreditRoundTrip covers the parameterless credit rule.
+func TestSnapshotSimpleCreditRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(37, 73))
+	g, log := randomInstance(rng, 40, 24)
+	e := NewEngine(g, log, Options{Lambda: 0.001})
+	lin := DatasetLineage("simple", g, log)
+	data := writeSnapshot(t, e, lin)
+	back, _, err := ReadSnapshot(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if _, ok := back.CreditModel().(SimpleCredit); !ok {
+		t.Fatalf("credit model = %T, want SimpleCredit", back.CreditModel())
+	}
+	requireEnginesBitIdentical(t, e, back, 6)
+}
+
+// TestSnapshotLoadThenAppendBitIdenticalToRescan is the cold-start
+// invariant: an engine saved over a log prefix, reloaded, and extended
+// with AppendActions over the held-out tail is bit-for-bit a from-scratch
+// NewEngine over the combined log.
+func TestSnapshotLoadThenAppendBitIdenticalToRescan(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 14))
+	g, log := randomInstance(rng, 70, 50)
+	credit := LearnTimeAware(g, log)
+	opts := Options{Lambda: 0.001, Credit: credit}
+	headN := log.NumActions() - log.NumActions()/10
+	head := log.Prefix(headN)
+
+	saved := NewEngine(g, head, opts)
+	data := writeSnapshot(t, saved, DatasetLineage("head", g, head))
+	back, lin, err := ReadSnapshot(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if err := lin.Check(g, log); err != nil {
+		t.Fatalf("lineage check against the combined log: %v", err)
+	}
+	if err := back.AppendActions(g, log, actionlog.ActionID(lin.NumActions)); err != nil {
+		t.Fatalf("AppendActions: %v", err)
+	}
+	if back.DeltaActions() != log.NumActions()-headN {
+		t.Fatalf("DeltaActions = %d, want %d", back.DeltaActions(), log.NumActions()-headN)
+	}
+	requireEnginesBitIdentical(t, NewEngine(g, log, opts), back, 8)
+}
+
+func TestSnapshotLineageCheck(t *testing.T) {
+	rng := rand.New(rand.NewPCG(43, 34))
+	g, log := randomInstance(rng, 50, 30)
+	lin := DatasetLineage("x", g, log)
+	if err := lin.Check(g, log); err != nil {
+		t.Fatalf("self check: %v", err)
+	}
+	// A different graph is refused.
+	g2, _ := randomInstance(rng, 50, 30)
+	if err := lin.Check(g2, log); err == nil {
+		t.Error("foreign graph accepted")
+	}
+	// A log shorter than the recorded scan is refused.
+	if err := lin.Check(g, log.Prefix(log.NumActions()-1)); err == nil {
+		t.Error("truncated log accepted")
+	}
+	// A log whose prefix content diverges is refused even at equal length.
+	tuples := append([]actionlog.Tuple(nil), log.Tuples()...)
+	tuples[0].Time += 1
+	other, err := actionlog.FromTuples(log.NumUsers(), tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lin.Check(g, other); err == nil {
+		t.Error("tampered log prefix accepted")
+	}
+	// A longer log with the same prefix passes (the caller appends the tail).
+	longer := log
+	if err := lin.Check(g, longer); err != nil {
+		t.Errorf("equal log refused: %v", err)
+	}
+}
+
+func TestSnapshotRefusesCommittedSeeds(t *testing.T) {
+	g, _, e, lin := snapshotInstance(t, 47, 30, 16)
+	_ = g
+	e.Add(0)
+	if err := e.WriteSnapshot(&bytes.Buffer{}, lin); err == nil {
+		t.Fatal("snapshot of an engine with committed seeds accepted")
+	}
+}
+
+func TestSnapshotRefusesMismatchedLineage(t *testing.T) {
+	_, _, e, lin := snapshotInstance(t, 53, 30, 16)
+	bad := lin
+	bad.NumActions--
+	if err := e.WriteSnapshot(&bytes.Buffer{}, bad); err == nil {
+		t.Fatal("lineage with wrong action count accepted")
+	}
+	bad = lin
+	bad.NumUsers++
+	if err := e.WriteSnapshot(&bytes.Buffer{}, bad); err == nil {
+		t.Fatal("lineage with wrong user count accepted")
+	}
+	// The writer enforces the reader's name bound, so it can never produce
+	// a CRC-valid file that no load will accept.
+	bad = lin
+	bad.Dataset = strings.Repeat("x", 1<<16+1)
+	if err := e.WriteSnapshot(&bytes.Buffer{}, bad); err == nil {
+		t.Fatal("oversized dataset name accepted")
+	}
+}
+
+// TestSnapshotRejectsTruncation feeds every proper prefix of a valid
+// snapshot to the reader: each must produce an error — never a panic, an
+// OOM-scale allocation, or a silently short engine.
+func TestSnapshotRejectsTruncation(t *testing.T) {
+	_, _, e, lin := snapshotInstance(t, 59, 30, 16)
+	data := writeSnapshot(t, e, lin)
+	for i := 0; i < len(data); i++ {
+		if _, _, err := ReadSnapshot(bytes.NewReader(data[:i])); err == nil {
+			t.Fatalf("truncation at byte %d/%d accepted", i, len(data))
+		}
+	}
+}
+
+// TestSnapshotRejectsCorruption flips bytes throughout the file; the CRC
+// footer (or an earlier structural check) must catch every one.
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	_, _, e, lin := snapshotInstance(t, 61, 30, 16)
+	data := writeSnapshot(t, e, lin)
+	for i := 0; i < len(data); i += 7 {
+		corrupt := append([]byte(nil), data...)
+		corrupt[i] ^= 0x40
+		if _, _, err := ReadSnapshot(bytes.NewReader(corrupt)); err == nil {
+			t.Fatalf("bit flip at byte %d/%d accepted", i, len(data))
+		}
+	}
+	// Trailing garbage after a valid payload is also rejected.
+	if _, _, err := ReadSnapshot(bytes.NewReader(append(append([]byte(nil), data...), 0))); err == nil {
+		t.Fatal("trailing data accepted")
+	}
+}
+
+// TestSnapshotRejectsHostileCounts hand-crafts headers with absurd
+// declared dimensions; the reader must fail fast on its sanity bounds
+// rather than trust them.
+func TestSnapshotRejectsHostileCounts(t *testing.T) {
+	base := func() *bytes.Buffer {
+		var buf bytes.Buffer
+		buf.WriteString(snapshotMagic)
+		buf.Write([]byte{1, 0, 0, 0}) // version
+		return &buf
+	}
+	huge := []byte{0xff, 0xff, 0xff, 0xff}
+
+	cases := map[string]func() []byte{
+		"bad magic": func() []byte { return []byte("NOTASNAP00000000") },
+		"bad version": func() []byte {
+			var buf bytes.Buffer
+			buf.WriteString(snapshotMagic)
+			buf.Write([]byte{9, 0, 0, 0})
+			return buf.Bytes()
+		},
+		"huge name length": func() []byte {
+			buf := base()
+			buf.Write(huge)
+			return buf.Bytes()
+		},
+		"huge user count": func() []byte {
+			buf := base()
+			buf.Write([]byte{0, 0, 0, 0}) // empty name
+			buf.Write(huge)
+			return buf.Bytes()
+		},
+	}
+	for name, mk := range cases {
+		if _, _, err := ReadSnapshot(bytes.NewReader(mk())); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestSnapshotRejectsShortInflTable guards the time-aware parameter
+// table: a file whose CRC is valid but whose influenceability array does
+// not cover the declared universe must be refused at load, not let
+// through to panic on the first Gamma evaluation.
+func TestSnapshotRejectsShortInflTable(t *testing.T) {
+	_, _, e, lin := snapshotInstance(t, 71, 30, 16)
+	e.credit.(*TimeAwareCredit).infl = e.credit.(*TimeAwareCredit).infl[:1]
+	data := writeSnapshot(t, e, lin)
+	_, _, err := ReadSnapshot(bytes.NewReader(data))
+	if err == nil {
+		t.Fatal("snapshot with a short influenceability table accepted")
+	}
+}
+
+// TestHashStability pins that the lineage hashes react to content, not
+// representation.
+func TestHashStability(t *testing.T) {
+	rng := rand.New(rand.NewPCG(67, 76))
+	g, log := randomInstance(rng, 40, 20)
+	if HashGraph(g) != HashGraph(g) || HashLogPrefix(log, 10) != HashLogPrefix(log, 10) {
+		t.Fatal("hashes are not deterministic")
+	}
+	if HashLogPrefix(log, 10) == HashLogPrefix(log, 11) {
+		t.Error("log hash ignores the prefix length")
+	}
+	// The prefix hash of a prefix-restricted log matches the full log's.
+	if HashLogPrefix(log.Prefix(10), 10) != HashLogPrefix(log, 10) {
+		t.Error("prefix hash differs between Prefix view and full log")
+	}
+}

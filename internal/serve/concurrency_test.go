@@ -124,6 +124,74 @@ func TestConcurrentQueriesAndReload(t *testing.T) {
 	}
 }
 
+// TestConcurrentSeedsSingleFlight hammers a cold snapshot with concurrent
+// /seeds requests for the same k: the per-k single-flight must run CELF
+// exactly once (not N times), every caller must get the identical result,
+// and a distinct k must add exactly one more run. Run under -race this
+// also proves the cache handshake itself is sound.
+func TestConcurrentSeedsSingleFlight(t *testing.T) {
+	srv := newTestServer(t)
+	snap := srv.Current()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const clients = 16
+	results := make([]serve.SeedsResponse, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	var start sync.WaitGroup
+	start.Add(1)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			start.Wait()
+			resp, err := http.Get(ts.URL + "/seeds?k=4")
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[c] = fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			errs[c] = json.NewDecoder(resp.Body).Decode(&results[c])
+		}(c)
+	}
+	start.Done()
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", c, err)
+		}
+	}
+	if n := snap.Selections(); n != 1 {
+		t.Fatalf("CELF ran %d times for %d concurrent requests, want exactly 1", n, clients)
+	}
+	for c := 1; c < clients; c++ {
+		if len(results[c].Seeds) != len(results[0].Seeds) {
+			t.Fatalf("client %d got %d seeds, client 0 got %d", c, len(results[c].Seeds), len(results[0].Seeds))
+		}
+		for i := range results[0].Seeds {
+			if results[c].Seeds[i] != results[0].Seeds[i] || results[c].Gains[i] != results[0].Gains[i] {
+				t.Fatalf("client %d diverged at seed %d", c, i)
+			}
+		}
+	}
+
+	// A different k is a genuinely new selection; the same k again is not.
+	var again serve.SeedsResponse
+	getJSON(t, srv.Handler(), "GET", "/seeds?k=2", "", &again)
+	getJSON(t, srv.Handler(), "GET", "/seeds?k=4", "", &again)
+	if n := snap.Selections(); n != 2 {
+		t.Fatalf("selections = %d after one new k and one cached k, want 2", n)
+	}
+	if !again.Cached {
+		t.Error("repeat k=4 not served from cache")
+	}
+}
+
 // TestConcurrentGainsShareBasePlanner drives the batched gain path (which
 // reads the shared scanned planner) from many goroutines at once; -race
 // verifies Gain really is read-only.

@@ -3,8 +3,10 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"slices"
 	"sort"
 	"strconv"
@@ -29,8 +31,21 @@ type Server struct {
 	allowed    map[string][]string
 	// reloadMu serializes snapshot builds; queries never take it.
 	reloadMu sync.Mutex
+	// checkpointMu guards lastCheckpoint, the provenance of the most recent
+	// POST /snapshot, surfaced in /stats.
+	checkpointMu   sync.Mutex
+	lastCheckpoint *CheckpointInfo
 	// Logf, when set, receives one line per reload. Queries are not logged.
 	Logf func(format string, args ...any)
+}
+
+// CheckpointInfo records a completed POST /snapshot for /stats.
+type CheckpointInfo struct {
+	Path      string    `json:"path"`
+	Snapshot  int64     `json:"snapshot"`
+	Actions   int       `json:"actions"`
+	Bytes     int64     `json:"bytes"`
+	WrittenAt time.Time `json:"written_at"`
 }
 
 // maxBodyBytes bounds request bodies; batches beyond this are misuse.
@@ -53,6 +68,7 @@ func New(sn *Snapshot) *Server {
 	s.handle("stats", "GET /stats", s.handleStats)
 	s.handle("reload", "POST /reload", s.handleReload)
 	s.handle("ingest", "POST /ingest", s.handleIngest)
+	s.handle("snapshot", "POST /snapshot", s.handleSnapshot)
 	s.met = newMetrics(s.routeNames)
 
 	paths := make([]string, 0, len(s.allowed))
@@ -82,6 +98,26 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Current returns the live snapshot (for embedding and tests).
 func (s *Server) Current() *Snapshot { return s.reg.Current() }
+
+// Warm precomputes and caches the CELF selection for k on the current
+// snapshot, validating k against the model universe first. Unlike the raw
+// Snapshot.SelectSeeds, an out-of-range k or an empty selection is an
+// error, so a process that warms its cache at startup fails fast and
+// loudly instead of serving from a zero-valued result.
+func (s *Server) Warm(k int) (*SeedsResult, error) {
+	sn := s.reg.Current()
+	if k < 1 {
+		return nil, fmt.Errorf("warm-up k must be a positive integer, got %d", k)
+	}
+	if k > sn.NumUsers() {
+		return nil, fmt.Errorf("warm-up k %d exceeds the user count %d", k, sn.NumUsers())
+	}
+	res, _ := sn.SelectSeeds(k)
+	if res == nil || len(res.Seeds) == 0 {
+		return nil, fmt.Errorf("warm-up selection for k=%d produced no seeds", k)
+	}
+	return res, nil
+}
 
 // handle registers a "METHOD /path" pattern with metrics accounting and
 // JSON error mapping, recording the route name and allowed verb as it
@@ -332,10 +368,19 @@ type StatsResponse struct {
 	LastIngest    *time.Time       `json:"last_ingest,omitempty"`
 	ResidentBytes int64            `json:"resident_bytes"`
 	CachedSeedKs  []int            `json:"cached_seed_ks"`
+	Selections    int64            `json:"selections"`
 	UptimeSec     float64          `json:"uptime_seconds"`
 	Requests      int64            `json:"requests"`
 	RequestsBy    map[string]int64 `json:"requests_by_endpoint"`
 	QPS           float64          `json:"qps_1m"`
+
+	// Snapshot provenance: where this snapshot line cold-started from
+	// (when it was loaded from a binary model file) and the most recent
+	// checkpoint written through POST /snapshot.
+	ModelFile        string          `json:"model_file,omitempty"`
+	ModelActions     int             `json:"model_actions,omitempty"`
+	ModelTailActions int             `json:"model_tail_actions,omitempty"`
+	LastSnapshot     *CheckpointInfo `json:"last_snapshot,omitempty"`
 }
 
 func (s *Server) handleStats(sn *Snapshot, _ *http.Request) (any, error) {
@@ -356,6 +401,7 @@ func (s *Server) handleStats(sn *Snapshot, _ *http.Request) (any, error) {
 		Ingests:       sn.Ingests(),
 		ResidentBytes: sn.ResidentBytes(),
 		CachedSeedKs:  sn.CachedKs(),
+		Selections:    sn.Selections(),
 		UptimeSec:     uptime.Seconds(),
 		Requests:      total,
 		RequestsBy:    per,
@@ -364,6 +410,14 @@ func (s *Server) handleStats(sn *Snapshot, _ *http.Request) (any, error) {
 	if t := sn.LastIngest(); !t.IsZero() {
 		resp.LastIngest = &t
 	}
+	if sn.src.ModelPath != "" {
+		resp.ModelFile = sn.src.ModelPath
+		resp.ModelActions = sn.ModelActions()
+		resp.ModelTailActions = sn.TailActions()
+	}
+	s.checkpointMu.Lock()
+	resp.LastSnapshot = s.lastCheckpoint
+	s.checkpointMu.Unlock()
 	return resp, nil
 }
 
@@ -517,6 +571,110 @@ func (s *Server) handleIngest(_ *Snapshot, r *http.Request) (any, error) {
 	}, nil
 }
 
+// --- /snapshot -------------------------------------------------------------
+
+// snapshotRequest asks the server to checkpoint the current model as a
+// binary snapshot at a server-side path.
+type snapshotRequest struct {
+	Path string `json:"path"`
+}
+
+// SnapshotResponse answers POST /snapshot with what was written.
+type SnapshotResponse struct {
+	Snapshot    int64   `json:"snapshot"`
+	Dataset     string  `json:"dataset"`
+	Path        string  `json:"path"`
+	Actions     int     `json:"actions"`
+	Users       int     `json:"users"`
+	Entries     int64   `json:"entries"`
+	Bytes       int64   `json:"bytes"`
+	WriteMillis float64 `json:"write_ms"`
+}
+
+// handleSnapshot serializes the current snapshot's model — learned
+// parameters, scanned UC structure, dataset lineage — to a server-side
+// file, so an operator can checkpoint a long-running ingesting server and
+// later restart it from the file (serve -model) in milliseconds instead
+// of a full relearn+rescan. The write goes to a uniquely named temp file
+// in the target directory and is renamed into place, so a crash mid-write
+// never leaves a truncated snapshot at the requested path, and two
+// concurrent checkpoints to the same path cannot interleave into one file
+// (the later rename wins with a complete snapshot). Queries are never
+// blocked: the written planner is the immutable base the snapshot already
+// serves from.
+func (s *Server) handleSnapshot(sn *Snapshot, r *http.Request) (any, error) {
+	var req snapshotRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	if req.Path == "" {
+		return nil, badRequest("snapshot: missing \"path\"")
+	}
+	// The rename below replaces whatever sits at the path. Like /ingest's
+	// server-side log option, the path itself is trusted to the operator's
+	// network boundary — but an existing file is only replaced if it
+	// already is a snapshot, so a checkpoint can never clobber a graph,
+	// log, or unrelated file through this endpoint.
+	if prev, err := os.Open(req.Path); err == nil {
+		header := make([]byte, 8)
+		n, _ := io.ReadFull(prev, header)
+		prev.Close()
+		if !credist.IsModelSnapshot(header[:n]) {
+			return nil, badRequest("snapshot: %q exists and is not a model snapshot; refusing to replace it", req.Path)
+		}
+	}
+	start := time.Now()
+	dir, base := filepath.Split(req.Path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return nil, badRequest("snapshot: %v", err)
+	}
+	tmp := f.Name()
+	if err := sn.model.WriteSnapshot(f, sn.base); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, fmt.Errorf("snapshot: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return nil, fmt.Errorf("snapshot: %v", err)
+	}
+	if err := os.Rename(tmp, req.Path); err != nil {
+		os.Remove(tmp)
+		return nil, fmt.Errorf("snapshot: %v", err)
+	}
+	var bytes int64
+	if fi, err := os.Stat(req.Path); err == nil {
+		bytes = fi.Size()
+	}
+	elapsed := time.Since(start)
+	actions := sn.Dataset().Log.NumActions()
+	s.checkpointMu.Lock()
+	s.lastCheckpoint = &CheckpointInfo{
+		Path:      req.Path,
+		Snapshot:  sn.ID,
+		Actions:   actions,
+		Bytes:     bytes,
+		WrittenAt: time.Now(),
+	}
+	s.checkpointMu.Unlock()
+	s.logf("serve: wrote snapshot %d to %s (%d actions, %d bytes), %.0f ms",
+		sn.ID, req.Path, actions, bytes, float64(elapsed.Milliseconds()))
+	return SnapshotResponse{
+		Snapshot:    sn.ID,
+		Dataset:     sn.Dataset().Name,
+		Path:        req.Path,
+		Actions:     actions,
+		Users:       sn.NumUsers(),
+		Entries:     sn.Entries(),
+		Bytes:       bytes,
+		WriteMillis: float64(elapsed.Nanoseconds()) / 1e6,
+	}, nil
+}
+
 // --- request parsing -------------------------------------------------------
 
 func decodeBody(r *http.Request, v any) error {
@@ -549,11 +707,20 @@ func parseIDList(raw string) ([]credist.NodeID, error) {
 	return ids, nil
 }
 
+// validateIDs range-checks a node-id list and rejects duplicates: a
+// repeated id in a base seed set would commit the same seed twice,
+// silently corrupting the V-S credit restriction (seeds=3,3,3 is never
+// what the caller meant), so every id list gets a 400 instead.
 func validateIDs(ids []credist.NodeID, numUsers int) error {
+	seen := make(map[credist.NodeID]struct{}, len(ids))
 	for _, id := range ids {
 		if id < 0 || int(id) >= numUsers {
 			return badRequest("user id %d out of range [0,%d)", id, numUsers)
 		}
+		if _, dup := seen[id]; dup {
+			return badRequest("duplicate user id %d in list", id)
+		}
+		seen[id] = struct{}{}
 	}
 	return nil
 }

@@ -4,12 +4,14 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 
 	"credist"
+	"credist/internal/actionlog"
 	"credist/internal/datagen"
 	"credist/internal/serve"
 )
@@ -86,6 +88,14 @@ func TestHandlerTable(t *testing.T) {
 			wantStatus: 400, wantErrSub: "out of range"},
 		{name: "spread seeds and sets", method: "POST", target: "/spread", body: `{"seeds":[1],"sets":[[2]]}`,
 			wantStatus: 400, wantErrSub: "not both"},
+		{name: "spread duplicate seeds", method: "GET", target: "/spread?seeds=3,3,3",
+			wantStatus: 400, wantErrSub: "duplicate user id 3"},
+		{name: "spread batch duplicate in set", method: "POST", target: "/spread", body: `{"sets":[[1],[2,2]]}`,
+			wantStatus: 400, wantErrSub: "duplicate user id 2"},
+		{name: "gain duplicate base seeds", method: "GET", target: "/gain?seeds=5,5&candidates=1",
+			wantStatus: 400, wantErrSub: "duplicate user id 5"},
+		{name: "gain duplicate candidates", method: "POST", target: "/gain", body: `{"candidates":[4,4]}`,
+			wantStatus: 400, wantErrSub: "duplicate user id 4"},
 		{name: "spread bad json", method: "POST", target: "/spread", body: `{"seeds":`,
 			wantStatus: 400, wantErrSub: "bad JSON"},
 		{name: "gain GET", method: "GET", target: "/gain?candidates=4,5",
@@ -120,6 +130,14 @@ func TestHandlerTable(t *testing.T) {
 			wantStatus: 400, wantErrSub: "bad JSON"},
 		{name: "reload empty source", method: "POST", target: "/reload", body: `{}`,
 			wantStatus: 400, wantErrSub: "needs a preset"},
+		{name: "snapshot wrong method", method: "GET", target: "/snapshot",
+			wantStatus: 405},
+		{name: "snapshot missing path", method: "POST", target: "/snapshot", body: `{}`,
+			wantStatus: 400, wantErrSub: "missing \"path\""},
+		{name: "snapshot bad json", method: "POST", target: "/snapshot", body: `{`,
+			wantStatus: 400, wantErrSub: "bad JSON"},
+		{name: "snapshot unwritable path", method: "POST", target: "/snapshot", body: `{"path":"/nonexistent-dir/model.bin"}`,
+			wantStatus: 400, wantErrSub: "snapshot"},
 		{name: "unknown path", method: "GET", target: "/nope",
 			wantStatus: 404, wantErrSub: "no such endpoint"},
 	}
@@ -262,6 +280,170 @@ func TestReloadSwapsSnapshot(t *testing.T) {
 			t.Fatalf("selection changed across save/load reload at %d: (%d, %b) vs (%d, %b)",
 				i, before.Seeds[i], before.Gains[i], after.Seeds[i], after.Gains[i])
 		}
+	}
+}
+
+// TestSnapshotCheckpointRestartCycle walks the full durable-snapshot ops
+// story: serve from files, checkpoint to a binary snapshot, cold-start a
+// second server from it (bit-identical answers, no rescan of scanned
+// actions), ingest a tail, checkpoint again, and cold-start a third server
+// from the new snapshot plus the on-disk tail — still bit-identical.
+func TestSnapshotCheckpointRestartCycle(t *testing.T) {
+	demo := demoDataset()
+	n := demo.Log.NumActions()
+	headN := n - 10
+	headDS := &credist.Dataset{Name: "demo-head", Graph: demo.Graph, Log: demo.Log.Prefix(headN)}
+	var tailTuples []credist.Tuple
+	for a := headN; a < n; a++ {
+		tailTuples = append(tailTuples, demo.Log.Action(credist.ActionID(a))...)
+	}
+
+	dir := t.TempDir()
+	gp, lp := filepath.Join(dir, "d.graph"), filepath.Join(dir, "d.log")
+	if err := credist.SaveDataset(headDS, gp, lp); err != nil {
+		t.Fatalf("SaveDataset: %v", err)
+	}
+	tailPath := filepath.Join(dir, "d.tail.log")
+	tf, err := os.Create(tailPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := actionlog.WriteTuples(tf, demo.NumUsers(), tailTuples); err != nil {
+		t.Fatal(err)
+	}
+	if err := tf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Server A: learned from files, then checkpointed.
+	snA, err := serve.Build(serve.Source{GraphPath: gp, LogPath: lp, Lambda: 0.001})
+	if err != nil {
+		t.Fatalf("Build A: %v", err)
+	}
+	hA := serve.New(snA).Handler()
+	var seedsA serve.SeedsResponse
+	getJSON(t, hA, "GET", "/seeds?k=3", "", &seedsA)
+	model1 := filepath.Join(dir, "model1.bin")
+	var cp serve.SnapshotResponse
+	getJSON(t, hA, "POST", "/snapshot", `{"path":"`+model1+`"}`, &cp)
+	if cp.Actions != headN || cp.Bytes <= 0 {
+		t.Fatalf("checkpoint = %+v, want %d actions and nonzero bytes", cp, headN)
+	}
+	var stA serve.StatsResponse
+	getJSON(t, hA, "GET", "/stats", "", &stA)
+	if stA.LastSnapshot == nil || stA.LastSnapshot.Path != model1 {
+		t.Fatalf("stats.last_snapshot = %+v, want path %s", stA.LastSnapshot, model1)
+	}
+
+	// A checkpoint may replace a prior snapshot but never an arbitrary
+	// existing file (here: the graph the server itself was loaded from).
+	if code, body := do(t, hA, "POST", "/snapshot", `{"path":"`+gp+`"}`); code != 400 {
+		t.Fatalf("overwriting a non-snapshot file: status %d, body %v", code, body)
+	} else if msg, _ := body["error"].(string); !strings.Contains(msg, "refusing to replace") {
+		t.Fatalf("overwrite error = %q", msg)
+	}
+	getJSON(t, hA, "POST", "/snapshot", `{"path":"`+model1+`"}`, &cp) // re-checkpoint over a snapshot is fine
+
+	// Server B: cold-started from the checkpoint — same answers, and the
+	// stats record the snapshot provenance.
+	snB, err := serve.Build(serve.Source{GraphPath: gp, LogPath: lp, ModelPath: model1})
+	if err != nil {
+		t.Fatalf("Build B: %v", err)
+	}
+	hB := serve.New(snB).Handler()
+	var seedsB serve.SeedsResponse
+	getJSON(t, hB, "GET", "/seeds?k=3", "", &seedsB)
+	requireSameSelection(t, "restart from snapshot", seedsA, seedsB)
+	var stB serve.StatsResponse
+	getJSON(t, hB, "GET", "/stats", "", &stB)
+	if stB.ModelFile != model1 || stB.ModelActions != headN || stB.ModelTailActions != 0 {
+		t.Fatalf("stats provenance = %s/%d/%d, want %s/%d/0",
+			stB.ModelFile, stB.ModelActions, stB.ModelTailActions, model1, headN)
+	}
+
+	// A snapshot refuses to load under different options.
+	if _, err := serve.Build(serve.Source{GraphPath: gp, LogPath: lp, ModelPath: model1, Lambda: 0.5}); err == nil {
+		t.Fatal("snapshot load with mismatched lambda accepted")
+	}
+
+	// Ingest the tail into B and checkpoint the grown model.
+	reqTuples := make([]serve.IngestTuple, len(tailTuples))
+	for i, tp := range tailTuples {
+		reqTuples[i] = serve.IngestTuple{User: tp.User, Action: tp.Action, Time: tp.Time}
+	}
+	body, _ := json.Marshal(map[string]any{"tuples": reqTuples})
+	var ir serve.IngestResponse
+	getJSON(t, hB, "POST", "/ingest", string(body), &ir)
+	if ir.Actions != n {
+		t.Fatalf("ingest grew to %d actions, want %d", ir.Actions, n)
+	}
+	var seedsB2 serve.SeedsResponse
+	getJSON(t, hB, "GET", "/seeds?k=3", "", &seedsB2)
+	model2 := filepath.Join(dir, "model2.bin")
+	getJSON(t, hB, "POST", "/snapshot", `{"path":"`+model2+`"}`, &cp)
+	if cp.Actions != n {
+		t.Fatalf("post-ingest checkpoint covers %d actions, want %d", cp.Actions, n)
+	}
+
+	// The new snapshot is newer than the on-disk log alone...
+	if _, err := serve.Build(serve.Source{GraphPath: gp, LogPath: lp, ModelPath: model2}); err == nil {
+		t.Fatal("snapshot newer than the log accepted without the tail")
+	}
+	// ...but log + tail covers it: server C restarts bit-identical to the
+	// post-ingest state.
+	snC, err := serve.Build(serve.Source{GraphPath: gp, LogPath: lp, TailPath: tailPath, ModelPath: model2})
+	if err != nil {
+		t.Fatalf("Build C: %v", err)
+	}
+	hC := serve.New(snC).Handler()
+	var seedsC serve.SeedsResponse
+	getJSON(t, hC, "GET", "/seeds?k=3", "", &seedsC)
+	requireSameSelection(t, "restart from post-ingest snapshot", seedsB2, seedsC)
+	var stC serve.StatsResponse
+	getJSON(t, hC, "GET", "/stats", "", &stC)
+	if stC.Actions != n || stC.ModelActions != n || stC.ModelTailActions != 0 {
+		t.Fatalf("restarted stats = actions %d, model %d+%d; want %d, %d+0",
+			stC.Actions, stC.ModelActions, stC.ModelTailActions, n, n)
+	}
+}
+
+func requireSameSelection(t *testing.T, what string, a, b serve.SeedsResponse) {
+	t.Helper()
+	if len(a.Seeds) != len(b.Seeds) {
+		t.Fatalf("%s: %d vs %d seeds", what, len(b.Seeds), len(a.Seeds))
+	}
+	for i := range a.Seeds {
+		if a.Seeds[i] != b.Seeds[i] || a.Gains[i] != b.Gains[i] {
+			t.Fatalf("%s: selection diverged at %d: (%d, %b) vs (%d, %b)",
+				what, i, b.Seeds[i], b.Gains[i], a.Seeds[i], a.Gains[i])
+		}
+	}
+	if a.Spread != b.Spread {
+		t.Fatalf("%s: spread %b vs %b", what, b.Spread, a.Spread)
+	}
+}
+
+// TestWarm pins the startup warm-up path: valid ks prime the cache, and
+// the error cases the CLI must fail fast on actually error.
+func TestWarm(t *testing.T) {
+	srv := newTestServer(t)
+	res, err := srv.Warm(3)
+	if err != nil || len(res.Seeds) != 3 {
+		t.Fatalf("Warm(3) = %v, %v", res, err)
+	}
+	var sr serve.SeedsResponse
+	getJSON(t, srv.Handler(), "GET", "/seeds?k=3", "", &sr)
+	if !sr.Cached {
+		t.Error("warm-up did not prime the seed cache")
+	}
+	if _, err := srv.Warm(0); err == nil {
+		t.Error("Warm(0) accepted")
+	}
+	if _, err := srv.Warm(-2); err == nil {
+		t.Error("Warm(-2) accepted")
+	}
+	if _, err := srv.Warm(srv.Current().NumUsers() + 1); err == nil {
+		t.Error("Warm beyond the universe accepted")
 	}
 }
 

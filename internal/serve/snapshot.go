@@ -14,6 +14,7 @@ package serve
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"strings"
@@ -37,6 +38,20 @@ type Source struct {
 	// ParamsPath optionally restores time-aware parameters written by
 	// Model.SaveParams instead of re-learning them from the log.
 	ParamsPath string `json:"params,omitempty"`
+	// ModelPath restores a full binary snapshot written by Model.Save or
+	// POST /snapshot: learned parameters plus the scanned UC structure,
+	// lineage-checked against the dataset. Only log actions past the
+	// snapshot's recorded scan are processed, so starting from a snapshot
+	// skips both learning and the full log scan. Mutually exclusive with
+	// ParamsPath; Lambda/SimpleCredit must match the stored options or be
+	// left zero to adopt them.
+	ModelPath string `json:"model,omitempty"`
+	// TailPath appends an action-log tail file (as written by `datagen
+	// -stream`) to the dataset's log before the model binds to it. With
+	// ModelPath this is how a restarted server catches up past a checkpoint
+	// taken after ingests: the on-disk log plus the tail must cover every
+	// action the snapshot recorded.
+	TailPath string `json:"tail,omitempty"`
 	// Lambda is the UC truncation threshold (paper default 0.001).
 	Lambda float64 `json:"lambda,omitempty"`
 	// SimpleCredit selects the 1/d_in direct-credit rule instead of the
@@ -66,14 +81,22 @@ func (src Source) dataset() (*credist.Dataset, error) {
 
 // describe renders the source for /stats and logs.
 func (src Source) describe() string {
+	var s string
 	switch {
 	case src.Dataset != nil:
-		return "embedded:" + src.Dataset.Name
+		s = "embedded:" + src.Dataset.Name
 	case src.Preset != "":
-		return "preset:" + src.Preset
+		s = "preset:" + src.Preset
 	default:
-		return "files:" + src.GraphPath + "," + src.LogPath
+		s = "files:" + src.GraphPath + "," + src.LogPath
 	}
+	if src.TailPath != "" {
+		s += "+tail:" + src.TailPath
+	}
+	if src.ModelPath != "" {
+		s += " model:" + src.ModelPath
+	}
+	return s
 }
 
 // SeedsResult is a memoized CELF seed selection.
@@ -114,6 +137,17 @@ type Snapshot struct {
 	ingests      int64
 	lastIngest   time.Time
 
+	// Cold-start provenance: when the model came from a binary snapshot
+	// file, how many actions the file covered and how many the load
+	// appended on top from the dataset's log.
+	modelActions int
+	tailActions  int
+
+	// selections counts the CELF runs this snapshot actually executed —
+	// at most one per distinct k, however many concurrent requests raced
+	// for it (the seedCache single-flights them).
+	selections atomic.Int64
+
 	mu        sync.Mutex
 	seedCache map[int]*seedEntry
 }
@@ -128,28 +162,61 @@ type seedEntry struct {
 }
 
 // Build loads the source's dataset, learns (or restores) the model, and
-// scans the log once. The returned snapshot has ID 0 until a Registry
-// installs it.
+// obtains the scanned planner — from a single log scan, or, when
+// ModelPath names a binary snapshot, from a lineage-checked load that
+// scans only the log tail past the snapshot's recorded actions. The
+// returned snapshot has ID 0 until a Registry installs it.
 func Build(src Source) (*Snapshot, error) {
 	ds, err := src.dataset()
 	if err != nil {
 		return nil, err
 	}
+	if src.TailPath != "" {
+		f, err := os.Open(src.TailPath)
+		if err != nil {
+			return nil, fmt.Errorf("open tail: %w", err)
+		}
+		grown, _, err := ds.Log.AppendFromReader(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("append tail %s: %w", src.TailPath, err)
+		}
+		if grown.NumUsers() > ds.Graph.NumNodes() {
+			return nil, fmt.Errorf("tail %s grows the universe to %d users, but the graph has %d nodes",
+				src.TailPath, grown.NumUsers(), ds.Graph.NumNodes())
+		}
+		ds = &credist.Dataset{Name: ds.Name, Graph: ds.Graph, Log: grown}
+	}
 	opts := credist.Options{Lambda: src.Lambda, SimpleCredit: src.SimpleCredit}
 	var model *credist.Model
-	if src.ParamsPath != "" {
+	switch {
+	case src.ModelPath != "":
+		if src.ParamsPath != "" {
+			return nil, fmt.Errorf("model and params are mutually exclusive")
+		}
+		model, err = credist.LoadModel(ds, src.ModelPath, opts)
+		if err != nil {
+			return nil, err
+		}
+	case src.ParamsPath != "":
 		model, err = credist.LoadModel(ds, src.ParamsPath, opts)
 		if err != nil {
 			return nil, err
 		}
-	} else {
+	default:
 		model = credist.Learn(ds, opts)
 	}
 	base := model.NewPlanner()
+	// For a snapshot load the planner's delta is exactly the log tail the
+	// file had not scanned; record it before compaction folds it away.
+	tailActions := 0
+	if src.ModelPath != "" {
+		tailActions = base.DeltaActions()
+	}
 	// Freeze the scan product: every shard becomes shared, so per-request
 	// planner clones copy an outer slice instead of the whole UC store.
 	base.Compact()
-	return &Snapshot{
+	sn := &Snapshot{
 		LoadedAt:      time.Now(),
 		src:           src,
 		model:         model,
@@ -157,7 +224,18 @@ func Build(src Source) (*Snapshot, error) {
 		entries:       base.Entries(),
 		residentBytes: base.ResidentBytes(),
 		seedCache:     make(map[int]*seedEntry),
-	}, nil
+	}
+	if src.ModelPath != "" {
+		sn.modelActions = base.NumActions() - tailActions
+		sn.tailActions = tailActions
+	}
+	// The model's spread evaluator (the /spread and /topk path) builds
+	// lazily on first use. Kick that build off in the background so a
+	// snapshot-loaded server binds its port in milliseconds without the
+	// first spread query absorbing the whole propagation-DAG build; an
+	// earlier request simply waits on the same one-time build.
+	go func() { _ = sn.model.Spread(nil) }()
+	return sn, nil
 }
 
 // Ingest builds the successor snapshot extended with a batch of new
@@ -196,6 +274,8 @@ func (sn *Snapshot) Ingest(tuples []credist.Tuple, compact bool) (*Snapshot, err
 		deltaActions:  base.DeltaActions(),
 		ingests:       sn.ingests + 1,
 		lastIngest:    time.Now(),
+		modelActions:  sn.modelActions,
+		tailActions:   sn.tailActions,
 		seedCache:     make(map[int]*seedEntry),
 	}, nil
 }
@@ -281,6 +361,7 @@ func (sn *Snapshot) SelectSeeds(k int) (res *SeedsResult, cached bool) {
 	e.once.Do(func() {
 		// Engine.Add mutates seed state, so selection must never run on the
 		// shared base planner: clone it, select, throw the clone away.
+		sn.selections.Add(1)
 		sel := sn.base.Clone().Select(k)
 		r := &SeedsResult{
 			Seeds:   sel.Seeds,
@@ -298,6 +379,21 @@ func (sn *Snapshot) SelectSeeds(k int) (res *SeedsResult, cached bool) {
 	})
 	return e.res.Load(), cached
 }
+
+// Selections returns how many CELF runs this snapshot has actually
+// executed. The seed cache single-flights concurrent requests, so this is
+// at most the number of distinct ks ever asked for — the diagnostic that
+// pins the no-duplicate-work guarantee under concurrent cold traffic.
+func (sn *Snapshot) Selections() int64 { return sn.selections.Load() }
+
+// ModelActions returns how many actions the binary snapshot file this
+// snapshot line cold-started from had scanned (0 when the model was
+// learned in-process).
+func (sn *Snapshot) ModelActions() int { return sn.modelActions }
+
+// TailActions returns how many log actions past the snapshot file the
+// cold start appended (0 when the model was learned in-process).
+func (sn *Snapshot) TailActions() int { return sn.tailActions }
 
 // CachedKs lists the ks with completed memoized selections, sorted, for
 // /stats. An in-flight k appears only once its run finishes.

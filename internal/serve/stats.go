@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,7 +37,22 @@ func (m *metrics) snapshot(now time.Time) (total int64, perRoute map[string]int6
 	for r, c := range m.perRoute {
 		perRoute[r] = c.Load()
 	}
-	return m.total.Load(), perRoute, m.qps.rate(now.Unix()), now.Sub(m.start)
+	uptime = now.Sub(m.start)
+	// During the first minute of uptime the window cannot contain 60
+	// seconds of traffic yet; dividing by the full 60 would under-report
+	// QPS (e.g. 100 requests in the first 10 seconds used to read as 1.7
+	// QPS instead of 10). Average over the seconds actually elapsed —
+	// rounded up, so the bucket holding the server's first second of
+	// traffic stays inside the window until it genuinely ages out — and
+	// floored at 1 so a burst in the first instant stays finite.
+	window := int64(math.Ceil(uptime.Seconds()))
+	if window > 60 {
+		window = 60
+	}
+	if window < 1 {
+		window = 1
+	}
+	return m.total.Load(), perRoute, m.qps.rate(now.Unix(), window), uptime
 }
 
 // qpsWindow counts requests in 60 one-second buckets keyed by unix second;
@@ -58,15 +74,22 @@ func (q *qpsWindow) hit(nowSec int64) {
 	q.mu.Unlock()
 }
 
-// rate averages the requests of the trailing 60 seconds.
-func (q *qpsWindow) rate(nowSec int64) float64 {
+// rate averages the requests of the trailing windowSec seconds (at most
+// the ring's 60). The caller passes min(60, uptime) so a server that has
+// been up for less than a minute divides by the seconds it actually saw.
+func (q *qpsWindow) rate(nowSec, windowSec int64) float64 {
+	if windowSec < 1 {
+		windowSec = 1
+	} else if windowSec > 60 {
+		windowSec = 60
+	}
 	var sum int64
 	q.mu.Lock()
 	for i := range q.count {
-		if nowSec-q.stamp[i] < 60 {
+		if nowSec-q.stamp[i] < windowSec {
 			sum += q.count[i]
 		}
 	}
 	q.mu.Unlock()
-	return float64(sum) / 60
+	return float64(sum) / float64(windowSec)
 }

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestQPSEarlyUptime pins the first-minute QPS fix: the rate must divide
+// by the seconds the server has actually been up (floored at 1, capped at
+// 60), not by a flat 60 — 50 requests two seconds into uptime measured at
+// the five-second mark are 10 QPS, not 0.83.
+func TestQPSEarlyUptime(t *testing.T) {
+	start := time.Unix(1_000_000, 0)
+	newM := func() *metrics {
+		m := newMetrics([]string{"spread"})
+		m.start = start
+		for i := 0; i < 50; i++ {
+			m.hit("spread", start.Add(2*time.Second))
+		}
+		return m
+	}
+
+	cases := []struct {
+		name string
+		now  time.Time
+		want float64
+	}{
+		{"5s of uptime divides by 5", start.Add(5 * time.Second), 10},
+		{"25s of uptime divides by 25", start.Add(25 * time.Second), 2},
+		// Fractional uptime rounds the window up, so the burst bucket (age
+		// 2) stays inside a ceil(4.1)=5 second window.
+		{"fractional uptime rounds up", start.Add(4100 * time.Millisecond), 10},
+		{"a minute of uptime divides by 60", start.Add(60 * time.Second), 50.0 / 60},
+		{"bucket ages out of the ring", start.Add(70 * time.Second), 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, qps, _ := newM().snapshot(tc.now)
+			if qps != tc.want {
+				t.Fatalf("qps = %g, want %g", qps, tc.want)
+			}
+		})
+	}
+}
+
+// TestQPSSubSecondUptime floors the divisor at one second so a burst in
+// the very first instant reads as a finite rate.
+func TestQPSSubSecondUptime(t *testing.T) {
+	start := time.Unix(2_000_000, 0)
+	m := newMetrics([]string{"spread"})
+	m.start = start
+	for i := 0; i < 7; i++ {
+		m.hit("spread", start)
+	}
+	_, _, qps, uptime := m.snapshot(start.Add(800 * time.Millisecond))
+	if uptime >= time.Second {
+		t.Fatalf("uptime = %v, want sub-second", uptime)
+	}
+	if qps != 7 {
+		t.Fatalf("qps = %g, want 7", qps)
+	}
+}
+
+// TestQPSBucketAtWindowEdge pins the rounding fix: a burst in the
+// server's very first second must still be counted when the window length
+// equals that bucket's age — floor(uptime) used to exclude it, reporting
+// 0 QPS for real traffic.
+func TestQPSBucketAtWindowEdge(t *testing.T) {
+	start := time.Unix(3_000_000, 0)
+	m := newMetrics([]string{"spread"})
+	m.start = start
+	for i := 0; i < 50; i++ {
+		m.hit("spread", start)
+	}
+	// Uptime 2.5s: window ceil(2.5)=3, burst bucket age 2 — included.
+	if _, _, qps, _ := m.snapshot(start.Add(2500 * time.Millisecond)); qps != 50.0/3 {
+		t.Fatalf("qps = %g, want %g", qps, 50.0/3)
+	}
+}
+
+// TestQPSWindowBucketsWrap checks the lazy bucket reset still works with
+// the windowed divisor: a burst 60+ seconds ago never leaks into the sum.
+func TestQPSWindowBucketsWrap(t *testing.T) {
+	var q qpsWindow
+	for i := 0; i < 30; i++ {
+		q.hit(int64(1000 + i))
+	}
+	if got := q.rate(1090, 60); got != 0 {
+		t.Fatalf("wrapped rate = %g, want 0", got)
+	}
+	q.hit(1090)
+	if got := q.rate(1090, 60); got != 1.0/60 {
+		t.Fatalf("rate = %g, want %g", got, 1.0/60)
+	}
+	// A tiny window divides by its own length.
+	if got := q.rate(1090, 1); got != 1 {
+		t.Fatalf("1s-window rate = %g, want 1", got)
+	}
+}

@@ -1,8 +1,11 @@
 package credist
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"os"
+	"sync"
 
 	"credist/internal/actionlog"
 	"credist/internal/core"
@@ -22,12 +25,35 @@ type Options struct {
 
 // Model is a learned credit-distribution model: the time decay and
 // influenceability parameters plus the evaluator of the spread objective
-// sigma_cd.
+// sigma_cd. Its two expensive scan products — the evaluator and the UC
+// credit engine behind NewPlanner — are built lazily, at most once each,
+// and then reused: a model restored from a binary snapshot (LoadModel)
+// serves planners without ever re-scanning the log, and even a freshly
+// learned model pays the Algorithm 2 scan once across any number of
+// NewPlanner/Gains/SelectSeeds calls.
 type Model struct {
 	ds     *Dataset
 	opts   Options
 	credit core.CreditModel
-	eval   *core.Evaluator
+	eval   func() *core.Evaluator
+	base   func() *core.Engine // frozen; NewPlanner hands out clones
+}
+
+// newModel wires a model with a lazily built evaluator and base engine.
+func newModel(ds *Dataset, opts Options, credit core.CreditModel) *Model {
+	m := &Model{ds: ds, opts: opts, credit: credit}
+	m.eval = sync.OnceValue(func() *core.Evaluator {
+		return core.NewEvaluator(ds.Graph, ds.Log, credit)
+	})
+	m.base = sync.OnceValue(func() *core.Engine {
+		e := core.NewEngine(ds.Graph, ds.Log, core.Options{Lambda: opts.Lambda, Credit: credit})
+		// Compact at exact size and freeze: clones share every shard, and
+		// the scan's growth slack is shed once instead of retained for the
+		// model's lifetime.
+		e.Compact()
+		return e
+	})
+	return m
 }
 
 // Learn fits the CD model to the dataset's action log. Pass the training
@@ -40,12 +66,7 @@ func Learn(ds *Dataset, opts Options) *Model {
 	} else {
 		credit = core.LearnTimeAware(ds.Graph, ds.Log)
 	}
-	return &Model{
-		ds:     ds,
-		opts:   opts,
-		credit: credit,
-		eval:   core.NewEvaluator(ds.Graph, ds.Log, credit),
-	}
+	return newModel(ds, opts, credit)
 }
 
 // Dataset returns the dataset the model is bound to.
@@ -58,7 +79,7 @@ func (m *Model) Options() Options { return m.opts }
 // It is safe for concurrent use: evaluation reads only immutable scan
 // products, so any number of goroutines may call Spread (and Gains with an
 // empty base set) on a shared Model.
-func (m *Model) Spread(seeds []NodeID) float64 { return m.eval.Spread(seeds) }
+func (m *Model) Spread(seeds []NodeID) float64 { return m.eval().Spread(seeds) }
 
 // Gains returns the marginal gain sigma_cd(S+c) - sigma_cd(S) of every
 // candidate c against the base seed set S, batched so the engine scan (or
@@ -95,16 +116,20 @@ func (m *Model) Ingest(tuples []Tuple) (*Model, error) {
 		return nil, fmt.Errorf("credist: ingested log universe (%d users) exceeds the graph (%d nodes)",
 			newLog.NumUsers(), m.ds.Graph.NumNodes())
 	}
-	eval, err := m.eval.Extend(m.ds.Graph, newLog, ActionID(m.ds.Log.NumActions()))
+	eval, err := m.eval().Extend(m.ds.Graph, newLog, ActionID(m.ds.Log.NumActions()))
 	if err != nil {
 		return nil, err
 	}
-	return &Model{
-		ds:     &Dataset{Name: m.ds.Name, Graph: m.ds.Graph, Log: newLog},
-		opts:   m.opts,
-		credit: m.credit,
-		eval:   eval,
-	}, nil
+	// The grown model gets a self-contained lazy base (a fresh scan of the
+	// combined log on first use), NOT one chained off the receiver's:
+	// capturing the predecessor here would retain every prior generation's
+	// model, log copy, and evaluator for as long as the lazy base stays
+	// unforced — unbounded memory on a server that trickles ingests. A
+	// caller who wants the cheap clone+tail-scan derivation uses
+	// ExtendPlanner with an explicit planner, which retains nothing.
+	grown := newModel(&Dataset{Name: m.ds.Name, Graph: m.ds.Graph, Log: newLog}, m.opts, m.credit)
+	grown.eval = func() *core.Evaluator { return eval }
+	return grown, nil
 }
 
 // ExtendPlanner derives a planner for this (post-Ingest) model from one
@@ -164,13 +189,15 @@ type Planner struct {
 	eng *core.Engine
 }
 
-// NewPlanner scans the model's training log (Algorithm 2) and returns a
-// planner with an empty seed set.
+// NewPlanner returns a planner with an empty seed set over the model's
+// scanned UC structure (Algorithm 2). The scan happens at most once per
+// model — on the first call, or never for a model restored by LoadModel
+// from a binary snapshot — and every planner is an independent clone
+// sharing the frozen scan products copy-on-write, so repeated calls cost
+// microseconds, not a log rescan. Results are bit-identical to a freshly
+// scanned engine.
 func (m *Model) NewPlanner() *Planner {
-	return &Planner{eng: core.NewEngine(m.ds.Graph, m.ds.Log, core.Options{
-		Lambda: m.opts.Lambda,
-		Credit: m.credit,
-	})}
+	return &Planner{eng: m.base().Clone()}
 }
 
 // Clone returns an independent deep copy: Add and Select on the clone never
@@ -236,7 +263,7 @@ func (m *Model) Influenceability(u NodeID) float64 {
 // PairCredit returns kappa_{v,u}, the average credit v earns for
 // influencing u across the log (Eq. 6) — a learned, data-based analogue of
 // an edge influence probability.
-func (m *Model) PairCredit(v, u NodeID) float64 { return m.eval.PairCredit(v, u) }
+func (m *Model) PairCredit(v, u NodeID) float64 { return m.eval().PairCredit(v, u) }
 
 // Initiators returns, for each action of a dataset, the users who
 // performed it before any of their neighbors — the paper's notion of a
@@ -277,23 +304,129 @@ func (m *Model) SaveParams(path string) error {
 	return f.Close()
 }
 
-// LoadModel restores a time-aware model from parameters written by
-// SaveParams, binding them to the given dataset (which must have the same
-// user universe the parameters were learned on).
+// Save writes the model as a durable binary snapshot: learned parameters
+// plus the fully scanned UC credit structure and the dataset lineage
+// (name, universe, action count, graph/log content hashes). A process
+// restarted with LoadModel against the same (or a grown) dataset skips
+// both learning and the log scan — cold start becomes a file read plus an
+// append of only the unscanned tail. Saving forces the model's one-time
+// scan if it has not happened yet.
+func (m *Model) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("credist: create snapshot file: %w", err)
+	}
+	if err := m.WriteSnapshot(f, nil); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteSnapshot streams the binary snapshot to w. p selects the scanned
+// planner to serialize — it must belong to this model's lineage (same
+// credit parameters and truncation threshold), cover exactly the model's
+// log, and hold no committed seeds; nil uses the model's own base scan.
+// Passing an explicit planner is how a serving layer checkpoints its live
+// (possibly ingest-extended) planner without a second scan.
+func (m *Model) WriteSnapshot(w io.Writer, p *Planner) error {
+	eng := (*core.Engine)(nil)
+	if p == nil {
+		eng = m.base()
+	} else {
+		if p.eng.CreditModel() != m.credit {
+			return fmt.Errorf("credist: planner was scanned with different credit parameters than this model")
+		}
+		if pl, ml := p.eng.Lambda(), m.opts.Lambda; pl != ml {
+			return fmt.Errorf("credist: planner was scanned with lambda %g, model uses %g", pl, ml)
+		}
+		if pn, ln := p.NumActions(), m.ds.Log.NumActions(); pn != ln {
+			return fmt.Errorf("credist: planner covers %d actions, model's log holds %d", pn, ln)
+		}
+		eng = p.eng
+	}
+	return eng.WriteSnapshot(w, core.DatasetLineage(m.ds.Name, m.ds.Graph, m.ds.Log))
+}
+
+// IsModelSnapshot reports whether data (at least the first 8 bytes of a
+// file) begins with the binary model-snapshot magic — the format written
+// by Model.Save and `credist learn -o`, as opposed to the SaveParams text
+// format.
+func IsModelSnapshot(data []byte) bool { return core.IsSnapshotHeader(data) }
+
+// LoadModel restores a model from a file written by Save (binary
+// snapshot) or SaveParams (text parameters), sniffing the format from the
+// file header and binding the result to the given dataset.
+//
+// For a binary snapshot the dataset is lineage-checked: the graph must
+// hash-match the one the snapshot was built against, and the log must
+// contain the snapshot's scanned prefix verbatim. The log may be longer —
+// the restored engine appends only the unscanned tail (bit-identical to a
+// from-scratch rescan of the combined log), which is what makes restarting
+// an ingesting service a matter of milliseconds instead of a full rescan.
+// The snapshot's stored options are authoritative: pass the same options
+// it was saved with, or the zero Options to adopt them; anything else is
+// a lineage error.
+//
+// For text parameters (time-aware only) the behavior is unchanged: the
+// dataset must share the user universe the parameters were learned on,
+// and opts is taken as given.
 func LoadModel(ds *Dataset, path string, opts Options) (*Model, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("credist: open params file: %w", err)
+		return nil, fmt.Errorf("credist: open model file: %w", err)
 	}
 	defer f.Close()
-	credit, err := core.ReadTimeAware(f)
+	br := bufio.NewReaderSize(f, 1<<20)
+	if header, err := br.Peek(8); err == nil && core.IsSnapshotHeader(header) {
+		return loadSnapshotModel(ds, br, opts)
+	}
+	credit, err := core.ReadTimeAware(br)
 	if err != nil {
 		return nil, err
 	}
-	return &Model{
-		ds:     ds,
-		opts:   opts,
-		credit: credit,
-		eval:   core.NewEvaluator(ds.Graph, ds.Log, credit),
-	}, nil
+	// Same guard the snapshot path applies: parameters must cover every
+	// graph node, or the first Gamma evaluation for an uncovered user
+	// would panic instead of erroring here.
+	if credit.UniverseSize() < ds.Graph.NumNodes() {
+		return nil, fmt.Errorf("credist: parameters cover %d users, graph has %d nodes", credit.UniverseSize(), ds.Graph.NumNodes())
+	}
+	return newModel(ds, opts, credit), nil
+}
+
+// loadSnapshotModel binds a binary snapshot to ds: lineage check, options
+// resolution, and the tail append for a log that has grown past the
+// snapshot's scanned prefix.
+func loadSnapshotModel(ds *Dataset, r io.Reader, opts Options) (*Model, error) {
+	eng, lin, err := core.ReadSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := lin.Check(ds.Graph, ds.Log); err != nil {
+		return nil, err
+	}
+	credit := eng.CreditModel()
+	// The graph hash matched, so a snapshot learned on this graph covers
+	// every node; a crafted file that passed its CRC but shrank the
+	// parameter table must still be refused before Gamma can index past it.
+	if ta, ok := credit.(*core.TimeAwareCredit); ok && ta.UniverseSize() < ds.Graph.NumNodes() {
+		return nil, fmt.Errorf("credist: snapshot parameters cover %d users, graph has %d nodes", ta.UniverseSize(), ds.Graph.NumNodes())
+	}
+	_, simple := credit.(core.SimpleCredit)
+	stored := Options{Lambda: eng.Lambda(), SimpleCredit: simple}
+	if opts != (Options{}) && opts != stored {
+		return nil, fmt.Errorf("credist: snapshot was saved with options %+v, load requested %+v (pass the zero Options to adopt the stored ones)", stored, opts)
+	}
+	if ds.Log.NumActions() > lin.NumActions {
+		if err := eng.AppendActions(ds.Graph, ds.Log, ActionID(lin.NumActions)); err != nil {
+			return nil, err
+		}
+	}
+	// Freeze rather than Compact: clones share everything either way, and
+	// keeping the delta accounting lets callers (and /stats) see how much
+	// of the engine came from the post-snapshot tail.
+	eng.Freeze()
+	m := newModel(ds, stored, credit)
+	m.base = func() *core.Engine { return eng }
+	return m, nil
 }
