@@ -23,6 +23,7 @@ func runLearn(args []string) {
 		out       = fs.String("o", "", "output path for the binary model snapshot (required)")
 		lambda    = fs.Float64("lambda", 0.001, "CD truncation threshold (paper default 0.001; 0 keeps every credit)")
 		simple    = fs.Bool("simple-credit", false, "use the equal-split 1/d_in direct-credit rule instead of the learned time-aware rule (Eq. 9)")
+		seedK     = fs.Int("seed-k", 0, "also run CELF for this many seeds and persist the selection prefix in the snapshot, so `credist serve -model` answers /seeds?k<=N instantly from the first request (0 skips)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), `Usage: credist learn [flags] -o model.bin
@@ -35,6 +36,7 @@ rescanning — and against a log that has grown, only the unscanned tail is
 processed.
 
   credist learn -preset flixster-small -o model.bin
+  credist learn -preset flixster-small -seed-k 50 -o model.bin   # + seed prefix
   credist serve -preset flixster-small -model model.bin
   credist learn -graph d.graph -log d.log -lambda 0.001 -o model.bin
 
@@ -57,8 +59,24 @@ Flags:
 	fmt.Printf("dataset %s: %d users, %d propagations, %d tuples\n",
 		ds.Name, ds.NumUsers(), st.NumActions, st.NumTuples)
 
+	if *seedK < 0 {
+		fmt.Fprintln(os.Stderr, "credist learn: -seed-k must be non-negative")
+		os.Exit(1)
+	}
+	if *seedK > ds.NumUsers() {
+		fmt.Fprintf(os.Stderr, "credist learn: -seed-k %d exceeds the user count %d\n", *seedK, ds.NumUsers())
+		os.Exit(1)
+	}
+
 	start := time.Now()
 	model := credist.Learn(ds, credist.Options{Lambda: *lambda, SimpleCredit: *simple})
+	if *seedK > 0 {
+		t := time.Now()
+		res := model.Selection(*seedK)
+		model.RecordSeedPrefix(res)
+		fmt.Printf("selected %d-seed prefix (spread %.2f, %d gain evaluations) in %v\n",
+			len(res.Seeds), res.Spread(), res.Lookups, time.Since(t).Round(time.Millisecond))
+	}
 	if err := model.Save(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "credist learn:", err)
 		os.Exit(1)

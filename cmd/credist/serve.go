@@ -42,7 +42,10 @@ JSON queries. Endpoints:
   GET  /spread?seeds=1,2,3     sigma_cd of a seed set (POST {"seeds":[...]}
                                or {"sets":[[...],...]} for batches)
   GET  /gain?candidates=4,5    batched marginal gains, optional &seeds= base
-  GET  /seeds?k=N              CELF seed selection, memoized per snapshot
+  GET  /seeds?k=N              CELF seed selection, prefix-incremental: one
+                               growable selection per snapshot; any k at or
+                               below the largest computed (or restored from
+                               -model / -warm-k) is a zero-work prefix slice
   GET  /topk?method=highdeg&k=N  heuristic baseline seeds, CD-scored
   GET  /healthz                liveness
   GET  /stats                  snapshot shape, base/delta UC entries, QPS

@@ -27,10 +27,11 @@ func main() {
 		lambda  = flag.Float64("lambda", 0.001, "CD truncation threshold")
 		seed    = flag.Uint64("seed", 1, "random seed for assignments and simulations")
 		format  = flag.String("format", "text", "output format: text or csv (csv supported for fig2-fig4, fig6-fig9, table2, table4)")
+		workers = flag.Int("workers", 0, "CD scan/CELF worker fan-out (0 = GOMAXPROCS); results are bit-identical at any value, matching serve's /seeds")
 	)
 	flag.Parse()
 
-	opts := eval.ExpOptions{K: *k, Trials: *trials, Lambda: *lambda, Seed: *seed}
+	opts := eval.ExpOptions{K: *k, Trials: *trials, Lambda: *lambda, Seed: *seed, Workers: *workers}
 	if err := run(*exp, *dataset, *format, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)

@@ -375,7 +375,7 @@ func TestWriteSnapshotPlannerValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := model.WriteSnapshot(f, p); err != nil {
+	if err := model.WriteSnapshot(f, p, nil); err != nil {
 		t.Fatalf("WriteSnapshot(planner): %v", err)
 	}
 	if err := f.Close(); err != nil {
@@ -395,13 +395,13 @@ func TestWriteSnapshotPlannerValidation(t *testing.T) {
 
 	// A planner from another model lineage is refused.
 	foreign := Learn(ds, Options{Lambda: 0.001})
-	if err := model.WriteSnapshot(io.Discard, foreign.NewPlanner()); err == nil {
+	if err := model.WriteSnapshot(io.Discard, foreign.NewPlanner(), nil); err == nil {
 		t.Error("foreign planner accepted")
 	}
 	// A planner with committed seeds is refused.
 	committed := model.NewPlanner()
 	committed.Add(s1[0])
-	if err := model.WriteSnapshot(io.Discard, committed); err == nil {
+	if err := model.WriteSnapshot(io.Discard, committed, nil); err == nil {
 		t.Error("planner with committed seeds accepted")
 	}
 }

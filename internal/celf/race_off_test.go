@@ -1,0 +1,6 @@
+//go:build !race
+
+package celf_test
+
+// raceEnabled is false without the race detector; see race_on_test.go.
+const raceEnabled = false

@@ -142,6 +142,11 @@ func (e *CompactEngine) Seeds() []graph.NodeID {
 	return out
 }
 
+// ConcurrentGain marks Gain as safe for concurrent calls between Adds,
+// mirroring Engine so the ablation benchmarks exercise the same parallel
+// CELF path. Compile-time marker for celf.ConcurrentEstimator.
+func (e *CompactEngine) ConcurrentGain() {}
+
 // Gain mirrors Engine.Gain (Theorem 3 / Algorithm 4) over the compact
 // layout, including the committed-seed short-circuit.
 func (e *CompactEngine) Gain(x graph.NodeID) float64 {

@@ -428,6 +428,18 @@ func (e *Engine) DeltaActions() int { return len(e.uc) - e.baseActions }
 // seedsel.Estimator.
 func (e *Engine) NumNodes() int { return e.numUsers }
 
+// Workers returns the raw Options.Workers the engine was built with
+// (0 means GOMAXPROCS). Seed selection reuses it so the CELF gain fan-out
+// follows the same knob as the scan.
+func (e *Engine) Workers() int { return e.workers }
+
+// ConcurrentGain marks Gain as safe for concurrent calls between Adds
+// (it reads only state that Add-free execution leaves untouched), which
+// is what lets the shared celf engine fan the first-iteration and
+// stale-refresh gain evaluations over workers. It is a compile-time
+// marker for celf.ConcurrentEstimator and is never called.
+func (e *Engine) ConcurrentGain() {}
+
 // Seeds returns the committed seed set in selection order.
 func (e *Engine) Seeds() []graph.NodeID {
 	out := make([]graph.NodeID, len(e.seeds))

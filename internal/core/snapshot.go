@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"credist/internal/actionlog"
+	"credist/internal/celf"
 	"credist/internal/graph"
 )
 
@@ -29,7 +30,8 @@ import (
 // Layout (all integers little-endian):
 //
 //	magic    8 bytes "CREDSNAP"
-//	version  u32 (currently 1)
+//	version  u32 (currently 2; version-1 files — identical except for the
+//	         missing seed-prefix section — are still read)
 //	lineage  dataset name (u32 len + bytes), u32 numUsers, u32 numActions,
 //	         u64 graphHash, u64 logHash (word-folded FNV over the scanned
 //	         prefix; see HashGraph / HashLogPrefix)
@@ -42,17 +44,28 @@ import (
 //	         per row: i32 influencer id (strictly ascending), u32
 //	         entryCount >= 1, then (i32 influenced id strictly
 //	         ascending, f64 credit) cells
+//	prefix   (version >= 2) u32 seed count (0 = none), then per seed:
+//	         u32 node id (each unique, in range), f64 marginal gain
+//	         (finite), u64 cumulative gain-evaluation count
+//	         (non-decreasing) — a computed CELF seed prefix, so a restart
+//	         serves any /seeds?k up to the stored length without running
+//	         selection at all
 //	footer   u32 CRC-32 (IEEE) of every preceding byte
 //
 // Only the row-major half of each shard is stored; the column mirror is
 // rebuilt deterministically on load, as are the Au normalizers (the length
 // of each user's action list). Strict ordering makes the encoding of a
 // given engine unique: saving a loaded engine reproduces the file byte for
-// byte.
+// byte (a version-1 file re-saves as the equivalent version-2 file with an
+// empty prefix section).
 
 const (
 	snapshotMagic   = "CREDSNAP"
-	snapshotVersion = 1
+	snapshotVersion = 2
+
+	// snapshotVersionNoPrefix is the pre-seed-prefix format, still
+	// accepted by the reader for files written before the section existed.
+	snapshotVersionNoPrefix = 1
 
 	creditTagSimple    = 0
 	creditTagTimeAware = 1
@@ -158,6 +171,15 @@ func HashLogPrefix(log *actionlog.Log, actions int) uint64 {
 	return uint64(h)
 }
 
+// SeedPrefix is a computed CELF seed-selection prefix persisted alongside
+// the engine: seeds in selection order, their marginal gains, and the
+// cumulative gain-evaluation counts when each was committed. A snapshot
+// carrying one lets a restarted process answer seed queries up to the
+// stored length without running any selection. It is an alias of the
+// shared celf.Prefix, so writer, reader, and Resume all enforce one rule
+// set (Prefix.Validate) with no conversions at package boundaries.
+type SeedPrefix = celf.Prefix
+
 // IsSnapshotHeader reports whether p (at least the first 8 bytes of a
 // file) starts with the binary snapshot magic. Callers use it to sniff
 // snapshot files apart from the text parameter format.
@@ -214,11 +236,18 @@ func (sw *snapWriter) i32s(vs []int32) {
 }
 
 // WriteSnapshot serializes the engine and its lineage in the binary
-// snapshot format. The engine must not have committed seeds (a snapshot
-// restores the raw per-action credit structure, which Add destructively
-// restricts to V-S), and the lineage must describe exactly the log the
-// engine has scanned.
+// snapshot format, with no seed prefix. See WriteSnapshotPrefix.
 func (e *Engine) WriteSnapshot(w io.Writer, lin Lineage) error {
+	return e.WriteSnapshotPrefix(w, lin, nil)
+}
+
+// WriteSnapshotPrefix serializes the engine, its lineage, and an optional
+// computed seed prefix in the binary snapshot format. The engine must not
+// have committed seeds (a snapshot restores the raw per-action credit
+// structure, which Add destructively restricts to V-S; the prefix is
+// stored as data precisely so the engine itself stays unrestricted), and
+// the lineage must describe exactly the log the engine has scanned.
+func (e *Engine) WriteSnapshotPrefix(w io.Writer, lin Lineage, prefix *SeedPrefix) error {
 	if len(e.seeds) > 0 {
 		return errors.New("core: cannot snapshot an engine with committed seeds")
 	}
@@ -230,6 +259,11 @@ func (e *Engine) WriteSnapshot(w io.Writer, lin Lineage) error {
 	// file that every subsequent load refuses.
 	if len(lin.Dataset) > 1<<16 {
 		return fmt.Errorf("core: snapshot dataset name is %d bytes, limit is %d", len(lin.Dataset), 1<<16)
+	}
+	if prefix != nil {
+		if err := prefix.Validate(e.numUsers); err != nil {
+			return err
+		}
 	}
 	bw := bufio.NewWriterSize(w, 1<<20)
 	sw := &snapWriter{w: bw}
@@ -298,6 +332,17 @@ func (e *Engine) WriteSnapshot(w io.Writer, lin Lineage) error {
 				binary.LittleEndian.PutUint64(b[i*12+4:], math.Float64bits(en.c))
 			}
 			sw.bytes(b)
+		}
+	}
+
+	if prefix == nil {
+		sw.u32(0)
+	} else {
+		sw.u32(uint32(len(prefix.Seeds)))
+		for i, x := range prefix.Seeds {
+			sw.u32(uint32(x))
+			sw.f64(prefix.Gains[i])
+			sw.u64(uint64(prefix.LookupsAt[i]))
 		}
 	}
 
@@ -396,37 +441,47 @@ func (sc *snapCursor) str(what string) string {
 	return string(sc.take(int(n)))
 }
 
-// ReadSnapshot parses a snapshot written by WriteSnapshot and rebuilds the
-// engine: the column mirror of every shard and the Au normalizers are
-// reconstructed deterministically from the stored rows. The returned
-// engine is frozen (every shard shared) with the full scanned range as its
-// base, has no committed seeds, and is bit-for-bit equivalent to the saved
-// engine. Corrupt or truncated input — bad magic, impossible counts,
-// unordered keys, a CRC mismatch, trailing garbage — is rejected with an
-// error, never a panic or an unbounded allocation.
+// ReadSnapshot parses a snapshot written by WriteSnapshot, discarding any
+// stored seed prefix. See ReadSnapshotPrefix.
 func ReadSnapshot(r io.Reader) (*Engine, Lineage, error) {
+	e, lin, _, err := ReadSnapshotPrefix(r)
+	return e, lin, err
+}
+
+// ReadSnapshotPrefix parses a snapshot written by WriteSnapshotPrefix and
+// rebuilds the engine: the column mirror of every shard and the Au
+// normalizers are reconstructed deterministically from the stored rows.
+// The returned engine is frozen (every shard shared) with the full
+// scanned range as its base, has no committed seeds, and is bit-for-bit
+// equivalent to the saved engine; the returned prefix is the stored seed
+// prefix, or nil when the file carries none (always for version-1 files).
+// Corrupt or truncated input — bad magic, impossible counts, unordered
+// keys, a CRC mismatch, trailing garbage, a malformed prefix — is
+// rejected with an error, never a panic or an unbounded allocation.
+func ReadSnapshotPrefix(r io.Reader) (*Engine, Lineage, *SeedPrefix, error) {
 	var lin Lineage
 	data, err := io.ReadAll(r)
 	if err != nil {
-		return nil, lin, fmt.Errorf("core: snapshot: read: %w", err)
+		return nil, lin, nil, fmt.Errorf("core: snapshot: read: %w", err)
 	}
 	if len(data) < len(snapshotMagic)+4+4 {
-		return nil, lin, errors.New("core: snapshot: truncated input: shorter than the fixed header")
+		return nil, lin, nil, errors.New("core: snapshot: truncated input: shorter than the fixed header")
 	}
 	if !IsSnapshotHeader(data) {
-		return nil, lin, errors.New("core: snapshot: bad magic (not a snapshot file)")
+		return nil, lin, nil, errors.New("core: snapshot: bad magic (not a snapshot file)")
 	}
 	// Integrity first: the CRC footer covers the whole payload, so every
 	// later structural check runs on bytes known to be exactly what
-	// WriteSnapshot produced (or the file is rejected here, wholesale).
+	// WriteSnapshotPrefix produced (or the file is rejected here, wholesale).
 	payload, footer := data[:len(data)-4], data[len(data)-4:]
 	if got, want := binary.LittleEndian.Uint32(footer), crc32.ChecksumIEEE(payload); got != want {
-		return nil, lin, fmt.Errorf("core: snapshot: checksum mismatch (file %08x, computed %08x): corrupt or truncated input", got, want)
+		return nil, lin, nil, fmt.Errorf("core: snapshot: checksum mismatch (file %08x, computed %08x): corrupt or truncated input", got, want)
 	}
 
 	sc := &snapCursor{b: payload, off: len(snapshotMagic)}
-	if v := sc.u32(); sc.err == nil && v != snapshotVersion {
-		return nil, lin, fmt.Errorf("core: snapshot: unsupported version %d (have %d)", v, snapshotVersion)
+	version := sc.u32()
+	if sc.err == nil && version != snapshotVersion && version != snapshotVersionNoPrefix {
+		return nil, lin, nil, fmt.Errorf("core: snapshot: unsupported version %d (have %d)", version, snapshotVersion)
 	}
 	lin.Dataset = sc.str("dataset name")
 	lin.NumUsers = sc.count("user", 4)
@@ -444,7 +499,7 @@ func ReadSnapshot(r io.Reader) (*Engine, Lineage, error) {
 		ta := &TimeAwareCredit{}
 		inflLen := sc.count("influenceability", 8)
 		if inflLen < lin.NumUsers {
-			return nil, lin, fmt.Errorf("core: snapshot: influenceability table covers %d users, lineage declares %d", inflLen, lin.NumUsers)
+			return nil, lin, nil, fmt.Errorf("core: snapshot: influenceability table covers %d users, lineage declares %d", inflLen, lin.NumUsers)
 		}
 		ta.infl = make([]float64, inflLen)
 		for i := range ta.infl {
@@ -472,10 +527,10 @@ func ReadSnapshot(r io.Reader) (*Engine, Lineage, error) {
 		}
 		credit = ta
 	default:
-		return nil, lin, fmt.Errorf("core: snapshot: unknown credit model tag %d", tag)
+		return nil, lin, nil, fmt.Errorf("core: snapshot: unknown credit model tag %d", tag)
 	}
 	if sc.err != nil {
-		return nil, lin, sc.err
+		return nil, lin, nil, sc.err
 	}
 
 	e := &Engine{
@@ -629,10 +684,50 @@ func ReadSnapshot(r io.Reader) (*Engine, Lineage, error) {
 		e.uc = append(e.uc, ua)
 	}
 	if sc.err != nil {
-		return nil, lin, sc.err
+		return nil, lin, nil, sc.err
+	}
+
+	// Seed-prefix section (version >= 2 only); version-1 files end at the
+	// shards. The structural rules match SeedPrefix.validate, so the
+	// on-disk encoding of a given prefix is unique and a re-save
+	// reproduces the section byte for byte.
+	var prefix *SeedPrefix
+	if version >= snapshotVersion {
+		n := sc.count("seed prefix", 20)
+		if n > 0 && sc.err == nil {
+			p := &SeedPrefix{
+				Seeds:     make([]graph.NodeID, 0, n),
+				Gains:     make([]float64, 0, n),
+				LookupsAt: make([]int64, 0, n),
+			}
+			for i := 0; i < n && sc.err == nil; i++ {
+				node := graph.NodeID(sc.u32())
+				gain := sc.f64()
+				lookups := sc.u64()
+				if sc.err != nil {
+					break
+				}
+				if lookups > math.MaxInt64 {
+					sc.fail("seed prefix lookup count %d at %d overflows", lookups, i)
+					break
+				}
+				p.Seeds = append(p.Seeds, node)
+				p.Gains = append(p.Gains, gain)
+				p.LookupsAt = append(p.LookupsAt, int64(lookups))
+			}
+			if sc.err == nil {
+				if err := p.Validate(lin.NumUsers); err != nil {
+					sc.err = err
+				}
+			}
+			prefix = p
+		}
+	}
+	if sc.err != nil {
+		return nil, lin, nil, sc.err
 	}
 	if sc.remaining() != 0 {
-		return nil, lin, errors.New("core: snapshot: trailing data after payload")
+		return nil, lin, nil, errors.New("core: snapshot: trailing data after payload")
 	}
-	return e, lin, nil
+	return e, lin, prefix, nil
 }

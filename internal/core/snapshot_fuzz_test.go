@@ -1,0 +1,107 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand/v2"
+	"testing"
+
+	"credist/internal/seedsel"
+)
+
+// FuzzReadSnapshot drives the binary-snapshot reader with arbitrary
+// bytes: corrupt, truncated, or outright hostile input must always come
+// back as an error — never a panic, an unbounded allocation, or a
+// silently wrong engine. The corpus seeds cover both format versions,
+// files with and without the seed-prefix section, and targeted
+// corruptions of each; the fuzzer mutates from there.
+//
+// For input the reader does accept, two invariants are checked: the
+// engine's declared shape matches the lineage, and re-serializing
+// reproduces the input byte for byte (the encoding of a given engine is
+// unique, so anything accepted must already be in canonical form).
+func FuzzReadSnapshot(f *testing.F) {
+	rng := rand.New(rand.NewPCG(101, 7))
+	g, log := randomInstance(rng, 25, 14)
+	credit := LearnTimeAware(g, log)
+	e := NewEngine(g, log, Options{Lambda: 0.001, Credit: credit})
+	lin := DatasetLineage("fuzz", g, log)
+
+	// Seed 1: plain snapshot, no prefix.
+	var plain bytes.Buffer
+	if err := e.WriteSnapshot(&plain, lin); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(plain.Bytes())
+
+	// Seed 2: snapshot carrying a computed seed prefix.
+	sel := seedsel.CELF(e.Clone(), 5)
+	prefix := &SeedPrefix{Seeds: sel.Seeds, Gains: sel.Gains, LookupsAt: sel.LookupsAt}
+	var prefixed bytes.Buffer
+	if err := e.WriteSnapshotPrefix(&prefixed, lin, prefix); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(prefixed.Bytes())
+
+	// Seed 3: simple-credit variant (exercises the other credit tag).
+	se := NewEngine(g, log, Options{Lambda: 0.001})
+	var simple bytes.Buffer
+	if err := se.WriteSnapshot(&simple, lin); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(simple.Bytes())
+
+	// Seed 4: version-1 layout (version-2 minus the prefix section).
+	data := plain.Bytes()
+	v1 := append([]byte(nil), data[:len(data)-8]...)
+	binary.LittleEndian.PutUint32(v1[len(snapshotMagic):], snapshotVersionNoPrefix)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(v1))
+	f.Add(append(v1, crc[:]...))
+
+	// Seeds 5+: truncations and CRC-refreshed corruptions. Re-stamping the
+	// footer after a flip steers the fuzzer straight past the checksum to
+	// the structural validators (count bounds, ordering, prefix rules).
+	pdata := prefixed.Bytes()
+	f.Add(pdata[:len(pdata)/2])
+	f.Add(pdata[:len(snapshotMagic)+4])
+	for _, off := range []int{9, 20, 60, len(pdata) - 30, len(pdata) - 12} {
+		if off < 0 || off >= len(pdata)-4 {
+			continue
+		}
+		corrupt := append([]byte(nil), pdata...)
+		corrupt[off] ^= 0xff
+		binary.LittleEndian.PutUint32(corrupt[len(corrupt)-4:], crc32.ChecksumIEEE(corrupt[:len(corrupt)-4]))
+		f.Add(corrupt)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		eng, lin, pfx, err := ReadSnapshotPrefix(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is the expected outcome; no panic happened
+		}
+		if eng.NumNodes() != lin.NumUsers || eng.NumActions() != lin.NumActions {
+			t.Fatalf("accepted engine shape %d users/%d actions contradicts lineage %d/%d",
+				eng.NumNodes(), eng.NumActions(), lin.NumUsers, lin.NumActions)
+		}
+		if pfx != nil {
+			if len(pfx.Seeds) != len(pfx.Gains) || len(pfx.Seeds) != len(pfx.LookupsAt) {
+				t.Fatalf("accepted prefix with mismatched arrays: %d/%d/%d",
+					len(pfx.Seeds), len(pfx.Gains), len(pfx.LookupsAt))
+			}
+		}
+		version := binary.LittleEndian.Uint32(data[len(snapshotMagic):])
+		if version != snapshotVersion {
+			return // v1 input re-encodes as v2; bytes legitimately differ
+		}
+		var out bytes.Buffer
+		if err := eng.WriteSnapshotPrefix(&out, lin, pfx); err != nil {
+			t.Fatalf("accepted input fails to re-serialize: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("accepted input is not canonical: re-encode differs (%d vs %d bytes)",
+				out.Len(), len(data))
+		}
+	})
+}

@@ -2,6 +2,9 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math"
 	"math/rand/v2"
 	"strings"
 	"testing"
@@ -301,6 +304,113 @@ func TestSnapshotRejectsShortInflTable(t *testing.T) {
 	if err == nil {
 		t.Fatal("snapshot with a short influenceability table accepted")
 	}
+}
+
+// TestSnapshotSeedPrefixRoundTrip pins the version-2 seed-prefix section:
+// a prefix computed by CELF survives a save/load round trip bit-exact,
+// the encoding stays unique (re-save reproduces the file byte for byte),
+// and structurally invalid prefixes are refused by writer and reader
+// alike.
+func TestSnapshotSeedPrefixRoundTrip(t *testing.T) {
+	_, _, e, lin := snapshotInstance(t, 83, 50, 30)
+	sel := seedsel.CELF(e.Clone(), 6)
+	prefix := &SeedPrefix{Seeds: sel.Seeds, Gains: sel.Gains, LookupsAt: sel.LookupsAt}
+
+	var buf bytes.Buffer
+	if err := e.WriteSnapshotPrefix(&buf, lin, prefix); err != nil {
+		t.Fatalf("WriteSnapshotPrefix: %v", err)
+	}
+	data := buf.Bytes()
+
+	back, backLin, backPrefix, err := ReadSnapshotPrefix(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("ReadSnapshotPrefix: %v", err)
+	}
+	if backPrefix == nil {
+		t.Fatal("prefix did not survive the round trip")
+	}
+	if len(backPrefix.Seeds) != len(prefix.Seeds) {
+		t.Fatalf("prefix length %d, want %d", len(backPrefix.Seeds), len(prefix.Seeds))
+	}
+	for i := range prefix.Seeds {
+		if backPrefix.Seeds[i] != prefix.Seeds[i] || backPrefix.Gains[i] != prefix.Gains[i] ||
+			backPrefix.LookupsAt[i] != prefix.LookupsAt[i] {
+			t.Fatalf("prefix diverged at %d: (%d, %b, %d) vs (%d, %b, %d)", i,
+				backPrefix.Seeds[i], backPrefix.Gains[i], backPrefix.LookupsAt[i],
+				prefix.Seeds[i], prefix.Gains[i], prefix.LookupsAt[i])
+		}
+	}
+	requireEnginesBitIdentical(t, e, back, 6)
+
+	var again bytes.Buffer
+	if err := back.WriteSnapshotPrefix(&again, backLin, backPrefix); err != nil {
+		t.Fatalf("re-serialize: %v", err)
+	}
+	if !bytes.Equal(again.Bytes(), data) {
+		t.Fatal("re-serialized prefixed snapshot is not byte-identical")
+	}
+
+	// Every truncation and bit flip of the prefixed file is still refused.
+	for i := len(data) - 150; i < len(data); i++ {
+		if i < 0 {
+			continue
+		}
+		if _, _, _, err := ReadSnapshotPrefix(bytes.NewReader(data[:i])); err == nil {
+			t.Fatalf("truncation at byte %d/%d accepted", i, len(data))
+		}
+	}
+	for i := len(data) - 150; i < len(data); i += 3 {
+		if i < 0 {
+			continue
+		}
+		corrupt := append([]byte(nil), data...)
+		corrupt[i] ^= 0x20
+		if _, _, _, err := ReadSnapshotPrefix(bytes.NewReader(corrupt)); err == nil {
+			t.Fatalf("bit flip at byte %d/%d accepted", i, len(data))
+		}
+	}
+
+	// Writer-side validation mirrors the reader's rules.
+	badPrefixes := map[string]*SeedPrefix{
+		"length mismatch": {Seeds: sel.Seeds, Gains: sel.Gains[:3], LookupsAt: sel.LookupsAt},
+		"out of range":    {Seeds: []graph.NodeID{99999}, Gains: []float64{1}, LookupsAt: []int64{1}},
+		"duplicate":       {Seeds: []graph.NodeID{2, 2}, Gains: []float64{2, 1}, LookupsAt: []int64{1, 2}},
+		"nan gain":        {Seeds: []graph.NodeID{2}, Gains: []float64{math.NaN()}, LookupsAt: []int64{1}},
+		"lookups decrease": {Seeds: []graph.NodeID{2, 3}, Gains: []float64{2, 1},
+			LookupsAt: []int64{5, 4}},
+	}
+	for name, bad := range badPrefixes {
+		if err := e.WriteSnapshotPrefix(&bytes.Buffer{}, lin, bad); err == nil {
+			t.Errorf("writer accepted prefix with %s", name)
+		}
+	}
+}
+
+// TestSnapshotVersion1StillReads pins backward compatibility: a file in
+// the pre-prefix version-1 layout (the version-2 layout minus the prefix
+// section) still loads, with a nil prefix.
+func TestSnapshotVersion1StillReads(t *testing.T) {
+	_, _, e, lin := snapshotInstance(t, 89, 30, 16)
+	data := writeSnapshot(t, e, lin)
+	// Rewrite as version 1: patch the version field, drop the 4-byte empty
+	// prefix section before the footer, recompute the CRC.
+	v1 := append([]byte(nil), data[:len(data)-8]...)
+	binary.LittleEndian.PutUint32(v1[len(snapshotMagic):], snapshotVersionNoPrefix)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(v1))
+	v1 = append(v1, crc[:]...)
+
+	back, backLin, prefix, err := ReadSnapshotPrefix(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("version-1 read: %v", err)
+	}
+	if prefix != nil {
+		t.Fatal("version-1 file produced a seed prefix")
+	}
+	if backLin != lin {
+		t.Fatalf("lineage %+v, want %+v", backLin, lin)
+	}
+	requireEnginesBitIdentical(t, e, back, 6)
 }
 
 // TestHashStability pins that the lineage hashes react to content, not

@@ -8,6 +8,7 @@ import (
 
 	"credist/internal/actionlog"
 	"credist/internal/cascade"
+	"credist/internal/celf"
 	"credist/internal/core"
 	"credist/internal/datagen"
 	"credist/internal/graph"
@@ -30,6 +31,11 @@ type ExpOptions struct {
 	Seed uint64
 	// Theta is the PMIA/LDAG influence threshold.
 	Theta float64
+	// Workers bounds the CD engine's scan and CELF gain fan-out
+	// (0 = GOMAXPROCS). Results are bit-identical at any worker count —
+	// the same determinism rule the serving layer's /seeds obeys — so the
+	// knob only trades wall-clock time.
+	Workers int
 }
 
 func (o ExpOptions) withDefaults() ExpOptions {
@@ -157,12 +163,17 @@ func ModelSeedSets(env *Env, opts ExpOptions) *SeedSets {
 }
 
 // SelectCD selects seeds with the paper's algorithm: time-aware credit
-// scan plus greedy/CELF over the engine.
+// scan plus greedy/CELF over the engine, through the same shared
+// selection engine serve's /seeds uses — so Figure 5/6/7 seed sets match
+// a served snapshot of the same dataset bit for bit (pinned by the
+// serve-parity regression test).
 func SelectCD(env *Env, opts ExpOptions) seedsel.Result {
 	opts = opts.withDefaults()
 	credit := core.LearnTimeAware(env.Graph, env.Train)
-	engine := core.NewEngine(env.Graph, env.Train, core.Options{Lambda: opts.Lambda, Credit: credit})
-	return seedsel.CELF(engine, opts.K)
+	engine := core.NewEngine(env.Graph, env.Train, core.Options{Lambda: opts.Lambda, Credit: credit, Workers: opts.Workers})
+	// The Workers knob bounds the CELF gain fan-out too, not just the
+	// scan; results are bit-identical either way.
+	return celf.Run(engine, opts.K, celf.Options{Workers: engine.Workers()})
 }
 
 // Figure5 reports the pairwise intersections of the IC, LT, and CD seed
@@ -334,8 +345,8 @@ func Scalability(w io.Writer, env *Env, fractions []float64, opts ExpOptions) []
 
 		start := time.Now()
 		subCredit := core.LearnTimeAware(env.Graph, sub)
-		engine := core.NewEngine(env.Graph, sub, core.Options{Lambda: opts.Lambda, Credit: subCredit})
-		res := seedsel.CELF(engine, opts.K)
+		engine := core.NewEngine(env.Graph, sub, core.Options{Lambda: opts.Lambda, Credit: subCredit, Workers: opts.Workers})
+		res := celf.Run(engine, opts.K, celf.Options{Workers: engine.Workers()})
 		elapsed := time.Since(start)
 
 		if fi == len(fractions)-1 {
@@ -410,8 +421,8 @@ func Table4(w io.Writer, env *Env, lambdas []float64, opts ExpOptions) []Truncat
 	for i := len(lambdas) - 1; i >= 0; i-- {
 		lam := lambdas[i]
 		start := time.Now()
-		engine := core.NewEngine(env.Graph, env.Train, core.Options{Lambda: lam, Credit: credit})
-		res := seedsel.CELF(engine, opts.K)
+		engine := core.NewEngine(env.Graph, env.Train, core.Options{Lambda: lam, Credit: credit, Workers: opts.Workers})
+		res := celf.Run(engine, opts.K, celf.Options{Workers: engine.Workers()})
 		elapsed := time.Since(start)
 		if i == len(lambdas)-1 {
 			trueSeeds = res.Seeds

@@ -1,0 +1,71 @@
+package eval_test
+
+import (
+	"testing"
+
+	"credist"
+	"credist/internal/datagen"
+	"credist/internal/eval"
+	"credist/internal/serve"
+)
+
+// TestExperimentsSeedsMatchServe is the regression wall for the shared
+// seed-selection subsystem: the CD seed sets behind Figures 5/6/7
+// (eval.SelectCD, what cmd/experiments prints) must match what a serve
+// snapshot of the same dataset answers on /seeds — bit for bit in seeds,
+// gains, and per-prefix spreads. Both paths route through internal/celf;
+// this pins that neither grows a private variant again, at both worker
+// extremes.
+func TestExperimentsSeedsMatchServe(t *testing.T) {
+	env := eval.MakeEnv(datagen.Config{
+		Name: "parity", NumUsers: 220, OutDegree: 4, Reciprocity: 0.6,
+		NumActions: 140, MeanInfluence: 0.12, MeanDelay: 8,
+		SpontaneousPerAction: 1, Seed: 21,
+	})
+	const k = 12
+	const lambda = 0.001
+
+	// The experiments path learns over the training split; serve the same
+	// split so the two sides see identical inputs.
+	ds := &credist.Dataset{Name: env.Name, Graph: env.Graph, Log: env.Train}
+	snap, err := serve.Build(serve.Source{Dataset: ds, Lambda: lambda})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	served, cached := snap.SelectSeeds(k)
+	if cached {
+		t.Fatal("cold /seeds reported cached")
+	}
+
+	for _, workers := range []int{1, 0} { // serial and GOMAXPROCS
+		res := eval.SelectCD(env, eval.ExpOptions{K: k, Lambda: lambda, Workers: workers})
+		if len(res.Seeds) != len(served.Seeds) {
+			t.Fatalf("workers=%d: experiments selected %d seeds, serve %d", workers, len(res.Seeds), len(served.Seeds))
+		}
+		spread := 0.0
+		for i := range res.Seeds {
+			if res.Seeds[i] != served.Seeds[i] || res.Gains[i] != served.Gains[i] {
+				t.Fatalf("workers=%d: paths diverged at seed %d: experiments (%d, %b), serve (%d, %b)",
+					workers, i, res.Seeds[i], res.Gains[i], served.Seeds[i], served.Gains[i])
+			}
+			spread += res.Gains[i]
+		}
+		if spread != served.Spread {
+			t.Fatalf("workers=%d: spread %b (experiments) != %b (serve)", workers, spread, served.Spread)
+		}
+	}
+
+	// Any smaller k serve answers from its prefix equals the experiments
+	// run at that k (prefix-incremental results are real selections, not
+	// approximations).
+	small := eval.SelectCD(env, eval.ExpOptions{K: 5, Lambda: lambda})
+	prefix, cached := snap.SelectSeeds(5)
+	if !cached {
+		t.Fatal("k=5 after k=12 was not served from the prefix")
+	}
+	for i := range small.Seeds {
+		if small.Seeds[i] != prefix.Seeds[i] || small.Gains[i] != prefix.Gains[i] {
+			t.Fatalf("prefix k=5 diverged from experiments at seed %d", i)
+		}
+	}
+}

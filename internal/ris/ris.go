@@ -13,8 +13,10 @@ package ris
 
 import (
 	"math/rand/v2"
+	"slices"
 
 	"credist/internal/cascade"
+	"credist/internal/celf"
 	"credist/internal/graph"
 )
 
@@ -88,19 +90,17 @@ func (s *Sampler) SampleFrom(root graph.NodeID, rng *rand.Rand) []graph.NodeID {
 // Collection is a batch of RR sets with an inverted index from node to
 // the samples it appears in.
 type Collection struct {
-	n       int
-	sets    [][]graph.NodeID
-	covers  map[graph.NodeID][]int32
-	covered []bool
+	n      int
+	sets   [][]graph.NodeID
+	covers map[graph.NodeID][]int32
 }
 
 // Collect draws count RR sets deterministically from the seed.
 func Collect(s *Sampler, count int, seed uint64) *Collection {
 	rng := rand.New(rand.NewPCG(seed, 0x415a))
 	c := &Collection{
-		n:       s.w.Graph().NumNodes(),
-		covers:  make(map[graph.NodeID][]int32),
-		covered: make([]bool, count),
+		n:      s.w.Graph().NumNodes(),
+		covers: make(map[graph.NodeID][]int32),
 	}
 	for i := 0; i < count; i++ {
 		set := s.Sample(rng)
@@ -115,47 +115,81 @@ func Collect(s *Sampler, count int, seed uint64) *Collection {
 // NumSets returns the number of samples.
 func (c *Collection) NumSets() int { return len(c.sets) }
 
-// SelectSeeds runs greedy maximum coverage over the RR sets and returns
-// the chosen seeds plus the implied spread estimate for each prefix:
-// spread_i = n * covered_i / |sets|.
+// Estimator is the maximum-coverage marginal-gain oracle over a
+// Collection: Gain(x) counts the RR sets containing x that no committed
+// seed has covered yet, Add marks x's sets covered. Gain reads only the
+// covered bitmap (exact integer counts, no floats to drift), so it
+// carries the concurrent-gain marker and the shared celf engine fans the
+// first-iteration pass over workers with bit-identical results at any
+// worker count. One Estimator holds one selection's state; Collection
+// itself stays immutable and reusable.
+type Estimator struct {
+	c       *Collection
+	covered []bool
+	count   int // covered RR sets
+}
+
+// Estimator returns a fresh maximum-coverage estimator over the samples.
+func (c *Collection) Estimator() *Estimator {
+	return &Estimator{c: c, covered: make([]bool, len(c.sets))}
+}
+
+// NumNodes returns the graph's node count (the candidate universe).
+func (e *Estimator) NumNodes() int { return e.c.n }
+
+// Gain returns the number of not-yet-covered RR sets containing x.
+func (e *Estimator) Gain(x graph.NodeID) float64 {
+	n := 0
+	for _, si := range e.c.covers[x] {
+		if !e.covered[si] {
+			n++
+		}
+	}
+	return float64(n)
+}
+
+// Add commits x, marking every RR set containing it covered.
+func (e *Estimator) Add(x graph.NodeID) {
+	for _, si := range e.c.covers[x] {
+		if !e.covered[si] {
+			e.covered[si] = true
+			e.count++
+		}
+	}
+}
+
+// CoveredCount returns how many RR sets the committed seeds cover.
+func (e *Estimator) CoveredCount() int { return e.count }
+
+// ConcurrentGain marks Gain as safe for concurrent calls between Adds.
+// Compile-time marker for celf.ConcurrentEstimator; never called.
+func (e *Estimator) ConcurrentGain() {}
+
+// SelectSeeds runs greedy maximum coverage over the RR sets — through the
+// shared celf selection engine, like every other seed selector in the
+// repository — and returns the chosen seeds plus the implied spread
+// estimate for each prefix: spread_i = n * covered_i / |sets|. The
+// candidate pool is the nodes appearing in at least one sample (anything
+// else has zero gain forever), sorted so the pool order — and therefore
+// the selection — is deterministic. Selection stops once no candidate
+// covers a new sample (zero-gain seeds are meaningless under coverage).
 func (c *Collection) SelectSeeds(k int) ([]graph.NodeID, []float64) {
-	for i := range c.covered {
-		c.covered[i] = false
+	pool := make([]graph.NodeID, 0, len(c.covers))
+	for v := range c.covers {
+		pool = append(pool, v)
 	}
-	gain := make(map[graph.NodeID]int, len(c.covers))
-	for v, sets := range c.covers {
-		gain[v] = len(sets)
-	}
+	slices.Sort(pool)
+	res := celf.Run(c.Estimator(), k, celf.Options{Candidates: pool})
 	var seeds []graph.NodeID
 	var spreads []float64
-	coveredCount := 0
-	for len(seeds) < k {
-		best := graph.NodeID(-1)
-		bestGain := -1
-		for v, g := range gain {
-			if g > bestGain || (g == bestGain && (best == -1 || v < best)) {
-				best, bestGain = v, g
-			}
-		}
-		if best == -1 || bestGain <= 0 {
+	covered := 0.0
+	for i, g := range res.Gains {
+		if g <= 0 {
 			break
 		}
-		// Commit best: mark its sets covered and discount other nodes.
-		for _, si := range c.covers[best] {
-			if c.covered[si] {
-				continue
-			}
-			c.covered[si] = true
-			coveredCount++
-			for _, v := range c.sets[si] {
-				if v != best {
-					gain[v]--
-				}
-			}
-		}
-		delete(gain, best)
-		seeds = append(seeds, best)
-		spreads = append(spreads, float64(c.n)*float64(coveredCount)/float64(len(c.sets)))
+		covered += g
+		seeds = append(seeds, res.Seeds[i])
+		spreads = append(spreads, float64(c.n)*covered/float64(len(c.sets)))
 	}
 	return seeds, spreads
 }

@@ -5,12 +5,20 @@
 // All selectors work against the Estimator interface, so one greedy serves
 // the CD engine, Monte-Carlo IC/LT estimation, and the PMIA/LDAG
 // heuristics alike.
+//
+// CELF here is a thin veneer over internal/celf, the shared
+// seed-selection engine every path in the repository routes through
+// (facade, serving layer, experiments, RIS): estimators that mark
+// themselves concurrency-safe (celf.ConcurrentEstimator, e.g. the CD
+// engine) get the parallel first-iteration gain pass automatically, and
+// everything else runs the classic serial lazy-forward loop. Greedy stays
+// here as the O(nk) reference the ablation benchmarks compare against.
 package seedsel
 
 import (
-	"container/heap"
 	"time"
 
+	"credist/internal/celf"
 	"credist/internal/graph"
 )
 
@@ -26,29 +34,13 @@ type Estimator interface {
 	Add(x graph.NodeID)
 }
 
-// Result reports a selection run.
-type Result struct {
-	// Seeds in selection order.
-	Seeds []graph.NodeID
-	// Gains[i] is the marginal gain of Seeds[i] when it was selected;
-	// the cumulative sum is the (estimated) spread of the prefix.
-	Gains []float64
-	// Lookups counts Gain evaluations, the paper's measure of how much
-	// work CELF saves over plain greedy.
-	Lookups int
-	// Elapsed[i] is the wall time from selection start until Seeds[i] was
-	// committed, the series behind the paper's running-time figure.
-	Elapsed []time.Duration
-}
-
-// Spread returns the estimated spread of the full seed set (sum of gains).
-func (r Result) Spread() float64 {
-	total := 0.0
-	for _, g := range r.Gains {
-		total += g
-	}
-	return total
-}
+// Result reports a selection run; it is the shared engine's result type.
+// Gains[i] is the marginal gain of Seeds[i] when it was selected (the
+// cumulative sum is the estimated spread of each prefix), Lookups counts
+// Gain evaluations — the paper's measure of how much work CELF saves over
+// plain greedy — and Elapsed[i] is the wall time until Seeds[i] was
+// committed, the series behind the paper's running-time figure.
+type Result = celf.Result
 
 // Greedy runs the plain greedy algorithm (Algorithm 1): every round it
 // re-evaluates the marginal gain of every candidate. Exponentially wasteful
@@ -88,77 +80,25 @@ func GreedyCandidates(est Estimator, k int, candidates []graph.NodeID) Result {
 		chosen[best] = true
 		res.Seeds = append(res.Seeds, best)
 		res.Gains = append(res.Gains, bestGain)
+		res.LookupsAt = append(res.LookupsAt, int64(res.Lookups))
 		res.Elapsed = append(res.Elapsed, time.Since(start))
 	}
 	return res
 }
 
-// celfEntry is a lazily-evaluated candidate: gain was computed when the
-// seed set had size round.
-type celfEntry struct {
-	node  graph.NodeID
-	gain  float64
-	round int
-}
-
-type celfHeap []celfEntry
-
-func (h celfHeap) Len() int { return len(h) }
-func (h celfHeap) Less(i, j int) bool {
-	if h[i].gain != h[j].gain {
-		return h[i].gain > h[j].gain
-	}
-	return h[i].node < h[j].node
-}
-func (h celfHeap) Swap(i, j int)        { h[i], h[j] = h[j], h[i] }
-func (h *celfHeap) Push(x any)          { *h = append(*h, x.(celfEntry)) }
-func (h *celfHeap) Pop() any            { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h celfHeap) Peek() celfEntry      { return h[0] }
-func (h *celfHeap) Replace(e celfEntry) { (*h)[0] = e; heap.Fix(h, 0) }
-
-// CELF runs greedy with the lazy-forward optimization: submodularity
-// guarantees a candidate's marginal gain only shrinks as the seed set
-// grows, so a candidate whose cached gain is stale is re-evaluated only
-// when it reaches the top of the priority queue. Identical output to
-// Greedy (up to floating-point ties), far fewer Gain calls.
+// CELF runs greedy with the lazy-forward optimization via the shared
+// engine: submodularity guarantees a candidate's marginal gain only
+// shrinks as the seed set grows, so a candidate whose cached gain is
+// stale is re-evaluated only when it reaches the top of the priority
+// queue. Identical output to Greedy (up to floating-point ties), far
+// fewer Gain calls.
 func CELF(est Estimator, k int) Result {
-	n := est.NumNodes()
-	candidates := make([]graph.NodeID, n)
-	for i := range candidates {
-		candidates[i] = graph.NodeID(i)
-	}
-	return CELFCandidates(est, k, candidates)
+	return celf.Run(est, k, celf.Options{})
 }
 
 // CELFCandidates is CELF restricted to a candidate pool.
 func CELFCandidates(est Estimator, k int, candidates []graph.NodeID) Result {
-	var res Result
-	start := time.Now()
-	h := make(celfHeap, 0, len(candidates))
-	for _, x := range candidates {
-		g := est.Gain(x)
-		res.Lookups++
-		h = append(h, celfEntry{node: x, gain: g, round: 0})
-	}
-	heap.Init(&h)
-	for len(res.Seeds) < k && h.Len() > 0 {
-		top := h.Peek()
-		if top.round == len(res.Seeds) {
-			// Fresh: by submodularity nothing below can beat it.
-			heap.Pop(&h)
-			est.Add(top.node)
-			res.Seeds = append(res.Seeds, top.node)
-			res.Gains = append(res.Gains, top.gain)
-			res.Elapsed = append(res.Elapsed, time.Since(start))
-			continue
-		}
-		// Stale: recompute against the current seed set and reinsert.
-		top.gain = est.Gain(top.node)
-		res.Lookups++
-		top.round = len(res.Seeds)
-		h.Replace(top)
-	}
-	return res
+	return celf.Run(est, k, celf.Options{Candidates: candidates})
 }
 
 // HighDegree returns the k nodes of largest out-degree (ties by id), the

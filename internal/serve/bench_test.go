@@ -58,8 +58,8 @@ func BenchmarkServeGainBatch(b *testing.B) {
 	})
 }
 
-// BenchmarkServeSeedsCached measures the memoized /seeds path: after the
-// first request the CELF run is amortized away entirely.
+// BenchmarkServeSeedsCached measures the prefix-served /seeds path: after
+// the first request the CELF run is amortized away entirely.
 func BenchmarkServeSeedsCached(b *testing.B) {
 	h := benchServer(b)
 	hit(b, h, "/seeds?k=5") // warm the cache

@@ -125,10 +125,12 @@ func TestConcurrentQueriesAndReload(t *testing.T) {
 }
 
 // TestConcurrentSeedsSingleFlight hammers a cold snapshot with concurrent
-// /seeds requests for the same k: the per-k single-flight must run CELF
-// exactly once (not N times), every caller must get the identical result,
-// and a distinct k must add exactly one more run. Run under -race this
-// also proves the cache handshake itself is sound.
+// /seeds requests for the same k: the growth lock must run CELF exactly
+// once (not N times), every caller must get the identical result, a
+// smaller k afterwards must be answered from the computed prefix with
+// zero additional runs, and only a k beyond the prefix adds exactly one
+// more (marginal) growth run. Run under -race this also proves the
+// publish/read handshake itself is sound.
 func TestConcurrentSeedsSingleFlight(t *testing.T) {
 	srv := newTestServer(t)
 	snap := srv.Current()
@@ -180,15 +182,117 @@ func TestConcurrentSeedsSingleFlight(t *testing.T) {
 		}
 	}
 
-	// A different k is a genuinely new selection; the same k again is not.
-	var again serve.SeedsResponse
-	getJSON(t, srv.Handler(), "GET", "/seeds?k=2", "", &again)
+	// A smaller k is a prefix of the computed selection — zero CELF work —
+	// and the same k again is too.
+	var smaller, again serve.SeedsResponse
+	getJSON(t, srv.Handler(), "GET", "/seeds?k=2", "", &smaller)
 	getJSON(t, srv.Handler(), "GET", "/seeds?k=4", "", &again)
-	if n := snap.Selections(); n != 2 {
-		t.Fatalf("selections = %d after one new k and one cached k, want 2", n)
+	if n := snap.Selections(); n != 1 {
+		t.Fatalf("selections = %d after a smaller k and a repeat k, want still 1", n)
 	}
-	if !again.Cached {
-		t.Error("repeat k=4 not served from cache")
+	if !smaller.Cached || !again.Cached {
+		t.Errorf("prefix requests not served from the computed selection: k=2 cached=%v, k=4 cached=%v",
+			smaller.Cached, again.Cached)
+	}
+	for i := range smaller.Seeds {
+		if smaller.Seeds[i] != results[0].Seeds[i] || smaller.Gains[i] != results[0].Gains[i] {
+			t.Fatalf("k=2 prefix diverges from the k=4 selection at seed %d", i)
+		}
+	}
+
+	// Only a k beyond the computed prefix grows the selection — one more
+	// run, and it reuses the committed prefix rather than restarting.
+	var grown serve.SeedsResponse
+	getJSON(t, srv.Handler(), "GET", "/seeds?k=6", "", &grown)
+	if n := snap.Selections(); n != 2 {
+		t.Fatalf("selections = %d after growing to k=6, want 2", n)
+	}
+	if grown.Cached {
+		t.Error("growth to k=6 reported cached")
+	}
+	for i := range results[0].Seeds {
+		if grown.Seeds[i] != results[0].Seeds[i] || grown.Gains[i] != results[0].Gains[i] {
+			t.Fatalf("grown selection rewrote the committed prefix at seed %d", i)
+		}
+	}
+}
+
+// TestPrefixReuseZeroExtraCELF pins the prefix-incremental contract under
+// concurrent load: after one cold /seeds?k=50, sixteen goroutines
+// requesting every k in {1..50} trigger zero additional CELF runs, and
+// every answer is exactly the first k seeds of the one computed
+// selection. Run under -race this also proves the lock-free prefix reads
+// are sound against concurrent /stats.
+func TestPrefixReuseZeroExtraCELF(t *testing.T) {
+	srv := newTestServer(t)
+	snap := srv.Current()
+	h := srv.Handler()
+
+	const maxK = 50
+	var cold serve.SeedsResponse
+	getJSON(t, h, "GET", fmt.Sprintf("/seeds?k=%d", maxK), "", &cold)
+	if cold.Cached || len(cold.Seeds) != maxK {
+		t.Fatalf("cold k=%d: cached=%v, %d seeds", maxK, cold.Cached, len(cold.Seeds))
+	}
+	if n := snap.Selections(); n != 1 {
+		t.Fatalf("cold run executed %d selections, want 1", n)
+	}
+
+	const clients = 16
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 1; k <= maxK; k++ {
+				var resp serve.SeedsResponse
+				status, _ := doRaw(t, h, "GET", fmt.Sprintf("/seeds?k=%d", k), "", &resp)
+				if status != http.StatusOK || !resp.Cached || len(resp.Seeds) != k {
+					t.Logf("client %d k=%d: status %d cached=%v seeds=%d", c, k, status, resp.Cached, len(resp.Seeds))
+					failures.Add(1)
+					return
+				}
+				for i := 0; i < k; i++ {
+					if resp.Seeds[i] != cold.Seeds[i] || resp.Gains[i] != cold.Gains[i] {
+						t.Logf("client %d k=%d: diverged at seed %d", c, k, i)
+						failures.Add(1)
+						return
+					}
+				}
+				// The prefix spread is the cumulative gain sum, bit-for-bit.
+				want := 0.0
+				for _, g := range resp.Gains {
+					want += g
+				}
+				if resp.Spread != want {
+					t.Logf("client %d k=%d: spread %b != cumulative %b", c, k, resp.Spread, want)
+					failures.Add(1)
+					return
+				}
+				if k%10 == 0 {
+					// Interleave /stats reads with the prefix slicing.
+					var st serve.StatsResponse
+					if status, _ := doRaw(t, h, "GET", "/stats", "", &st); status != http.StatusOK {
+						failures.Add(1)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if n := failures.Load(); n > 0 {
+		t.Fatalf("%d concurrent prefix reads failed", n)
+	}
+	if n := snap.Selections(); n != 1 {
+		t.Fatalf("prefix reuse ran %d extra CELF selections for %d clients x %d ks, want 0 extra (1 total)",
+			n-1, clients, maxK)
+	}
+	var st serve.StatsResponse
+	getJSON(t, h, "GET", "/stats", "", &st)
+	if st.SeedPrefixK != maxK || st.Selections != 1 {
+		t.Fatalf("stats report prefix k=%d selections=%d, want %d and 1", st.SeedPrefixK, st.Selections, maxK)
 	}
 }
 

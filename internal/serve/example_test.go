@@ -46,9 +46,10 @@ func Example() {
 	// served spread matches offline model: true
 }
 
-// Seed selection over HTTP: the first /seeds?k=N call runs CELF on a clone
-// of the snapshot's planner and memoizes the result; repeats are cache
-// hits.
+// Seed selection over HTTP: the first /seeds?k=N call grows the
+// snapshot's one prefix-incremental CELF selection to k; repeats — and
+// any smaller k — are answered from the computed prefix with zero
+// selection work.
 func ExampleSnapshot_SelectSeeds() {
 	ds := credist.Generate(datagen.Config{
 		Name: "demo", NumUsers: 200, OutDegree: 4, Reciprocity: 0.6,

@@ -38,7 +38,7 @@ func demoIngestBatch(t *testing.T, nextAction credist.ActionID) []credist.Tuple 
 // TestIngestEndpoint drives the streaming path end to end: the successor
 // snapshot is built incrementally, swapped atomically, answers queries
 // bit-identically to an offline Model.Ingest over the same tuples, resets
-// the memoized seed cache, and reports its base/delta split until a
+// the computed seed prefix, and reports its base/delta split until a
 // compacting ingest folds the delta away.
 func TestIngestEndpoint(t *testing.T) {
 	srv := newTestServer(t)
@@ -46,7 +46,7 @@ func TestIngestEndpoint(t *testing.T) {
 	nextAction := credist.ActionID(demoDataset().Log.NumActions())
 	batch := demoIngestBatch(t, nextAction)
 
-	// Warm the seed cache on the pre-ingest snapshot.
+	// Grow the seed prefix on the pre-ingest snapshot.
 	var warm serve.SeedsResponse
 	getJSON(t, h, "GET", "/seeds?k=3", "", &warm)
 
@@ -82,11 +82,11 @@ func TestIngestEndpoint(t *testing.T) {
 		t.Errorf("post-ingest /gain = %v, offline = %v", gr.Gains, want)
 	}
 
-	// The memoized selection was invalidated and recomputes on the new model.
+	// The computed seed prefix was invalidated and recomputes on the new model.
 	var after serve.SeedsResponse
 	getJSON(t, h, "GET", "/seeds?k=3", "", &after)
 	if after.Cached {
-		t.Error("seed cache leaked across ingest")
+		t.Error("seed prefix leaked across ingest")
 	}
 	if after.Snapshot != ir.Snapshot {
 		t.Errorf("/seeds answered from snapshot %d, want %d", after.Snapshot, ir.Snapshot)

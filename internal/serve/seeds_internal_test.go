@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"testing"
+
+	"credist"
+	"credist/internal/datagen"
+)
+
+// TestIngestSeedsGrowFromExtendedBase is a white-box pin on where the
+// post-ingest /seeds selection gets its planner: it must clone the
+// snapshot's incrementally extended base (frozen shards shared, delta
+// accounting intact) — NOT the grown model's self-contained lazy base,
+// which would silently pay a full from-scratch rescan of the combined
+// log on the first cold /seeds after every ingest and retain a second
+// copy of the UC store for the snapshot's lifetime.
+func TestIngestSeedsGrowFromExtendedBase(t *testing.T) {
+	ds := credist.Generate(datagen.Config{
+		Name: "grow-base", NumUsers: 120, OutDegree: 4, Reciprocity: 0.6,
+		NumActions: 60, MeanInfluence: 0.1, MeanDelay: 8,
+		SpontaneousPerAction: 1, Seed: 5,
+	})
+	sn, err := Build(Source{Dataset: ds, Lambda: 0.001})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	next := credist.ActionID(ds.Log.NumActions())
+	grown, err := sn.Ingest([]credist.Tuple{
+		{User: 0, Action: next, Time: 1},
+		{User: 1, Action: next, Time: 2},
+	}, false)
+	if err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if grown.base.DeltaActions() != 1 {
+		t.Fatalf("extended base has %d delta actions, want 1", grown.base.DeltaActions())
+	}
+	if _, cached := grown.SelectSeeds(2); cached {
+		t.Fatal("cold post-ingest /seeds reported cached")
+	}
+	// The selection's planner is a clone of the extended base, so the
+	// delta accounting survives; the model's lazy base would be a fresh
+	// full scan with zero delta actions.
+	grown.seedMu.Lock()
+	sel := grown.seedSel
+	grown.seedMu.Unlock()
+	if sel == nil {
+		t.Fatal("no selection after a cold /seeds")
+	}
+	if got := sel.Planner().DeltaActions(); got != 1 {
+		t.Fatalf("selection planner has %d delta actions, want 1 (did /seeds rescan through the model's base?)", got)
+	}
+}

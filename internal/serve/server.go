@@ -99,8 +99,8 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Current returns the live snapshot (for embedding and tests).
 func (s *Server) Current() *Snapshot { return s.reg.Current() }
 
-// Warm precomputes and caches the CELF selection for k on the current
-// snapshot, validating k against the model universe first. Unlike the raw
+// Warm grows the current snapshot's seed prefix to k, validating k
+// against the model universe first. Unlike the raw
 // Snapshot.SelectSeeds, an out-of-range k or an empty selection is an
 // error, so a process that warms its cache at startup fails fast and
 // loudly instead of serving from a zero-valued result.
@@ -292,7 +292,9 @@ func (s *Server) handleGain(sn *Snapshot, r *http.Request) (any, error) {
 
 // --- /seeds ----------------------------------------------------------------
 
-// SeedsResponse answers /seeds?k=N with the memoized CELF selection.
+// SeedsResponse answers /seeds?k=N with the first k seeds of the
+// snapshot's growable CELF selection; Cached reports whether the request
+// was answered from the computed prefix with zero selection work.
 type SeedsResponse struct {
 	Snapshot int64 `json:"snapshot"`
 	K        int   `json:"k"`
@@ -367,7 +369,7 @@ type StatsResponse struct {
 	Ingests       int64            `json:"ingests"`
 	LastIngest    *time.Time       `json:"last_ingest,omitempty"`
 	ResidentBytes int64            `json:"resident_bytes"`
-	CachedSeedKs  []int            `json:"cached_seed_ks"`
+	SeedPrefixK   int              `json:"seed_prefix_k"`
 	Selections    int64            `json:"selections"`
 	UptimeSec     float64          `json:"uptime_seconds"`
 	Requests      int64            `json:"requests"`
@@ -400,7 +402,7 @@ func (s *Server) handleStats(sn *Snapshot, _ *http.Request) (any, error) {
 		DeltaActions:  sn.DeltaActions(),
 		Ingests:       sn.Ingests(),
 		ResidentBytes: sn.ResidentBytes(),
-		CachedSeedKs:  sn.CachedKs(),
+		SeedPrefixK:   sn.SeedPrefixLen(),
 		Selections:    sn.Selections(),
 		UptimeSec:     uptime.Seconds(),
 		Requests:      total,
@@ -633,7 +635,10 @@ func (s *Server) handleSnapshot(sn *Snapshot, r *http.Request) (any, error) {
 		return nil, badRequest("snapshot: %v", err)
 	}
 	tmp := f.Name()
-	if err := sn.model.WriteSnapshot(f, sn.base); err != nil {
+	// The computed seed prefix rides along: it was selected against
+	// exactly the base planner being written, so a restart from this file
+	// serves /seeds up to the same k without running CELF at all.
+	if err := sn.model.WriteSnapshot(f, sn.base, sn.checkpointPrefix()); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return nil, fmt.Errorf("snapshot: %v", err)

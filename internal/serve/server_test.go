@@ -354,6 +354,14 @@ func TestSnapshotCheckpointRestartCycle(t *testing.T) {
 	var seedsB serve.SeedsResponse
 	getJSON(t, hB, "GET", "/seeds?k=3", "", &seedsB)
 	requireSameSelection(t, "restart from snapshot", seedsA, seedsB)
+	// The checkpoint carried server A's computed seed prefix, so the
+	// restarted server answered without running CELF at all.
+	if n := snB.Selections(); n != 0 {
+		t.Fatalf("restarted server ran %d CELF selections for a prefix-covered k, want 0", n)
+	}
+	if !seedsB.Cached {
+		t.Error("restart /seeds not served from the restored prefix")
+	}
 	var stB serve.StatsResponse
 	getJSON(t, hB, "GET", "/stats", "", &stB)
 	if stB.ModelFile != model1 || stB.ModelActions != headN || stB.ModelTailActions != 0 {
@@ -399,6 +407,30 @@ func TestSnapshotCheckpointRestartCycle(t *testing.T) {
 	var seedsC serve.SeedsResponse
 	getJSON(t, hC, "GET", "/seeds?k=3", "", &seedsC)
 	requireSameSelection(t, "restart from post-ingest snapshot", seedsB2, seedsC)
+	if n := snC.Selections(); n != 0 {
+		t.Fatalf("post-ingest restart ran %d CELF selections for a prefix-covered k, want 0", n)
+	}
+	// Growing past the restored prefix resumes it instead of restarting:
+	// the prefix seeds stay bit-identical and exactly one run is paid.
+	var grownC serve.SeedsResponse
+	getJSON(t, hC, "GET", "/seeds?k=5", "", &grownC)
+	if n := snC.Selections(); n != 1 {
+		t.Fatalf("growth past the restored prefix ran %d selections, want 1", n)
+	}
+	for i := range seedsC.Seeds {
+		if grownC.Seeds[i] != seedsC.Seeds[i] || grownC.Gains[i] != seedsC.Gains[i] {
+			t.Fatalf("growth past the restored prefix rewrote seed %d", i)
+		}
+	}
+	// The continuation matches a from-scratch selection on the same model
+	// bit for bit (restored-prefix resume is exact, not approximate).
+	wantSeeds, wantGains := snC.Model().SelectSeeds(5)
+	for i := range wantSeeds {
+		if grownC.Seeds[i] != wantSeeds[i] || grownC.Gains[i] != wantGains[i] {
+			t.Fatalf("resumed growth diverges from offline selection at seed %d: (%d, %b) vs (%d, %b)",
+				i, grownC.Seeds[i], grownC.Gains[i], wantSeeds[i], wantGains[i])
+		}
+	}
 	var stC serve.StatsResponse
 	getJSON(t, hC, "GET", "/stats", "", &stC)
 	if stC.Actions != n || stC.ModelActions != n || stC.ModelTailActions != 0 {

@@ -16,13 +16,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"credist"
+	"credist/internal/seedsel"
 )
 
 // Source specifies where a snapshot's dataset and model parameters come
@@ -99,7 +99,8 @@ func (src Source) describe() string {
 	return s
 }
 
-// SeedsResult is a memoized CELF seed selection.
+// SeedsResult is one served CELF seed selection — a prefix of the
+// snapshot's single growable selection.
 type SeedsResult struct {
 	Seeds   []credist.NodeID `json:"seeds"`
 	Gains   []float64        `json:"gains"`
@@ -107,11 +108,67 @@ type SeedsResult struct {
 	Lookups int              `json:"lookups"`
 }
 
+// seedPrefix is the published state of a snapshot's seed selection: the
+// longest prefix computed (or restored from a binary snapshot) so far.
+// Every field is immutable once stored in the atomic pointer, so readers
+// slice it lock-free; growth publishes a fresh copy.
+type seedPrefix struct {
+	seeds     []credist.NodeID
+	gains     []float64
+	lookupsAt []int64
+	spreads   []float64 // spreads[i] = sum(gains[:i+1]), the per-prefix spread table
+	// exhausted marks that the candidate pool ran dry: no larger k can
+	// ever be answered, so requests beyond len(seeds) return everything.
+	exhausted bool
+}
+
+// covers reports whether the prefix can answer k without any CELF work.
+func (p *seedPrefix) covers(k int) bool { return k <= len(p.seeds) || p.exhausted }
+
+// result slices the prefix's first k seeds into a response. Slices share
+// the prefix's immutable arrays; no copying, no locking.
+func (p *seedPrefix) result(k int) *SeedsResult {
+	if k > len(p.seeds) {
+		k = len(p.seeds)
+	}
+	r := &SeedsResult{Seeds: p.seeds[:k:k], Gains: p.gains[:k:k]}
+	if k > 0 {
+		r.Spread = p.spreads[k-1]
+		r.Lookups = int(p.lookupsAt[k-1])
+	}
+	if r.Seeds == nil {
+		r.Seeds = []credist.NodeID{}
+	}
+	if r.Gains == nil {
+		r.Gains = []float64{}
+	}
+	return r
+}
+
+// newSeedPrefix copies a selection trace into a publishable prefix,
+// precomputing the per-prefix spread table.
+func newSeedPrefix(res seedsel.Result, exhausted bool) *seedPrefix {
+	p := &seedPrefix{
+		seeds:     append([]credist.NodeID(nil), res.Seeds...),
+		gains:     append([]float64(nil), res.Gains...),
+		lookupsAt: append([]int64(nil), res.LookupsAt...),
+		spreads:   make([]float64, len(res.Gains)),
+		exhausted: exhausted,
+	}
+	total := 0.0
+	for i, g := range p.gains {
+		total += g
+		p.spreads[i] = total
+	}
+	return p
+}
+
 // Snapshot is one learned model frozen for serving. All public methods are
 // safe for concurrent use: queries touch only immutable scan products (the
 // evaluator and the base planner, on which only the read-only Gain is ever
-// invoked), and mutable seed selection runs on per-request clones, memoized
-// per k under a lock.
+// invoked), and seed selection runs on one growable per-snapshot selection
+// whose growth is serialized under a lock while reads slice the published
+// prefix lock-free.
 type Snapshot struct {
 	// ID is assigned by the Registry; monotonically increasing per process.
 	ID int64
@@ -143,22 +200,17 @@ type Snapshot struct {
 	modelActions int
 	tailActions  int
 
-	// selections counts the CELF runs this snapshot actually executed —
-	// at most one per distinct k, however many concurrent requests raced
-	// for it (the seedCache single-flights them).
+	// selections counts the CELF growth runs this snapshot actually
+	// executed — at most one per new high-water k, however many concurrent
+	// requests raced for it, and exactly zero for any k at or below the
+	// published prefix (including one restored from a model snapshot).
 	selections atomic.Int64
 
-	mu        sync.Mutex
-	seedCache map[int]*seedEntry
-}
-
-// seedEntry single-flights one k's CELF run: the first request does the
-// work under the Once, concurrent requests for the same k wait on it, and
-// requests for other ks (or /stats) are never blocked — the snapshot lock
-// only guards the map, not the selection.
-type seedEntry struct {
-	once sync.Once
-	res  atomic.Pointer[SeedsResult]
+	// seedMu serializes growth of the one per-snapshot selection; readers
+	// never take it — they slice the atomically published prefix.
+	seedMu  sync.Mutex
+	seedSel *credist.GrowableSelection // created lazily on first growth
+	prefix  atomic.Pointer[seedPrefix]
 }
 
 // Build loads the source's dataset, learns (or restores) the model, and
@@ -223,11 +275,21 @@ func Build(src Source) (*Snapshot, error) {
 		base:          base,
 		entries:       base.Entries(),
 		residentBytes: base.ResidentBytes(),
-		seedCache:     make(map[int]*seedEntry),
 	}
 	if src.ModelPath != "" {
 		sn.modelActions = base.NumActions() - tailActions
 		sn.tailActions = tailActions
+	}
+	// A seed prefix restored with the model (LoadModel drops it whenever a
+	// log tail was appended, so it describes exactly this state) is
+	// published immediately: /seeds?k up to its length is served with zero
+	// CELF work from the first request on.
+	if pfx := model.SeedPrefix(); pfx != nil && len(pfx.Seeds) > 0 {
+		sn.prefix.Store(newSeedPrefix(seedsel.Result{
+			Seeds:     pfx.Seeds,
+			Gains:     pfx.Gains,
+			LookupsAt: pfx.LookupsAt,
+		}, false))
 	}
 	// The model's spread evaluator (the /spread and /topk path) builds
 	// lazily on first use. Kick that build off in the background so a
@@ -242,8 +304,8 @@ func Build(src Source) (*Snapshot, error) {
 // propagations, incrementally: the model's learned parameters stay
 // frozen, the base planner is cloned (frozen shards shared) and only the
 // appended action tail is scanned. The receiver keeps serving unchanged —
-// nothing it references is mutated — and the memoized seed selections are
-// invalidated simply by the successor starting with an empty cache.
+// nothing it references is mutated — and the computed seed prefix is
+// invalidated simply by the successor starting with an empty selection.
 // compact additionally folds the accumulated delta into the frozen base
 // before the successor is published.
 func (sn *Snapshot) Ingest(tuples []credist.Tuple, compact bool) (*Snapshot, error) {
@@ -276,7 +338,6 @@ func (sn *Snapshot) Ingest(tuples []credist.Tuple, compact bool) (*Snapshot, err
 		lastIngest:    time.Now(),
 		modelActions:  sn.modelActions,
 		tailActions:   sn.tailActions,
-		seedCache:     make(map[int]*seedEntry),
 	}, nil
 }
 
@@ -344,47 +405,80 @@ func (sn *Snapshot) Gains(base, candidates []credist.NodeID) []float64 {
 	return out
 }
 
-// SelectSeeds runs CELF seed selection for k seeds, memoized per snapshot:
-// the first request for a given k pays for a planner clone and the greedy
-// run, later ones are served from cache (concurrent requests for the same
-// k wait for the single in-flight run). cached reports whether the run was
-// already initiated by an earlier request. The result is bit-identical to
-// the offline Model.SelectSeeds(k).
+// SelectSeeds answers a CELF seed selection for k seeds from the
+// snapshot's single growable selection: seeds for the largest k computed
+// so far contain the answer for every smaller k, so any request at or
+// below the published prefix (including one restored from a binary model
+// snapshot) is a lock-free slice with zero CELF work, and only a new
+// high-water k pays — for exactly the marginal seeds beyond the current
+// prefix, never a recomputation of the prefix itself. Concurrent growth
+// requests are serialized; racers that arrive while a sufficient prefix
+// is being published are served from it. cached reports whether the
+// request was answered without running any selection. The result is
+// bit-identical to the offline Model.SelectSeeds(k).
 func (sn *Snapshot) SelectSeeds(k int) (res *SeedsResult, cached bool) {
-	sn.mu.Lock()
-	e, cached := sn.seedCache[k]
-	if !cached {
-		e = &seedEntry{}
-		sn.seedCache[k] = e
+	if pv := sn.prefix.Load(); pv != nil && pv.covers(k) {
+		return pv.result(k), true
 	}
-	sn.mu.Unlock()
-	e.once.Do(func() {
-		// Engine.Add mutates seed state, so selection must never run on the
-		// shared base planner: clone it, select, throw the clone away.
-		sn.selections.Add(1)
-		sel := sn.base.Clone().Select(k)
-		r := &SeedsResult{
-			Seeds:   sel.Seeds,
-			Gains:   sel.Gains,
-			Spread:  sel.Spread(),
-			Lookups: sel.Lookups,
+	sn.seedMu.Lock()
+	defer sn.seedMu.Unlock()
+	if pv := sn.prefix.Load(); pv != nil && pv.covers(k) {
+		// A concurrent request grew past k while we waited for the lock.
+		return pv.result(k), true
+	}
+	if sn.seedSel == nil {
+		// First growth: resume from the restored prefix when there is one
+		// (committing its seeds costs k Adds, no gain evaluations), start
+		// fresh otherwise. The selection clones sn.base — the snapshot's
+		// own (possibly ingest-extended) planner, shards shared — never
+		// the model's lazy base, which for an ingest-grown model would be
+		// a second from-scratch scan of the combined log; and it owns the
+		// clone, so Engine.Add never touches the shared base.
+		var restored *credist.SeedPrefix
+		if pv := sn.prefix.Load(); pv != nil {
+			restored = &credist.SeedPrefix{Seeds: pv.seeds, Gains: pv.gains, LookupsAt: pv.lookupsAt}
 		}
-		if r.Seeds == nil {
-			r.Seeds = []credist.NodeID{}
+		sel, err := sn.base.ResumeSelection(restored)
+		if err != nil {
+			// A published prefix always comes from this snapshot's model,
+			// so Resume cannot reject it; recover into a fresh selection
+			// regardless.
+			sel = sn.base.NewSelection()
 		}
-		if r.Gains == nil {
-			r.Gains = []float64{}
-		}
-		e.res.Store(r)
-	})
-	return e.res.Load(), cached
+		sn.seedSel = sel
+	}
+	sn.selections.Add(1)
+	grown := sn.seedSel.Grow(k)
+	pv := newSeedPrefix(grown, sn.seedSel.Exhausted())
+	sn.prefix.Store(pv)
+	return pv.result(k), false
 }
 
-// Selections returns how many CELF runs this snapshot has actually
-// executed. The seed cache single-flights concurrent requests, so this is
-// at most the number of distinct ks ever asked for — the diagnostic that
-// pins the no-duplicate-work guarantee under concurrent cold traffic.
+// Selections returns how many CELF growth runs this snapshot has actually
+// executed: at most one per new high-water k, and zero for anything the
+// computed (or restored) prefix already covers — the diagnostic that pins
+// the no-duplicate-work guarantee under concurrent cold traffic.
 func (sn *Snapshot) Selections() int64 { return sn.selections.Load() }
+
+// SeedPrefixLen returns the length of the published seed prefix — the
+// largest k answerable with zero CELF work.
+func (sn *Snapshot) SeedPrefixLen() int {
+	if pv := sn.prefix.Load(); pv != nil {
+		return len(pv.seeds)
+	}
+	return 0
+}
+
+// checkpointPrefix returns the published seed prefix in the facade's
+// persistence form, or nil. POST /snapshot passes it to WriteSnapshot so
+// a restart serves /seeds up to the same k instantly.
+func (sn *Snapshot) checkpointPrefix() *credist.SeedPrefix {
+	pv := sn.prefix.Load()
+	if pv == nil || len(pv.seeds) == 0 {
+		return nil
+	}
+	return &credist.SeedPrefix{Seeds: pv.seeds, Gains: pv.gains, LookupsAt: pv.lookupsAt}
+}
 
 // ModelActions returns how many actions the binary snapshot file this
 // snapshot line cold-started from had scanned (0 when the model was
@@ -394,21 +488,6 @@ func (sn *Snapshot) ModelActions() int { return sn.modelActions }
 // TailActions returns how many log actions past the snapshot file the
 // cold start appended (0 when the model was learned in-process).
 func (sn *Snapshot) TailActions() int { return sn.tailActions }
-
-// CachedKs lists the ks with completed memoized selections, sorted, for
-// /stats. An in-flight k appears only once its run finishes.
-func (sn *Snapshot) CachedKs() []int {
-	sn.mu.Lock()
-	defer sn.mu.Unlock()
-	ks := make([]int, 0, len(sn.seedCache))
-	for k, e := range sn.seedCache {
-		if e.res.Load() != nil {
-			ks = append(ks, k)
-		}
-	}
-	sort.Ints(ks)
-	return ks
-}
 
 // TopK returns the k top users under a heuristic baseline ("highdeg" or
 // "pagerank") together with the CD-model spread the set achieves — the

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"credist/internal/actionlog"
+	"credist/internal/celf"
 	"credist/internal/core"
 	"credist/internal/graph"
 	"credist/internal/seedsel"
@@ -37,6 +38,11 @@ type Model struct {
 	credit core.CreditModel
 	eval   func() *core.Evaluator
 	base   func() *core.Engine // frozen; NewPlanner hands out clones
+	// prefix is a computed CELF seed prefix attached by RecordSeedPrefix
+	// or restored by LoadModel from a binary snapshot; Save persists it so
+	// a restarted process answers seed queries up to its length without
+	// running selection.
+	prefix *SeedPrefix
 }
 
 // newModel wires a model with a lazily built evaluator and base engine.
@@ -163,8 +169,10 @@ func (m *Model) ExtendPlanner(p *Planner) (*Planner, error) {
 }
 
 // SelectSeeds picks k seeds with the paper's algorithm (Scan + greedy with
-// CELF) and returns them with their marginal gains; summing the gains
-// gives the predicted spread of the whole set.
+// CELF, the first-iteration gain pass fanned over the available cores) and
+// returns them with their marginal gains; summing the gains gives the
+// predicted spread of the whole set. Results are bit-identical regardless
+// of worker count.
 func (m *Model) SelectSeeds(k int) ([]NodeID, []float64) {
 	res := m.selection(k)
 	return res.Seeds, res.Gains
@@ -177,6 +185,117 @@ func (m *Model) Selection(k int) seedsel.Result { return m.selection(k) }
 func (m *Model) selection(k int) seedsel.Result {
 	return m.NewPlanner().Select(k)
 }
+
+// SeedPrefix is a computed CELF seed-selection prefix: seeds in selection
+// order, their marginal gains (cumulative sums are the per-prefix
+// spreads), and the cumulative gain-evaluation count when each seed was
+// committed. A prefix attached to a model is persisted by Save and
+// restored by LoadModel, so a restarted process serves seed queries up to
+// the stored length without running selection at all; any smaller k is a
+// slice of the arrays. Like NodeID and seedsel.Result, it is an alias of
+// the one shared representation, so no conversions happen at package
+// boundaries.
+type SeedPrefix = core.SeedPrefix
+
+// SeedPrefix returns the prefix attached to the model (by RecordSeedPrefix
+// or a snapshot load), or nil. Callers must not mutate it.
+func (m *Model) SeedPrefix() *SeedPrefix { return m.prefix }
+
+// RecordSeedPrefix attaches a selection trace (from Selection, or a
+// GrowableSelection's Grow) to the model so Save persists it. The trace
+// must come from this model — recording a foreign selection would persist
+// seeds the restored model never chose.
+func (m *Model) RecordSeedPrefix(res seedsel.Result) {
+	m.prefix = &SeedPrefix{
+		Seeds:     append([]NodeID(nil), res.Seeds...),
+		Gains:     append([]float64(nil), res.Gains...),
+		LookupsAt: append([]int64(nil), res.LookupsAt...),
+	}
+}
+
+// GrowableSelection is a prefix-incremental CELF run bound to its own
+// planner clone: Grow(k) extends the committed selection to k seeds,
+// keeping the lazy-forward heap across calls, so after Grow(50) any
+// k <= 50 is answered from the recorded arrays and Grow(60) pays only the
+// marginal work. Not safe for concurrent use; the serving layer
+// serializes Grow and publishes immutable copies for readers.
+type GrowableSelection struct {
+	p   *Planner
+	sel *celf.Selection
+}
+
+// NewSelection starts an empty growable selection over a fresh planner
+// clone of the model's scanned engine.
+func (m *Model) NewSelection() *GrowableSelection {
+	return newGrowableSelection(m.NewPlanner())
+}
+
+// ResumeSelection rebuilds a growable selection from a previously
+// computed prefix (typically the model's own restored SeedPrefix): the
+// prefix seeds are committed without any gain evaluations, and the first
+// Grow past the prefix pays one fresh gain pass to rebuild the heap.
+// Seeds and gains of the continuation are bit-identical to a continuous
+// run.
+func (m *Model) ResumeSelection(prefix *SeedPrefix) (*GrowableSelection, error) {
+	return resumeGrowableSelection(m.NewPlanner(), prefix)
+}
+
+// NewSelection starts an empty growable selection over a clone of this
+// planner — shards shared, copy-on-write isolating the selection's Adds.
+// This is how a serving layer grows selections off its incrementally
+// extended base planner instead of forcing a second from-scratch scan
+// out of the model.
+func (p *Planner) NewSelection() *GrowableSelection {
+	return newGrowableSelection(p.Clone())
+}
+
+// ResumeSelection is NewSelection continuing from a previously computed
+// prefix; see Model.ResumeSelection. A receiver holding committed seeds
+// is rejected: a prefix describes a selection from an empty seed set.
+func (p *Planner) ResumeSelection(prefix *SeedPrefix) (*GrowableSelection, error) {
+	return resumeGrowableSelection(p.Clone(), prefix)
+}
+
+// newGrowableSelection wraps a selection around a planner the caller
+// hands over (the selection owns and mutates it).
+func newGrowableSelection(p *Planner) *GrowableSelection {
+	return &GrowableSelection{p: p, sel: celf.NewSelection(p.eng, celf.Options{Workers: p.eng.Workers()})}
+}
+
+func resumeGrowableSelection(p *Planner, prefix *SeedPrefix) (*GrowableSelection, error) {
+	if prefix == nil {
+		return newGrowableSelection(p), nil
+	}
+	// Same precondition WriteSnapshotPrefix enforces for its engine: a
+	// prefix describes a selection from an empty seed set, so replaying it
+	// on a planner with committed seeds would silently double-commit any
+	// overlap and report gains from a state that never existed.
+	if committed := p.Seeds(); len(committed) > 0 {
+		return nil, fmt.Errorf("credist: cannot resume a seed prefix on a planner with %d committed seeds", len(committed))
+	}
+	sel, err := celf.Resume(p.eng, *prefix, celf.Options{Workers: p.eng.Workers()})
+	if err != nil {
+		return nil, err
+	}
+	return &GrowableSelection{p: p, sel: sel}, nil
+}
+
+// Grow extends the selection to at most k seeds and returns the full
+// accumulated trace (slicing it to any length <= Len yields that prefix's
+// selection). Growing to a k at or below the current length does no work.
+func (s *GrowableSelection) Grow(k int) seedsel.Result { return s.sel.Grow(k) }
+
+// Len returns the number of committed seeds.
+func (s *GrowableSelection) Len() int { return s.sel.Len() }
+
+// Exhausted reports whether the candidate pool ran dry: no further Grow
+// can add seeds.
+func (s *GrowableSelection) Exhausted() bool { return s.sel.Exhausted() }
+
+// Planner exposes the selection's owned planner for inspection (entries,
+// resident bytes, delta accounting). Mutating it corrupts the selection;
+// it is read-only by contract.
+func (s *GrowableSelection) Planner() *Planner { return s.p }
 
 // Planner is the stateful side of the model: the scanned UC credit
 // structure of Algorithm 2 plus the committed seed set. Gain is read-only
@@ -216,10 +335,15 @@ func (p *Planner) Add(x NodeID) { p.eng.Add(x) }
 // Seeds returns the committed seed set in selection order.
 func (p *Planner) Seeds() []NodeID { return p.eng.Seeds() }
 
-// Select greedily extends the committed seed set by up to k seeds with CELF
-// (Algorithm 3) and returns the selection trace. It mutates the planner;
+// Select greedily extends the committed seed set by up to k seeds with
+// CELF (Algorithm 3) via the shared selection engine — the
+// first-iteration gain pass and stale-bound refreshes fan over the
+// engine's configured workers, with bit-identical seeds and gains at any
+// worker count — and returns the selection trace. It mutates the planner;
 // use Clone first to keep the receiver reusable.
-func (p *Planner) Select(k int) seedsel.Result { return seedsel.CELF(p.eng, k) }
+func (p *Planner) Select(k int) seedsel.Result {
+	return celf.Run(p.eng, k, celf.Options{Workers: p.eng.Workers()})
+}
 
 // Entries returns the number of live UC credit entries, the paper's memory
 // statistic (Figure 8, Table 4).
@@ -305,8 +429,9 @@ func (m *Model) SaveParams(path string) error {
 }
 
 // Save writes the model as a durable binary snapshot: learned parameters
-// plus the fully scanned UC credit structure and the dataset lineage
-// (name, universe, action count, graph/log content hashes). A process
+// plus the fully scanned UC credit structure, the dataset lineage
+// (name, universe, action count, graph/log content hashes), and the
+// model's attached seed prefix if one was recorded or restored. A process
 // restarted with LoadModel against the same (or a grown) dataset skips
 // both learning and the log scan — cold start becomes a file read plus an
 // append of only the unscanned tail. Saving forces the model's one-time
@@ -316,7 +441,7 @@ func (m *Model) Save(path string) error {
 	if err != nil {
 		return fmt.Errorf("credist: create snapshot file: %w", err)
 	}
-	if err := m.WriteSnapshot(f, nil); err != nil {
+	if err := m.WriteSnapshot(f, nil, m.prefix); err != nil {
 		f.Close()
 		return err
 	}
@@ -328,8 +453,12 @@ func (m *Model) Save(path string) error {
 // credit parameters and truncation threshold), cover exactly the model's
 // log, and hold no committed seeds; nil uses the model's own base scan.
 // Passing an explicit planner is how a serving layer checkpoints its live
-// (possibly ingest-extended) planner without a second scan.
-func (m *Model) WriteSnapshot(w io.Writer, p *Planner) error {
+// (possibly ingest-extended) planner without a second scan. prefix, if
+// non-nil, is the computed seed prefix to persist alongside the engine —
+// it must have been selected against exactly the state being written
+// (this model's parameters over the planner's log), or a restart would
+// serve seeds the restored model never chose.
+func (m *Model) WriteSnapshot(w io.Writer, p *Planner, prefix *SeedPrefix) error {
 	eng := (*core.Engine)(nil)
 	if p == nil {
 		eng = m.base()
@@ -345,7 +474,7 @@ func (m *Model) WriteSnapshot(w io.Writer, p *Planner) error {
 		}
 		eng = p.eng
 	}
-	return eng.WriteSnapshot(w, core.DatasetLineage(m.ds.Name, m.ds.Graph, m.ds.Log))
+	return eng.WriteSnapshotPrefix(w, core.DatasetLineage(m.ds.Name, m.ds.Graph, m.ds.Log), prefix)
 }
 
 // IsModelSnapshot reports whether data (at least the first 8 bytes of a
@@ -398,7 +527,7 @@ func LoadModel(ds *Dataset, path string, opts Options) (*Model, error) {
 // resolution, and the tail append for a log that has grown past the
 // snapshot's scanned prefix.
 func loadSnapshotModel(ds *Dataset, r io.Reader, opts Options) (*Model, error) {
-	eng, lin, err := core.ReadSnapshot(r)
+	eng, lin, prefix, err := core.ReadSnapshotPrefix(r)
 	if err != nil {
 		return nil, err
 	}
@@ -421,6 +550,10 @@ func loadSnapshotModel(ds *Dataset, r io.Reader, opts Options) (*Model, error) {
 		if err := eng.AppendActions(ds.Graph, ds.Log, ActionID(lin.NumActions)); err != nil {
 			return nil, err
 		}
+		// The stored seed prefix was selected over the snapshot's log
+		// prefix; appended actions change every marginal gain, so it no
+		// longer describes this model and is dropped.
+		prefix = nil
 	}
 	// Freeze rather than Compact: clones share everything either way, and
 	// keeping the delta accounting lets callers (and /stats) see how much
@@ -428,5 +561,6 @@ func loadSnapshotModel(ds *Dataset, r io.Reader, opts Options) (*Model, error) {
 	eng.Freeze()
 	m := newModel(ds, stored, credit)
 	m.base = func() *core.Engine { return eng }
+	m.prefix = prefix
 	return m, nil
 }
