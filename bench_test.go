@@ -11,6 +11,7 @@ package credist
 // from bench output.
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -464,6 +465,14 @@ func BenchmarkAppendVsRescan(b *testing.B) {
 //   - "speedup-stale": the snapshot covers 95% and the load appends the
 //     5% tail that arrived after the checkpoint.
 //
+// The out-of-core variants measure the version-3 mapped open against the
+// heap parse of the same file (ISSUE 6 acceptance: the mapped open beats
+// the heap load by >= 5x — it touches no cells, only the header):
+//
+//   - "speedup-mmap": one-shot mapped open vs heap load of the full
+//     snapshot, reporting both and the ratio.
+//   - "mmap-open": steady-state ns/op of the mapped open alone.
+//
 // Each speedup case runs one-shot inside the loop so the CI
 // -benchtime=1x smoke still reports the ratios.
 func BenchmarkColdStart(b *testing.B) {
@@ -539,11 +548,43 @@ func BenchmarkColdStart(b *testing.B) {
 		}
 	}
 
+	mmapOnce := func(b *testing.B) (*Model, *Planner) {
+		m, err := LoadModelMapped(combined, fullPath, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m, m.NewPlanner()
+	}
+
 	b.Run("speedup", speedup(fullPath))
 	b.Run("speedup-stale", speedup(stalePath))
+	b.Run("speedup-mmap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			m, mp := mmapOnce(b)
+			openMs := float64(time.Since(t0).Nanoseconds()) / 1e6
+			t0 = time.Now()
+			loaded := loadOnce(b, fullPath)
+			loadMs := float64(time.Since(t0).Nanoseconds()) / 1e6
+			if mp.Entries() != loaded.Entries() {
+				b.Fatalf("mapped entries %d != heap-loaded %d", mp.Entries(), loaded.Entries())
+			}
+			b.ReportMetric(openMs, "mmap-open-ms")
+			b.ReportMetric(loadMs, "heap-load-ms")
+			b.ReportMetric(loadMs/openMs, "speedup")
+			b.ReportMetric(snapMiB, "snapshot-MiB")
+			m.Close()
+		}
+	})
 	b.Run("load", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			loadOnce(b, fullPath)
+		}
+	})
+	b.Run("mmap-open", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, _ := mmapOnce(b)
+			m.Close()
 		}
 	})
 	b.Run("rescan", func(b *testing.B) {
@@ -551,6 +592,91 @@ func BenchmarkColdStart(b *testing.B) {
 			rescanOnce(b)
 		}
 	})
+}
+
+// coldStartBench is the per-commit cold-start record the CI bench smoke
+// archives as BENCH_coldstart.json: one heap load and one mapped open of
+// the same full flixster-small snapshot, with the resident split each
+// backend reports.
+type coldStartBench struct {
+	Commit        string  `json:"commit,omitempty"`
+	Date          string  `json:"date"`
+	Dataset       string  `json:"dataset"`
+	SnapshotBytes int64   `json:"snapshot_bytes"`
+	Entries       int64   `json:"entries"`
+	HeapLoadNs    int64   `json:"heap_load_ns"`
+	MmapOpenNs    int64   `json:"mmap_open_ns"`
+	Speedup       float64 `json:"speedup"`
+	HeapBytes     int64   `json:"heap_bytes"`
+	MappedBytes   int64   `json:"mapped_bytes"`
+	RowStore      string  `json:"row_store"`
+}
+
+// TestWriteColdStartBenchJSON is the CI bench smoke behind the
+// BENCH_COLDSTART_JSON env var (the output path; unset skips): it times
+// one heap load and one mapped open of a full flixster-small snapshot,
+// checks they agree on shape, and writes the record as JSON. BENCH_COMMIT
+// stamps the measured revision.
+func TestWriteColdStartBenchJSON(t *testing.T) {
+	out := os.Getenv("BENCH_COLDSTART_JSON")
+	if out == "" {
+		t.Skip("set BENCH_COLDSTART_JSON=<path> to write the cold-start bench artifact")
+	}
+	cfg, ok := datagen.PresetByName("flixster-small")
+	if !ok {
+		t.Fatal("missing preset")
+	}
+	full := datagen.Generate(cfg)
+	ds := &Dataset{Name: full.Name, Graph: full.Graph, Log: full.Log}
+	path := filepath.Join(t.TempDir(), "model.bin")
+	if err := Learn(ds, Options{Lambda: 0.001}).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	var snapBytes int64
+	if fi, err := os.Stat(path); err == nil {
+		snapBytes = fi.Size()
+	}
+
+	t0 := time.Now()
+	heap, err := LoadModel(ds, path, Options{})
+	heapNs := time.Since(t0).Nanoseconds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 = time.Now()
+	mm, err := LoadModelMapped(ds, path, Options{})
+	openNs := time.Since(t0).Nanoseconds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mm.Close()
+	hp, mp := heap.NewPlanner(), mm.NewPlanner()
+	if hp.Entries() != mp.Entries() {
+		t.Fatalf("heap load has %d entries, mapped open %d", hp.Entries(), mp.Entries())
+	}
+
+	rec := coldStartBench{
+		Commit:        os.Getenv("BENCH_COMMIT"),
+		Date:          time.Now().UTC().Format(time.RFC3339),
+		Dataset:       full.Name,
+		SnapshotBytes: snapBytes,
+		Entries:       hp.Entries(),
+		HeapLoadNs:    heapNs,
+		MmapOpenNs:    openNs,
+		Speedup:       float64(heapNs) / float64(openNs),
+		HeapBytes:     mp.HeapBytes(),
+		MappedBytes:   mp.MappedBytes(),
+		RowStore:      mp.RowStoreBackend(),
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cold start: heap load %.2f ms, mmap open %.2f ms (%.0fx), %d entries -> %s",
+		float64(heapNs)/1e6, float64(openNs)/1e6, rec.Speedup, rec.Entries, out)
 }
 
 // BenchmarkCELFParallel measures the shared seed-selection engine's

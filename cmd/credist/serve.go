@@ -27,6 +27,7 @@ func runServe(args []string) {
 		logPath   = fs.String("log", "", "action log file (as written by datagen); requires -graph")
 		params    = fs.String("params", "", "optional saved model parameters (Model.SaveParams file); skips re-learning the time-aware rule")
 		model     = fs.String("model", "", "optional binary model snapshot (credist learn -o / POST /snapshot file): skips learning and the full log scan, processing only log actions past the snapshot")
+		mmap      = fs.Bool("mmap", false, "serve the UC base directly from the -model file via a read-only memory mapping: no parse, near-instant open, model may exceed RAM; answers stay bit-identical (version-3 snapshots; re-save older files to upgrade)")
 		tail      = fs.String("tail", "", "optional action-tail file (as written by `datagen -stream`) appended to the log before the model binds; with -model, how a restart catches up past a checkpoint")
 		lambda    = fs.Float64("lambda", 0.001, "CD truncation threshold (paper default 0.001; 0 keeps every credit); with -model, must match the stored value or be left unset")
 		simple    = fs.Bool("simple-credit", false, "use the equal-split 1/d_in direct-credit rule instead of the learned time-aware rule (Eq. 9)")
@@ -65,7 +66,8 @@ Examples:
 
   credist serve -preset flixster-small -addr :8632 -warm-k 50
   credist learn -graph d.graph -log d.log -o model.bin
-  credist serve -graph d.graph -log d.log -model model.bin   # no relearn/rescan
+  credist serve -graph d.graph -log d.log -model model.bin        # no relearn/rescan
+  credist serve -graph d.graph -log d.log -model model.bin -mmap  # serve straight off the file
 
 Flags:
 `)
@@ -81,6 +83,10 @@ Flags:
 	// silently skip the mismatch check.
 	explicit := make(map[string]bool)
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if *mmap && *model == "" {
+		fmt.Fprintln(os.Stderr, "credist serve: -mmap needs -model (the mapping is the snapshot file)")
+		os.Exit(1)
+	}
 	srcLambda, srcSimple := *lambda, *simple
 	if *model != "" {
 		if explicit["lambda"] && *lambda == 0 {
@@ -104,6 +110,7 @@ Flags:
 		LogPath:      *logPath,
 		ParamsPath:   *params,
 		ModelPath:    *model,
+		Mmap:         *mmap,
 		TailPath:     *tail,
 		Lambda:       srcLambda,
 		SimpleCredit: srcSimple,
@@ -118,9 +125,10 @@ Flags:
 	srv := serve.New(snap)
 	srv.Logf = logger.Printf
 	if *model != "" {
-		logger.Printf("serve: cold-started %s from snapshot %s in %v: %d users, %d UC entries (%.1f MiB resident), %d actions from the file + %d appended from the log",
+		logger.Printf("serve: cold-started %s from snapshot %s in %v: %d users, %d UC entries (%.1f MiB resident, %s row store: %.1f MiB heap + %.1f MiB file-backed), %d actions from the file + %d appended from the log",
 			snap.Dataset().Name, *model, time.Since(start).Round(time.Millisecond),
 			snap.NumUsers(), snap.Entries(), float64(snap.ResidentBytes())/(1<<20),
+			snap.RowStoreBackend(), float64(snap.HeapBytes())/(1<<20), float64(snap.MappedBytes())/(1<<20),
 			snap.ModelActions(), snap.TailActions())
 	} else {
 		logger.Printf("serve: learned %s in %v: %d users, %d UC entries (%.1f MiB resident)",

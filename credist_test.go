@@ -406,6 +406,84 @@ func TestWriteSnapshotPlannerValidation(t *testing.T) {
 	}
 }
 
+// TestLoadModelMappedBitIdentical: the mmap-served model is the heap
+// model, bit for bit — Spread, batched Gains, CELF selection, and the
+// tail-append path all agree — while its planners report the mmap
+// backend with the footprint on the mapped side of the split.
+func TestLoadModelMappedBitIdentical(t *testing.T) {
+	full := Generate(tinyConfig(12))
+	n := full.Log.NumActions()
+	headN := n - n/20
+	headDS := &Dataset{Name: "head", Graph: full.Graph, Log: full.Log.Prefix(headN)}
+	model := Learn(headDS, Options{Lambda: 0.001})
+	path := filepath.Join(t.TempDir(), "model.bin")
+	if err := model.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	combined := &Dataset{Name: "combined", Graph: full.Graph, Log: full.Log}
+	heap, err := LoadModel(combined, path, Options{})
+	if err != nil {
+		t.Fatalf("LoadModel: %v", err)
+	}
+	mapped, err := LoadModelMapped(combined, path, Options{})
+	if err != nil {
+		t.Fatalf("LoadModelMapped: %v", err)
+	}
+	defer mapped.Close()
+	if mapped.Options() != heap.Options() {
+		t.Fatalf("options %+v, want %+v", mapped.Options(), heap.Options())
+	}
+
+	p := mapped.NewPlanner()
+	if p.NumActions() != n || p.DeltaActions() != n-headN {
+		t.Fatalf("mapped planner covers %d actions (%d delta), want %d (%d)",
+			p.NumActions(), p.DeltaActions(), n, n-headN)
+	}
+	if p.RowStoreBackend() == "mmap" {
+		if p.MappedBytes() == 0 {
+			t.Fatal("mmap backend with zero mapped bytes")
+		}
+		if p.ResidentBytes() != p.HeapBytes()+p.MappedBytes() {
+			t.Fatal("resident bytes is not the heap/mapped sum")
+		}
+	}
+
+	seeds, gains := heap.SelectSeeds(4)
+	ms, mg := mapped.SelectSeeds(4)
+	for i := range seeds {
+		if ms[i] != seeds[i] || mg[i] != gains[i] {
+			t.Fatalf("selection diverged at %d: (%d, %b) vs (%d, %b)", i, ms[i], mg[i], seeds[i], gains[i])
+		}
+	}
+	if a, b := mapped.Spread(seeds), heap.Spread(seeds); a != b {
+		t.Fatalf("Spread %b != heap %b", a, b)
+	}
+	cands := []NodeID{0, 1, 2, 3, 4, 5}
+	ga, gb := mapped.Gains(seeds[:2], cands), heap.Gains(seeds[:2], cands)
+	for i := range ga {
+		if ga[i] != gb[i] {
+			t.Fatalf("Gains[%d] %b != %b", i, ga[i], gb[i])
+		}
+	}
+
+	// Only binary snapshots can be mapped: text parameters are refused.
+	params := filepath.Join(t.TempDir(), "params.txt")
+	if err := model.SaveParams(params); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModelMapped(combined, params, Options{}); err == nil {
+		t.Fatal("LoadModelMapped accepted a text parameter file")
+	}
+	// Closing a heap-loaded or nil model is a harmless no-op.
+	if err := heap.Close(); err != nil {
+		t.Fatalf("Close on heap model: %v", err)
+	}
+	if err := (*Model)(nil).Close(); err != nil {
+		t.Fatalf("Close on nil model: %v", err)
+	}
+}
+
 func TestModelSaveLoadParams(t *testing.T) {
 	ds := Generate(tinyConfig(8))
 	model := Learn(ds, Options{})

@@ -135,4 +135,31 @@ func TestResidentBytesAccounting(t *testing.T) {
 	if flat.ResidentBytes() > rows.ResidentBytes()+n*8 {
 		t.Errorf("compact layout heavier than expected: %d vs rows %d", flat.ResidentBytes(), rows.ResidentBytes())
 	}
+
+	// Mapped backend: the same model served off a version-3 file must
+	// report its cells as mapped, not heap — the heap number counts only
+	// what the Go allocator actually holds.
+	lin := DatasetLineage("resident", g, log)
+	mapped, _, _, ms := openMapped(t, writeSnapshotFile(t, rows, lin, nil))
+	if ms.Backend() == "mmap" {
+		if mapped.HeapBytes() != 0 {
+			t.Errorf("mapped engine counts %d heap bytes for file-backed cells", mapped.HeapBytes())
+		}
+		// Every live cell and its 16-byte directory record live in the
+		// mapping, bounded above by the whole file.
+		if mb := mapped.MappedBytes(); mb < n*16 || mb > ms.MappedBytes() {
+			t.Errorf("mapped engine reports %d mapped bytes for %d entries in a %d-byte file", mb, n, ms.MappedBytes())
+		}
+		if mapped.ResidentBytes() != mapped.MappedBytes() {
+			t.Error("resident/mapped split disagrees before any write")
+		}
+		// Promoting one shard by writing moves exactly that shard's cells
+		// to the heap side.
+		heapBefore, mappedBefore := mapped.HeapBytes(), mapped.MappedBytes()
+		seedsel.CELF(mapped, 1)
+		if mapped.HeapBytes() <= heapBefore || mapped.MappedBytes() >= mappedBefore {
+			t.Errorf("promote-on-write did not move footprint heapward: heap %d->%d mapped %d->%d",
+				heapBefore, mapped.HeapBytes(), mappedBefore, mapped.MappedBytes())
+		}
+	}
 }

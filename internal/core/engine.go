@@ -41,10 +41,15 @@ type Engine struct {
 	au        []int32   // Au: actions performed per user (training log)
 	actionsOf [][]int32 // per user: training actions they performed
 
-	// uc[a] points at action a's shard. owned[a] reports whether this
-	// engine may mutate the shard in place; unowned shards are shared with
-	// sibling engines and are copied by mutShard before the first write.
-	uc    []*ucAction
+	// uc[a] points at action a's shard through the rowStore interface
+	// (rowstore.go): a heap ucAction, or a read-only window into a mapped
+	// version-3 snapshot. owned[a] reports whether this engine may mutate
+	// the shard in place — owned shards are always heap; unowned shards
+	// are shared with sibling engines (or the mapping) and are promoted to
+	// a private heap copy by mutShard before the first write. Delta shards
+	// (indices >= baseActions) are always heap: they come only from this
+	// process's own scans.
+	uc    []rowStore
 	owned []bool
 
 	sc      []map[int32]float64 // per action: Gamma_{S,x}(a) for current seeds
@@ -98,7 +103,10 @@ func NewEngine(g *graph.Graph, train *actionlog.Log, opts Options) *Engine {
 		e.au[u] = int32(train.ActionCount(graph.NodeID(u)))
 	}
 	shards, props, entries := scanShards(g, train, 0, numActions, model, e.lambda, e.workers)
-	e.uc = shards
+	e.uc = make([]rowStore, numActions)
+	for a, shard := range shards {
+		e.uc[a] = shard
+	}
 	e.entries = entries
 	e.owned = make([]bool, numActions)
 	for a := range e.owned {
@@ -241,9 +249,11 @@ func (e *Engine) AppendActions(g *graph.Graph, log *actionlog.Log, from actionlo
 		}
 	}
 
-	uc := make([]*ucAction, to)
+	uc := make([]rowStore, to)
 	copy(uc, e.uc)
-	copy(uc[from:], shards)
+	for i, shard := range shards {
+		uc[int(from)+i] = shard
+	}
 	owned := make([]bool, to)
 	copy(owned, e.owned)
 	for a := int(from); a < to; a++ {
@@ -298,9 +308,11 @@ func (e *Engine) Compact() {
 	// Owned shards anywhere, plus every delta shard: a delta frozen by an
 	// earlier Freeze is no longer owned but still carries its scan-time
 	// growth slack, and folding it into the base is the moment to shed it.
+	// Mapped shards are left as they are: never owned, always inside the
+	// old base, they stay shared windows into the snapshot file.
 	for a := range e.uc {
 		if e.owned[a] || a >= e.baseActions {
-			e.uc[a] = cloneShard(e.uc[a])
+			e.uc[a] = e.uc[a].promote()
 			e.owned[a] = false
 		}
 	}
@@ -339,7 +351,7 @@ func (e *Engine) Clone() *Engine {
 	// frozen and stay shared.
 	for a, own := range c.owned {
 		if own {
-			c.uc[a] = cloneShard(c.uc[a])
+			c.uc[a] = c.uc[a].promote()
 		}
 	}
 	// Same for the per-user state: an owning receiver mutates it in place
@@ -363,14 +375,17 @@ func (e *Engine) Clone() *Engine {
 	return c
 }
 
-// mutShard returns action a's shard ready for in-place mutation, copying
-// it first when it is shared with sibling engines (copy-on-write).
+// mutShard returns action a's shard ready for in-place mutation, promoting
+// it to a private heap copy first when it is shared with sibling engines
+// (copy-on-write) or backed by a mapped snapshot (promote-on-first-write;
+// the mapping itself is never touched). Owned shards are heap by
+// construction, so the assertion below cannot fail.
 func (e *Engine) mutShard(a int32) *ucAction {
 	if !e.owned[a] {
-		e.uc[a] = cloneShard(e.uc[a])
+		e.uc[a] = e.uc[a].promote()
 		e.owned[a] = true
 	}
-	return e.uc[a]
+	return e.uc[a].(*ucAction)
 }
 
 // Credit returns UC[v][u][a] = Gamma^{V-S}_{v,u}(a) under the current seed
@@ -540,17 +555,48 @@ func (e *Engine) Add(x graph.NodeID) {
 	e.seeds = append(e.seeds, x)
 }
 
-// ResidentBytes reports the UC structure's slice footprint (16 bytes per
-// row entry plus the column mirror and slice headers; see
-// ucAction.residentBytes). Shards shared with sibling engines are counted
-// in full for every engine referencing them. On the flixster-small preset
-// this measures 34.4 bytes per live entry (32.0 MiB total), versus 71.5
-// bytes per entry (66.4 MiB) for the mirrored map-of-maps representation
-// it replaced.
+// ResidentBytes reports the UC structure's total footprint across both
+// backends: HeapBytes plus MappedBytes. Shards shared with sibling engines
+// are counted in full for every engine referencing them. On the
+// flixster-small preset the heap representation measures 34.4 bytes per
+// live entry (32.0 MiB total), versus 71.5 bytes per entry (66.4 MiB) for
+// the mirrored map-of-maps representation it replaced.
 func (e *Engine) ResidentBytes() int64 {
+	return e.HeapBytes() + e.MappedBytes()
+}
+
+// HeapBytes reports the Go-heap slice footprint of the UC structure
+// (16 bytes per row entry plus the column mirror and slice headers; see
+// ucAction.residentBytes). Shards served from a mapped snapshot contribute
+// nothing here — their pages are file-backed, not heap.
+func (e *Engine) HeapBytes() int64 {
 	var bytes int64
-	for _, ua := range e.uc {
-		bytes += ua.residentBytes()
+	for _, st := range e.uc {
+		bytes += st.heapBytes()
 	}
 	return bytes
+}
+
+// MappedBytes reports the file-backed footprint of the UC structure: the
+// bytes of the mapped snapshot's base section this engine's shards still
+// alias (shards promoted to heap by a write no longer count). The OS pages
+// these in and out on demand, so this is an upper bound on their resident
+// cost.
+func (e *Engine) MappedBytes() int64 {
+	var bytes int64
+	for _, st := range e.uc {
+		bytes += st.mappedBytes()
+	}
+	return bytes
+}
+
+// RowStoreBackend reports how the engine's shards are served: "mmap" when
+// any shard still aliases a mapped snapshot, "heap" otherwise.
+func (e *Engine) RowStoreBackend() string {
+	for _, st := range e.uc {
+		if name := st.backendName(); name != "heap" {
+			return name
+		}
+	}
+	return "heap"
 }

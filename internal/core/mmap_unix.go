@@ -1,0 +1,37 @@
+//go:build unix
+
+package core
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only and returns the mapping plus its release
+// function. The file descriptor is closed before returning — the mapping
+// stays valid without it. An empty file maps to a nil slice (nothing to
+// address) with a no-op release.
+func mmapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: mmap snapshot: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: mmap snapshot: %w", err)
+	}
+	size := fi.Size()
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("core: mmap snapshot: %s is %d bytes, beyond this platform's address space", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: mmap snapshot %s: %w", path, err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -27,41 +27,58 @@ import (
 // write/read round trip is bit-exact and every Gain/Spread/CELF result of
 // a reloaded engine is identical to the engine that was saved.
 //
-// Layout (all integers little-endian):
+// Version-3 layout (all integers little-endian):
 //
-//	magic    8 bytes "CREDSNAP"
-//	version  u32 (currently 2; version-1 files — identical except for the
-//	         missing seed-prefix section — are still read)
-//	lineage  dataset name (u32 len + bytes), u32 numUsers, u32 numActions,
-//	         u64 graphHash, u64 logHash (word-folded FNV over the scanned
-//	         prefix; see HashGraph / HashLogPrefix)
-//	params   f64 lambda; u8 credit tag (0 simple, 1 time-aware);
-//	         time-aware: u32 inflLen + f64s, u32 tauCount +
-//	         (i32 from, i32 to, f64 tau) sorted strictly by (from, to)
-//	users    per user: u32 count + i32 action ids, strictly ascending
-//	shards   per action: u32 rowCount, u32 entryTotal (sum of the row
-//	         entry counts, letting the reader allocate exactly once);
-//	         per row: i32 influencer id (strictly ascending), u32
-//	         entryCount >= 1, then (i32 influenced id strictly
-//	         ascending, f64 credit) cells
-//	prefix   (version >= 2) u32 seed count (0 = none), then per seed:
-//	         u32 node id (each unique, in range), f64 marginal gain
-//	         (finite), u64 cumulative gain-evaluation count
-//	         (non-decreasing) — a computed CELF seed prefix, so a restart
-//	         serves any /seeds?k up to the stored length without running
-//	         selection at all
-//	footer   u32 CRC-32 (IEEE) of every preceding byte
+//	magic     8 bytes "CREDSNAP"
+//	version   u32 (currently 3)
+//	lineage   dataset name (u32 len + bytes), u32 numUsers, u32 numActions,
+//	          u64 graphHash, u64 logHash (word-folded FNV over the scanned
+//	          prefix; see HashGraph / HashLogPrefix)
+//	params    f64 lambda; u8 credit tag (0 simple, 1 time-aware);
+//	          time-aware: u32 inflLen + f64s, u32 tauCount +
+//	          (i32 from, i32 to, f64 tau) sorted strictly by (from, to)
+//	users     per user: u32 count + i32 action ids, strictly ascending
+//	prefix    u32 seed count (0 = none), then per seed: u32 node id (each
+//	          unique, in range), f64 marginal gain (finite), u64 cumulative
+//	          gain-evaluation count (non-decreasing) — a computed CELF seed
+//	          prefix, so a restart serves any /seeds?k up to the stored
+//	          length without running selection at all
+//	hdrCRC    u32 CRC-32 (IEEE) of every preceding byte — the slice of the
+//	          file a mapped open trusts before the structural walk
+//	pad       0–7 zero bytes so the base section starts 8-aligned
+//	base      the frozen shards, fixed-width and directly addressable when
+//	          the file is memory-mapped (every offset relative to the base
+//	          section start, every record 8-aligned):
+//	            offsets   per action: u64 block offset (canonical: blocks
+//	                      contiguous, in action order, starting right after
+//	                      this table)
+//	            block     u64 rowCount; per row a 16-byte directory record
+//	                      (i32 influencer id strictly ascending, u32
+//	                      cellCount >= 1, u64 cell offset — canonical:
+//	                      cells contiguous, row-major, right after the
+//	                      directory); then the cells, 16 bytes each
+//	                      (i32 influenced id strictly ascending, u32 zero
+//	                      padding, f64 credit bits) — exactly the in-memory
+//	                      ucEntry layout, so a mapped shard aliases them
+//	                      in place (mapped.go)
+//	footer    u32 CRC-32 (IEEE) of every preceding byte
 //
-// Only the row-major half of each shard is stored; the column mirror is
-// rebuilt deterministically on load, as are the Au normalizers (the length
-// of each user's action list). Strict ordering makes the encoding of a
+// Version-2 files (12-byte packed cells, no offset tables, prefix after
+// the shards, no header CRC) and version-1 files (version 2 minus the
+// seed-prefix section) are still read. Only the row-major half of each
+// shard is stored; the column mirror is rebuilt deterministically on load,
+// as are the Au normalizers (the length of each user's action list).
+// Strict ordering plus the canonical offset rule make the encoding of a
 // given engine unique: saving a loaded engine reproduces the file byte for
-// byte (a version-1 file re-saves as the equivalent version-2 file with an
-// empty prefix section).
+// byte (older versions re-save as the equivalent version-3 file).
 
 const (
 	snapshotMagic   = "CREDSNAP"
-	snapshotVersion = 2
+	snapshotVersion = 3
+
+	// snapshotVersionNoBase is the pre-mmap format: packed 12-byte cells,
+	// no offset tables, no header CRC. Still read, never written.
+	snapshotVersionNoBase = 2
 
 	// snapshotVersionNoPrefix is the pre-seed-prefix format, still
 	// accepted by the reader for files written before the section existed.
@@ -188,9 +205,11 @@ func IsSnapshotHeader(p []byte) bool {
 }
 
 // snapWriter wraps an output stream with little-endian encoding helpers, a
-// running CRC, and sticky error handling.
+// running CRC, a written-byte counter (the version-3 base section must
+// start 8-aligned), and sticky error handling.
 type snapWriter struct {
 	w   io.Writer
+	n   int64
 	crc uint32
 	err error
 	buf []byte
@@ -201,6 +220,7 @@ func (sw *snapWriter) bytes(p []byte) {
 		return
 	}
 	sw.crc = crc32.Update(sw.crc, crc32.IEEETable, p)
+	sw.n += int64(len(p))
 	_, sw.err = sw.w.Write(p)
 }
 
@@ -235,19 +255,28 @@ func (sw *snapWriter) i32s(vs []int32) {
 	sw.bytes(b)
 }
 
+// footer writes the CRC of everything above, raw (not through sw.bytes) so
+// it does not fold into itself.
+func (sw *snapWriter) footer() {
+	if sw.err == nil {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], sw.crc)
+		_, sw.err = sw.w.Write(b[:])
+	}
+}
+
 // WriteSnapshot serializes the engine and its lineage in the binary
 // snapshot format, with no seed prefix. See WriteSnapshotPrefix.
 func (e *Engine) WriteSnapshot(w io.Writer, lin Lineage) error {
 	return e.WriteSnapshotPrefix(w, lin, nil)
 }
 
-// WriteSnapshotPrefix serializes the engine, its lineage, and an optional
-// computed seed prefix in the binary snapshot format. The engine must not
-// have committed seeds (a snapshot restores the raw per-action credit
-// structure, which Add destructively restricts to V-S; the prefix is
-// stored as data precisely so the engine itself stays unrestricted), and
-// the lineage must describe exactly the log the engine has scanned.
-func (e *Engine) WriteSnapshotPrefix(w io.Writer, lin Lineage, prefix *SeedPrefix) error {
+// checkSnapshotArgs enforces the shared writer preconditions. The engine
+// must not have committed seeds (a snapshot restores the raw per-action
+// credit structure, which Add destructively restricts to V-S; the prefix
+// is stored as data precisely so the engine itself stays unrestricted),
+// and the lineage must describe exactly the log the engine has scanned.
+func (e *Engine) checkSnapshotArgs(lin Lineage, prefix *SeedPrefix) error {
 	if len(e.seeds) > 0 {
 		return errors.New("core: cannot snapshot an engine with committed seeds")
 	}
@@ -265,10 +294,14 @@ func (e *Engine) WriteSnapshotPrefix(w io.Writer, lin Lineage, prefix *SeedPrefi
 			return err
 		}
 	}
-	bw := bufio.NewWriterSize(w, 1<<20)
-	sw := &snapWriter{w: bw}
+	return nil
+}
+
+// writeSnapshotHeader emits the sections shared by every version: magic,
+// version word, lineage, params, and the per-user action lists.
+func writeSnapshotHeader(sw *snapWriter, e *Engine, lin Lineage, version uint32) error {
 	sw.bytes([]byte(snapshotMagic))
-	sw.u32(snapshotVersion)
+	sw.u32(version)
 
 	sw.str(lin.Dataset)
 	sw.u32(uint32(lin.NumUsers))
@@ -310,17 +343,116 @@ func (e *Engine) WriteSnapshotPrefix(w io.Writer, lin Lineage, prefix *SeedPrefi
 		sw.u32(uint32(len(e.actionsOf[u])))
 		sw.i32s(e.actionsOf[u])
 	}
+	return nil
+}
 
-	for _, ua := range e.uc {
-		sw.u32(uint32(len(ua.rowKey)))
-		total := 0
-		for _, row := range ua.rows {
-			total += len(row)
+// writeSeedPrefixSection emits the seed-prefix section (count 0 = none).
+func writeSeedPrefixSection(sw *snapWriter, prefix *SeedPrefix) {
+	if prefix == nil {
+		sw.u32(0)
+		return
+	}
+	sw.u32(uint32(len(prefix.Seeds)))
+	for i, x := range prefix.Seeds {
+		sw.u32(uint32(x))
+		sw.f64(prefix.Gains[i])
+		sw.u64(uint64(prefix.LookupsAt[i]))
+	}
+}
+
+// WriteSnapshotPrefix serializes the engine, its lineage, and an optional
+// computed seed prefix in the current (version 3) binary snapshot format.
+// The base section is written in its canonical mapped-addressable layout:
+// contiguous in-order blocks behind a per-action offset table, 16-byte
+// directory records and cells, everything 8-aligned — so the very bytes
+// this writer emits are what OpenSnapshotMapped later serves queries from
+// without parsing.
+func (e *Engine) WriteSnapshotPrefix(w io.Writer, lin Lineage, prefix *SeedPrefix) error {
+	if err := e.checkSnapshotArgs(lin, prefix); err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	sw := &snapWriter{w: bw}
+	if err := writeSnapshotHeader(sw, e, lin, snapshotVersion); err != nil {
+		return err
+	}
+	writeSeedPrefixSection(sw, prefix)
+
+	// Header CRC over everything written so far, then zero padding so the
+	// base section starts 8-aligned. Capture the CRC before writing it —
+	// sw.u32 folds what it writes into the running (footer) CRC.
+	headerCRC := sw.crc
+	sw.u32(headerCRC)
+	if pad := int((8 - sw.n%8) % 8); pad > 0 {
+		sw.bytes(make([]byte, pad))
+	}
+
+	// Offset table: canonical positions, blocks contiguous in action order.
+	off := uint64(len(e.uc)) * 8
+	for _, st := range e.uc {
+		sw.u64(off)
+		off += 8 + (uint64(st.numRows())+uint64(st.entryCount()))*16
+	}
+
+	// Blocks: row directory then the cells, both in canonical order with
+	// canonical offsets (base-relative).
+	cur := uint64(len(e.uc)) * 8
+	for _, st := range e.uc {
+		nRows := st.numRows()
+		sw.u64(uint64(nRows))
+		entOff := cur + 8 + uint64(nRows)*16
+		for ri := 0; ri < nRows; ri++ {
+			sw.u32(uint32(st.rowKeyAt(ri)))
+			rowLen := len(st.rowAt(ri))
+			sw.u32(uint32(rowLen))
+			sw.u64(entOff)
+			entOff += uint64(rowLen) * 16
 		}
-		sw.u32(uint32(total))
-		for ri, v := range ua.rowKey {
-			row := ua.rows[ri]
-			sw.u32(uint32(v))
+		for ri := 0; ri < nRows; ri++ {
+			row := st.rowAt(ri)
+			need := len(row) * 16
+			if cap(sw.buf) < need {
+				sw.buf = make([]byte, need)
+			}
+			b := sw.buf[:need]
+			for i, en := range row {
+				binary.LittleEndian.PutUint32(b[i*16:], uint32(en.u))
+				binary.LittleEndian.PutUint32(b[i*16+4:], 0)
+				binary.LittleEndian.PutUint64(b[i*16+8:], math.Float64bits(en.c))
+			}
+			sw.bytes(b)
+		}
+		cur = entOff
+	}
+
+	sw.footer()
+	if sw.err != nil {
+		return fmt.Errorf("core: write snapshot: %w", sw.err)
+	}
+	return bw.Flush()
+}
+
+// writeSnapshotV2 writes the legacy version-2 format (packed 12-byte
+// cells, prefix after the shards, no header CRC or base section). It is
+// never used in production — the compatibility tests need a source of
+// genuine old-format files now that WriteSnapshotPrefix emits version 3.
+func writeSnapshotV2(w io.Writer, e *Engine, lin Lineage, prefix *SeedPrefix) error {
+	if err := e.checkSnapshotArgs(lin, prefix); err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	sw := &snapWriter{w: bw}
+	if err := writeSnapshotHeader(sw, e, lin, snapshotVersionNoBase); err != nil {
+		return err
+	}
+
+	for _, st := range e.uc {
+		nRows := st.numRows()
+		sw.u32(uint32(nRows))
+		sw.u32(uint32(st.entryCount()))
+		for ri := 0; ri < nRows; ri++ {
+			row := st.rowAt(ri)
+			sw.u32(uint32(st.rowKeyAt(ri)))
 			sw.u32(uint32(len(row)))
 			need := len(row) * 12
 			if cap(sw.buf) < need {
@@ -335,24 +467,8 @@ func (e *Engine) WriteSnapshotPrefix(w io.Writer, lin Lineage, prefix *SeedPrefi
 		}
 	}
 
-	if prefix == nil {
-		sw.u32(0)
-	} else {
-		sw.u32(uint32(len(prefix.Seeds)))
-		for i, x := range prefix.Seeds {
-			sw.u32(uint32(x))
-			sw.f64(prefix.Gains[i])
-			sw.u64(uint64(prefix.LookupsAt[i]))
-		}
-	}
-
-	// The CRC footer covers everything above; it is written raw (not
-	// through sw.bytes) so it does not fold into itself.
-	if sw.err == nil {
-		var b [4]byte
-		binary.LittleEndian.PutUint32(b[:], sw.crc)
-		_, sw.err = bw.Write(b[:])
-	}
+	writeSeedPrefixSection(sw, prefix)
+	sw.footer()
 	if sw.err != nil {
 		return fmt.Errorf("core: write snapshot: %w", sw.err)
 	}
@@ -441,48 +557,10 @@ func (sc *snapCursor) str(what string) string {
 	return string(sc.take(int(n)))
 }
 
-// ReadSnapshot parses a snapshot written by WriteSnapshot, discarding any
-// stored seed prefix. See ReadSnapshotPrefix.
-func ReadSnapshot(r io.Reader) (*Engine, Lineage, error) {
-	e, lin, _, err := ReadSnapshotPrefix(r)
-	return e, lin, err
-}
-
-// ReadSnapshotPrefix parses a snapshot written by WriteSnapshotPrefix and
-// rebuilds the engine: the column mirror of every shard and the Au
-// normalizers are reconstructed deterministically from the stored rows.
-// The returned engine is frozen (every shard shared) with the full
-// scanned range as its base, has no committed seeds, and is bit-for-bit
-// equivalent to the saved engine; the returned prefix is the stored seed
-// prefix, or nil when the file carries none (always for version-1 files).
-// Corrupt or truncated input — bad magic, impossible counts, unordered
-// keys, a CRC mismatch, trailing garbage, a malformed prefix — is
-// rejected with an error, never a panic or an unbounded allocation.
-func ReadSnapshotPrefix(r io.Reader) (*Engine, Lineage, *SeedPrefix, error) {
+// parseSnapshotHeader parses the lineage and params sections (the cursor
+// must sit just past the version word). Shared by every reader version.
+func parseSnapshotHeader(sc *snapCursor) (Lineage, float64, CreditModel, error) {
 	var lin Lineage
-	data, err := io.ReadAll(r)
-	if err != nil {
-		return nil, lin, nil, fmt.Errorf("core: snapshot: read: %w", err)
-	}
-	if len(data) < len(snapshotMagic)+4+4 {
-		return nil, lin, nil, errors.New("core: snapshot: truncated input: shorter than the fixed header")
-	}
-	if !IsSnapshotHeader(data) {
-		return nil, lin, nil, errors.New("core: snapshot: bad magic (not a snapshot file)")
-	}
-	// Integrity first: the CRC footer covers the whole payload, so every
-	// later structural check runs on bytes known to be exactly what
-	// WriteSnapshotPrefix produced (or the file is rejected here, wholesale).
-	payload, footer := data[:len(data)-4], data[len(data)-4:]
-	if got, want := binary.LittleEndian.Uint32(footer), crc32.ChecksumIEEE(payload); got != want {
-		return nil, lin, nil, fmt.Errorf("core: snapshot: checksum mismatch (file %08x, computed %08x): corrupt or truncated input", got, want)
-	}
-
-	sc := &snapCursor{b: payload, off: len(snapshotMagic)}
-	version := sc.u32()
-	if sc.err == nil && version != snapshotVersion && version != snapshotVersionNoPrefix {
-		return nil, lin, nil, fmt.Errorf("core: snapshot: unsupported version %d (have %d)", version, snapshotVersion)
-	}
 	lin.Dataset = sc.str("dataset name")
 	lin.NumUsers = sc.count("user", 4)
 	lin.NumActions = sc.count("action", 4)
@@ -498,8 +576,8 @@ func ReadSnapshotPrefix(r io.Reader) (*Engine, Lineage, *SeedPrefix, error) {
 	case tag == creditTagTimeAware:
 		ta := &TimeAwareCredit{}
 		inflLen := sc.count("influenceability", 8)
-		if inflLen < lin.NumUsers {
-			return nil, lin, nil, fmt.Errorf("core: snapshot: influenceability table covers %d users, lineage declares %d", inflLen, lin.NumUsers)
+		if sc.err == nil && inflLen < lin.NumUsers {
+			return lin, 0, nil, fmt.Errorf("core: snapshot: influenceability table covers %d users, lineage declares %d", inflLen, lin.NumUsers)
 		}
 		ta.infl = make([]float64, inflLen)
 		for i := range ta.infl {
@@ -509,42 +587,51 @@ func ReadSnapshotPrefix(r io.Reader) (*Engine, Lineage, *SeedPrefix, error) {
 		ta.tau = make(map[graph.Edge]float64, tauCount)
 		prev := graph.Edge{From: -1, To: -1}
 		for i := 0; i < tauCount && sc.err == nil; i++ {
-			e := graph.Edge{From: graph.NodeID(sc.u32()), To: graph.NodeID(sc.u32())}
+			ed := graph.Edge{From: graph.NodeID(sc.u32()), To: graph.NodeID(sc.u32())}
 			tau := sc.f64()
 			if sc.err != nil {
 				break
 			}
-			if e.From < 0 || e.To < 0 {
-				sc.fail("negative tau edge (%d,%d)", e.From, e.To)
+			if ed.From < 0 || ed.To < 0 {
+				sc.fail("negative tau edge (%d,%d)", ed.From, ed.To)
 				break
 			}
-			if e.From < prev.From || (e.From == prev.From && e.To <= prev.To) {
-				sc.fail("tau records out of order at edge (%d,%d)", e.From, e.To)
+			if ed.From < prev.From || (ed.From == prev.From && ed.To <= prev.To) {
+				sc.fail("tau records out of order at edge (%d,%d)", ed.From, ed.To)
 				break
 			}
-			prev = e
-			ta.tau[e] = tau
+			prev = ed
+			ta.tau[ed] = tau
 		}
 		credit = ta
 	default:
-		return nil, lin, nil, fmt.Errorf("core: snapshot: unknown credit model tag %d", tag)
+		return lin, 0, nil, fmt.Errorf("core: snapshot: unknown credit model tag %d", tag)
 	}
 	if sc.err != nil {
-		return nil, lin, nil, sc.err
+		return lin, 0, nil, sc.err
 	}
+	return lin, lambda, credit, nil
+}
 
-	e := &Engine{
+// newSnapshotEngine allocates the skeleton every reader fills: an engine
+// whose base is the full scanned range, with every shard shared (frozen).
+func newSnapshotEngine(lin Lineage, lambda float64, credit CreditModel) *Engine {
+	return &Engine{
 		numUsers:    lin.NumUsers,
 		au:          make([]int32, lin.NumUsers),
 		actionsOf:   make([][]int32, lin.NumUsers),
-		uc:          make([]*ucAction, 0, lin.NumActions),
+		uc:          make([]rowStore, 0, lin.NumActions),
 		owned:       make([]bool, lin.NumActions),
 		sc:          make([]map[int32]float64, lin.NumActions),
 		lambda:      lambda,
 		credit:      credit,
 		baseActions: lin.NumActions,
 	}
+}
 
+// parseUsers parses the per-user action lists into e.actionsOf and the Au
+// normalizers.
+func parseUsers(sc *snapCursor, lin Lineage, e *Engine) error {
 	for u := 0; u < lin.NumUsers && sc.err == nil; u++ {
 		n := sc.count("user action", 4)
 		row := make([]int32, n)
@@ -567,6 +654,108 @@ func ReadSnapshotPrefix(r io.Reader) (*Engine, Lineage, *SeedPrefix, error) {
 		}
 		e.actionsOf[u] = row
 		e.au[u] = int32(n)
+	}
+	return sc.err
+}
+
+// parseSeedPrefix parses the seed-prefix section. The structural rules
+// match SeedPrefix.Validate, so the on-disk encoding of a given prefix is
+// unique and a re-save reproduces the section byte for byte.
+func parseSeedPrefix(sc *snapCursor, numUsers int) (*SeedPrefix, error) {
+	n := sc.count("seed prefix", 20)
+	if n == 0 || sc.err != nil {
+		return nil, sc.err
+	}
+	p := &SeedPrefix{
+		Seeds:     make([]graph.NodeID, 0, n),
+		Gains:     make([]float64, 0, n),
+		LookupsAt: make([]int64, 0, n),
+	}
+	for i := 0; i < n && sc.err == nil; i++ {
+		node := graph.NodeID(sc.u32())
+		gain := sc.f64()
+		lookups := sc.u64()
+		if sc.err != nil {
+			break
+		}
+		if lookups > math.MaxInt64 {
+			sc.fail("seed prefix lookup count %d at %d overflows", lookups, i)
+			break
+		}
+		p.Seeds = append(p.Seeds, node)
+		p.Gains = append(p.Gains, gain)
+		p.LookupsAt = append(p.LookupsAt, int64(lookups))
+	}
+	if sc.err == nil {
+		if err := p.Validate(numUsers); err != nil {
+			sc.err = err
+		}
+	}
+	return p, sc.err
+}
+
+// ReadSnapshot parses a snapshot written by WriteSnapshot, discarding any
+// stored seed prefix. See ReadSnapshotPrefix.
+func ReadSnapshot(r io.Reader) (*Engine, Lineage, error) {
+	e, lin, _, err := ReadSnapshotPrefix(r)
+	return e, lin, err
+}
+
+// ReadSnapshotPrefix parses a snapshot written by WriteSnapshotPrefix and
+// rebuilds the engine heap-resident: the column mirror of every shard and
+// the Au normalizers are reconstructed deterministically from the stored
+// rows. Any supported version (1 through 3) is accepted. The returned
+// engine is frozen (every shard shared) with the full scanned range as its
+// base, has no committed seeds, and is bit-for-bit equivalent to the saved
+// engine; the returned prefix is the stored seed prefix, or nil when the
+// file carries none (always for version-1 files). Corrupt or truncated
+// input — bad magic, impossible counts, unordered keys, a CRC mismatch,
+// trailing garbage, a malformed prefix — is rejected with an error, never
+// a panic or an unbounded allocation. For serving straight off the file
+// without this parse, see OpenSnapshotMapped.
+func ReadSnapshotPrefix(r io.Reader) (*Engine, Lineage, *SeedPrefix, error) {
+	var lin Lineage
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, lin, nil, fmt.Errorf("core: snapshot: read: %w", err)
+	}
+	if len(data) < len(snapshotMagic)+4+4 {
+		return nil, lin, nil, errors.New("core: snapshot: truncated input: shorter than the fixed header")
+	}
+	if !IsSnapshotHeader(data) {
+		return nil, lin, nil, errors.New("core: snapshot: bad magic (not a snapshot file)")
+	}
+	// Integrity first: the CRC footer covers the whole payload, so every
+	// later structural check runs on bytes known to be exactly what the
+	// writer produced (or the file is rejected here, wholesale).
+	payload, footer := data[:len(data)-4], data[len(data)-4:]
+	if got, want := binary.LittleEndian.Uint32(footer), crc32.ChecksumIEEE(payload); got != want {
+		return nil, lin, nil, fmt.Errorf("core: snapshot: checksum mismatch (file %08x, computed %08x): corrupt or truncated input", got, want)
+	}
+
+	version := binary.LittleEndian.Uint32(data[len(snapshotMagic):])
+	switch version {
+	case snapshotVersion:
+		return parseSnapshotV3(data, false)
+	case snapshotVersionNoBase, snapshotVersionNoPrefix:
+		return readLegacySnapshot(payload, version)
+	default:
+		return nil, lin, nil, fmt.Errorf("core: snapshot: unsupported version %d (supported: 1 through %d)", version, snapshotVersion)
+	}
+}
+
+// readLegacySnapshot parses the version-1/2 payload (footer already
+// verified and stripped): shards as packed 12-byte cells, then — for
+// version 2 — the seed-prefix section.
+func readLegacySnapshot(payload []byte, version uint32) (*Engine, Lineage, *SeedPrefix, error) {
+	sc := &snapCursor{b: payload, off: len(snapshotMagic) + 4}
+	lin, lambda, credit, err := parseSnapshotHeader(sc)
+	if err != nil {
+		return nil, lin, nil, err
+	}
+	e := newSnapshotEngine(lin, lambda, credit)
+	if err := parseUsers(sc, lin, e); err != nil {
+		return nil, lin, nil, err
 	}
 
 	// Scratch for the column-mirror rebuild, reused across shards: per-user
@@ -657,30 +846,7 @@ func ReadSnapshotPrefix(r io.Reader) (*Engine, Lineage, *SeedPrefix, error) {
 			off += n
 		}
 		e.entries += int64(len(flat))
-
-		// Column mirror: influenced ids sorted, and each column's
-		// influencer list accumulates in ascending order because the outer
-		// row walk is ascending.
-		slices.Sort(touched)
-		ua.colKey = touched
-		ua.cols = make([][]int32, len(touched))
-		colBack := make([]int32, len(flat))
-		off = 0
-		for i, u := range touched {
-			n := int(colSize[u])
-			ua.cols[i] = colBack[off : off : off+n]
-			colPos[u] = int32(i)
-			off += n
-		}
-		for ri, v := range ua.rowKey {
-			for _, en := range ua.rows[ri] {
-				ci := colPos[en.u]
-				ua.cols[ci] = append(ua.cols[ci], v)
-			}
-		}
-		for _, u := range touched {
-			colSize[u] = 0
-		}
+		fillColumns(ua, touched, colSize, colPos)
 		e.uc = append(e.uc, ua)
 	}
 	if sc.err != nil {
@@ -688,46 +854,86 @@ func ReadSnapshotPrefix(r io.Reader) (*Engine, Lineage, *SeedPrefix, error) {
 	}
 
 	// Seed-prefix section (version >= 2 only); version-1 files end at the
-	// shards. The structural rules match SeedPrefix.validate, so the
-	// on-disk encoding of a given prefix is unique and a re-save
-	// reproduces the section byte for byte.
+	// shards.
 	var prefix *SeedPrefix
-	if version >= snapshotVersion {
-		n := sc.count("seed prefix", 20)
-		if n > 0 && sc.err == nil {
-			p := &SeedPrefix{
-				Seeds:     make([]graph.NodeID, 0, n),
-				Gains:     make([]float64, 0, n),
-				LookupsAt: make([]int64, 0, n),
-			}
-			for i := 0; i < n && sc.err == nil; i++ {
-				node := graph.NodeID(sc.u32())
-				gain := sc.f64()
-				lookups := sc.u64()
-				if sc.err != nil {
-					break
-				}
-				if lookups > math.MaxInt64 {
-					sc.fail("seed prefix lookup count %d at %d overflows", lookups, i)
-					break
-				}
-				p.Seeds = append(p.Seeds, node)
-				p.Gains = append(p.Gains, gain)
-				p.LookupsAt = append(p.LookupsAt, int64(lookups))
-			}
-			if sc.err == nil {
-				if err := p.Validate(lin.NumUsers); err != nil {
-					sc.err = err
-				}
-			}
-			prefix = p
+	if version >= snapshotVersionNoBase {
+		prefix, err = parseSeedPrefix(sc, lin.NumUsers)
+		if err != nil {
+			return nil, lin, nil, err
 		}
-	}
-	if sc.err != nil {
-		return nil, lin, nil, sc.err
 	}
 	if sc.remaining() != 0 {
 		return nil, lin, nil, errors.New("core: snapshot: trailing data after payload")
 	}
 	return e, lin, prefix, nil
+}
+
+// fillColumns rebuilds ua's column mirror from its finished rows using the
+// shared universe-sized scratch: colSize holds each touched user's column
+// length on entry and is zeroed again before returning; colPos is pure
+// scratch. Influenced ids end up sorted, and each column's influencer list
+// accumulates in ascending order because the outer row walk is ascending.
+func fillColumns(ua *ucAction, touched []int32, colSize, colPos []int32) {
+	slices.Sort(touched)
+	ua.colKey = touched
+	ua.cols = make([][]int32, len(touched))
+	total := 0
+	for _, u := range touched {
+		total += int(colSize[u])
+	}
+	colBack := make([]int32, total)
+	off := 0
+	for i, u := range touched {
+		n := int(colSize[u])
+		ua.cols[i] = colBack[off : off : off+n]
+		colPos[u] = int32(i)
+		off += n
+	}
+	for ri, v := range ua.rowKey {
+		for _, en := range ua.rows[ri] {
+			ci := colPos[en.u]
+			ua.cols[ci] = append(ua.cols[ci], v)
+		}
+	}
+	for _, u := range touched {
+		colSize[u] = 0
+	}
+}
+
+// decodeHeapShards decodes validated version-3 extents into heap ucActions
+// with rebuilt column mirrors — the heap half of the version-3 read path,
+// also the fallback when a mapped open runs on a platform whose memory
+// layout cannot alias the base section. validateBaseSection has already
+// vetted every offset, key, and id, so the walk here is unchecked.
+func decodeHeapShards(e *Engine, payload []byte, extents []baseExtent, numUsers int) {
+	colSize := make([]int32, numUsers)
+	colPos := make([]int32, numUsers)
+	for _, ext := range extents {
+		ua := &ucAction{
+			rowKey: make([]int32, ext.rowCount),
+			rows:   make([][]ucEntry, ext.rowCount),
+		}
+		flat := make([]ucEntry, 0, ext.entCount)
+		var touched []int32
+		off := ext.entStart
+		for ri := 0; ri < ext.rowCount; ri++ {
+			rec := payload[ext.dirStart+ri*16:]
+			ua.rowKey[ri] = int32(binary.LittleEndian.Uint32(rec))
+			n := int(binary.LittleEndian.Uint32(rec[4:]))
+			start := len(flat)
+			for c := 0; c < n; c++ {
+				cell := payload[off:]
+				u := int32(binary.LittleEndian.Uint32(cell))
+				if colSize[u] == 0 {
+					touched = append(touched, u)
+				}
+				colSize[u]++
+				flat = append(flat, ucEntry{u: u, c: math.Float64frombits(binary.LittleEndian.Uint64(cell[8:]))})
+				off += 16
+			}
+			ua.rows[ri] = flat[start:len(flat):len(flat)]
+		}
+		fillColumns(ua, touched, colSize, colPos)
+		e.uc = append(e.uc, ua)
+	}
 }

@@ -52,28 +52,66 @@ func FuzzReadSnapshot(f *testing.F) {
 	}
 	f.Add(simple.Bytes())
 
-	// Seed 4: version-1 layout (version-2 minus the prefix section).
-	data := plain.Bytes()
-	v1 := append([]byte(nil), data[:len(data)-8]...)
-	binary.LittleEndian.PutUint32(v1[len(snapshotMagic):], snapshotVersionNoPrefix)
-	var crc [4]byte
-	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(v1))
-	f.Add(append(v1, crc[:]...))
+	// Seed 4: legacy version-2 layout, with a prefix.
+	var legacy bytes.Buffer
+	if err := writeSnapshotV2(&legacy, e, lin, prefix); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(legacy.Bytes())
 
-	// Seeds 5+: truncations and CRC-refreshed corruptions. Re-stamping the
-	// footer after a flip steers the fuzzer straight past the checksum to
-	// the structural validators (count bounds, ordering, prefix rules).
-	pdata := prefixed.Bytes()
-	f.Add(pdata[:len(pdata)/2])
-	f.Add(pdata[:len(snapshotMagic)+4])
-	for _, off := range []int{9, 20, 60, len(pdata) - 30, len(pdata) - 12} {
-		if off < 0 || off >= len(pdata)-4 {
-			continue
+	// Seed 5: version-1 layout (version-2 minus the prefix section).
+	var legacyPlain bytes.Buffer
+	if err := writeSnapshotV2(&legacyPlain, e, lin, nil); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(craftVersion1(legacyPlain.Bytes()))
+
+	// Seeds 6+: truncations and CRC-refreshed corruptions, against both the
+	// version-3 and the legacy layout. Re-stamping the footer after a flip
+	// steers the fuzzer straight past the checksum to the structural
+	// validators (count bounds, ordering, offset-table canonicality, prefix
+	// rules).
+	for _, pdata := range [][]byte{prefixed.Bytes(), legacy.Bytes()} {
+		f.Add(pdata[:len(pdata)/2])
+		f.Add(pdata[:len(snapshotMagic)+4])
+		for _, off := range []int{9, 20, 60, len(pdata) - 30, len(pdata) - 12} {
+			if off < 0 || off >= len(pdata)-4 {
+				continue
+			}
+			corrupt := append([]byte(nil), pdata...)
+			corrupt[off] ^= 0xff
+			binary.LittleEndian.PutUint32(corrupt[len(corrupt)-4:], crc32.ChecksumIEEE(corrupt[:len(corrupt)-4]))
+			f.Add(corrupt)
 		}
-		corrupt := append([]byte(nil), pdata...)
-		corrupt[off] ^= 0xff
-		binary.LittleEndian.PutUint32(corrupt[len(corrupt)-4:], crc32.ChecksumIEEE(corrupt[:len(corrupt)-4]))
-		f.Add(corrupt)
+	}
+
+	// Seeds: version-3 base-section abuse — truncated and misaligned offset
+	// tables, CRC-refreshed so only the canonical-layout validators can
+	// reject them. The base section sits at a computable distance from the
+	// file end: footer, blocks, offset table.
+	v3 := prefixed.Bytes()
+	baseSize := e.NumActions() * 8
+	for _, st := range e.uc {
+		baseSize += 8 + (st.numRows()+int(st.entryCount()))*16
+	}
+	if baseOff := len(v3) - 4 - baseSize; baseOff > 0 {
+		restamp := func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[len(b)-4:], crc32.ChecksumIEEE(b[:len(b)-4]))
+			return b
+		}
+		// Offset table truncated mid-entry.
+		f.Add(restamp(append([]byte(nil), v3[:baseOff+4]...)))
+		// First block offset shifted off the canonical position.
+		shifted := append([]byte(nil), v3...)
+		binary.LittleEndian.PutUint64(shifted[baseOff:], binary.LittleEndian.Uint64(shifted[baseOff:])+8)
+		f.Add(restamp(shifted))
+		// A row's cell offset nudged out of the canonical row-major order.
+		rowdir := append([]byte(nil), v3...)
+		dirOff := baseOff + lin.NumActions*8 + 8 + 8 // first row record's offset field
+		if dirOff+8 <= len(rowdir)-4 {
+			binary.LittleEndian.PutUint64(rowdir[dirOff:], binary.LittleEndian.Uint64(rowdir[dirOff:])^16)
+			f.Add(restamp(rowdir))
+		}
 	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -93,7 +131,7 @@ func FuzzReadSnapshot(f *testing.F) {
 		}
 		version := binary.LittleEndian.Uint32(data[len(snapshotMagic):])
 		if version != snapshotVersion {
-			return // v1 input re-encodes as v2; bytes legitimately differ
+			return // v1/v2 input re-encodes as v3; bytes legitimately differ
 		}
 		var out bytes.Buffer
 		if err := eng.WriteSnapshotPrefix(&out, lin, pfx); err != nil {

@@ -386,21 +386,27 @@ func TestSnapshotSeedPrefixRoundTrip(t *testing.T) {
 	}
 }
 
+// craftVersion1 rewrites legacy version-2 bytes as the version-1 layout:
+// patch the version field, drop the 4-byte empty prefix section before the
+// footer, recompute the CRC. The input must carry no seed prefix.
+func craftVersion1(v2 []byte) []byte {
+	v1 := append([]byte(nil), v2[:len(v2)-8]...)
+	binary.LittleEndian.PutUint32(v1[len(snapshotMagic):], snapshotVersionNoPrefix)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(v1))
+	return append(v1, crc[:]...)
+}
+
 // TestSnapshotVersion1StillReads pins backward compatibility: a file in
 // the pre-prefix version-1 layout (the version-2 layout minus the prefix
 // section) still loads, with a nil prefix.
 func TestSnapshotVersion1StillReads(t *testing.T) {
 	_, _, e, lin := snapshotInstance(t, 89, 30, 16)
-	data := writeSnapshot(t, e, lin)
-	// Rewrite as version 1: patch the version field, drop the 4-byte empty
-	// prefix section before the footer, recompute the CRC.
-	v1 := append([]byte(nil), data[:len(data)-8]...)
-	binary.LittleEndian.PutUint32(v1[len(snapshotMagic):], snapshotVersionNoPrefix)
-	var crc [4]byte
-	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(v1))
-	v1 = append(v1, crc[:]...)
-
-	back, backLin, prefix, err := ReadSnapshotPrefix(bytes.NewReader(v1))
+	var buf bytes.Buffer
+	if err := writeSnapshotV2(&buf, e, lin, nil); err != nil {
+		t.Fatalf("writeSnapshotV2: %v", err)
+	}
+	back, backLin, prefix, err := ReadSnapshotPrefix(bytes.NewReader(craftVersion1(buf.Bytes())))
 	if err != nil {
 		t.Fatalf("version-1 read: %v", err)
 	}
@@ -411,6 +417,59 @@ func TestSnapshotVersion1StillReads(t *testing.T) {
 		t.Fatalf("lineage %+v, want %+v", backLin, lin)
 	}
 	requireEnginesBitIdentical(t, e, back, 6)
+}
+
+// TestSnapshotVersion2StillReads pins backward compatibility with the
+// pre-mmap version-2 layout (packed 12-byte cells, prefix after the
+// shards, no header CRC or base section): such files still load with
+// their seed prefix intact, and a re-save upgrades them to the version-3
+// file the same engine would write directly.
+func TestSnapshotVersion2StillReads(t *testing.T) {
+	_, _, e, lin := snapshotInstance(t, 89, 30, 16)
+	sel := seedsel.CELF(e.Clone(), 4)
+	prefix := &SeedPrefix{Seeds: sel.Seeds, Gains: sel.Gains, LookupsAt: sel.LookupsAt}
+	var buf bytes.Buffer
+	if err := writeSnapshotV2(&buf, e, lin, prefix); err != nil {
+		t.Fatalf("writeSnapshotV2: %v", err)
+	}
+	v2 := buf.Bytes()
+	if v := binary.LittleEndian.Uint32(v2[len(snapshotMagic):]); v != snapshotVersionNoBase {
+		t.Fatalf("legacy writer stamped version %d, want %d", v, snapshotVersionNoBase)
+	}
+
+	back, backLin, backPrefix, err := ReadSnapshotPrefix(bytes.NewReader(v2))
+	if err != nil {
+		t.Fatalf("version-2 read: %v", err)
+	}
+	if backLin != lin {
+		t.Fatalf("lineage %+v, want %+v", backLin, lin)
+	}
+	if backPrefix == nil {
+		t.Fatal("version-2 file lost its seed prefix")
+	}
+	for i := range prefix.Seeds {
+		if backPrefix.Seeds[i] != prefix.Seeds[i] || backPrefix.Gains[i] != prefix.Gains[i] ||
+			backPrefix.LookupsAt[i] != prefix.LookupsAt[i] {
+			t.Fatalf("prefix entry %d changed: %+v vs %+v", i, backPrefix, prefix)
+		}
+	}
+	requireEnginesBitIdentical(t, e, back, 6)
+
+	// Re-saving the loaded engine upgrades to version 3, byte-identical to
+	// what the original engine writes directly.
+	var resaved, direct bytes.Buffer
+	if err := back.WriteSnapshotPrefix(&resaved, backLin, backPrefix); err != nil {
+		t.Fatalf("re-save: %v", err)
+	}
+	if err := e.WriteSnapshotPrefix(&direct, lin, prefix); err != nil {
+		t.Fatalf("direct save: %v", err)
+	}
+	if v := binary.LittleEndian.Uint32(resaved.Bytes()[len(snapshotMagic):]); v != snapshotVersion {
+		t.Fatalf("re-save stamped version %d, want %d", v, snapshotVersion)
+	}
+	if !bytes.Equal(resaved.Bytes(), direct.Bytes()) {
+		t.Fatal("version-2 re-save differs from the direct version-3 encoding")
+	}
 }
 
 // TestHashStability pins that the lineage hashes react to content, not

@@ -1,0 +1,176 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"credist"
+	"credist/internal/serve"
+)
+
+// TestServeMmapColdStart walks the out-of-core serving story: checkpoint a
+// learned server, cold-start two more from the file — one parsing it onto
+// the heap, one serving straight off a memory mapping — and require every
+// answer bit-identical between them, the restored seed prefix to cost zero
+// selections, /stats to report the resident split, and a re-checkpoint
+// from the mapped server to reproduce the snapshot file byte for byte.
+func TestServeMmapColdStart(t *testing.T) {
+	dir := t.TempDir()
+	gp, lp := filepath.Join(dir, "d.graph"), filepath.Join(dir, "d.log")
+	if err := credist.SaveDataset(demoDataset(), gp, lp); err != nil {
+		t.Fatalf("SaveDataset: %v", err)
+	}
+
+	// Server A learns from files, computes a seed prefix, and checkpoints.
+	snA, err := serve.Build(serve.Source{GraphPath: gp, LogPath: lp, Lambda: 0.001})
+	if err != nil {
+		t.Fatalf("Build A: %v", err)
+	}
+	hA := serve.New(snA).Handler()
+	var seedsA serve.SeedsResponse
+	getJSON(t, hA, "GET", "/seeds?k=3", "", &seedsA)
+	model1 := filepath.Join(dir, "model1.bin")
+	var cp serve.SnapshotResponse
+	getJSON(t, hA, "POST", "/snapshot", `{"path":"`+model1+`"}`, &cp)
+
+	// Servers H (heap parse) and M (mapped) cold-start from the same file.
+	snH, err := serve.Build(serve.Source{GraphPath: gp, LogPath: lp, ModelPath: model1})
+	if err != nil {
+		t.Fatalf("Build heap: %v", err)
+	}
+	snM, err := serve.Build(serve.Source{GraphPath: gp, LogPath: lp, ModelPath: model1, Mmap: true})
+	if err != nil {
+		t.Fatalf("Build mmap: %v", err)
+	}
+	hH, hM := serve.New(snH).Handler(), serve.New(snM).Handler()
+
+	// /stats must expose the backend and a split that adds up.
+	var st serve.StatsResponse
+	getJSON(t, hM, "GET", "/stats", "", &st)
+	if st.HeapBytes+st.MappedBytes != st.ResidentBytes {
+		t.Errorf("heap %d + mapped %d != resident %d", st.HeapBytes, st.MappedBytes, st.ResidentBytes)
+	}
+	if st.RowStore != snM.RowStoreBackend() {
+		t.Errorf("stats row_store = %q, snapshot says %q", st.RowStore, snM.RowStoreBackend())
+	}
+	if snM.RowStoreBackend() == "mmap" {
+		if st.HeapBytes != 0 || st.MappedBytes == 0 {
+			t.Errorf("mapped cold start reports heap %d / mapped %d bytes", st.HeapBytes, st.MappedBytes)
+		}
+		if !strings.Contains(st.Source, "(mmap)") {
+			t.Errorf("stats source %q does not mark the mapping", st.Source)
+		}
+	}
+	var stH serve.StatsResponse
+	getJSON(t, hH, "GET", "/stats", "", &stH)
+	if stH.RowStore != "heap" || stH.MappedBytes != 0 || stH.HeapBytes != stH.ResidentBytes {
+		t.Errorf("heap cold start reports row_store %q, heap %d / mapped %d / resident %d",
+			stH.RowStore, stH.HeapBytes, stH.MappedBytes, stH.ResidentBytes)
+	}
+
+	// Queries off the mapping are bit-identical to the heap parse.
+	var spH, spM serve.SpreadResponse
+	getJSON(t, hH, "GET", "/spread?seeds=1,2,3", "", &spH)
+	getJSON(t, hM, "GET", "/spread?seeds=1,2,3", "", &spM)
+	if spH.Spread != spM.Spread {
+		t.Errorf("/spread differs across backends: %b vs %b", spH.Spread, spM.Spread)
+	}
+	var gH, gM serve.GainResponse
+	getJSON(t, hH, "GET", "/gain?seeds=1&candidates=4,5,6", "", &gH)
+	getJSON(t, hM, "GET", "/gain?seeds=1&candidates=4,5,6", "", &gM)
+	if !equalFloats(gH.Gains, gM.Gains) {
+		t.Errorf("/gain differs across backends: %v vs %v", gH.Gains, gM.Gains)
+	}
+
+	// The restored prefix serves /seeds with zero selection work, matching
+	// the checkpointing server bit for bit.
+	var seedsM serve.SeedsResponse
+	getJSON(t, hM, "GET", "/seeds?k=3", "", &seedsM)
+	requireSameSelection(t, "mapped restart", seedsA, seedsM)
+	if !seedsM.Cached {
+		t.Error("mapped restart /seeds not served from the restored prefix")
+	}
+	if n := snM.Selections(); n != 0 {
+		t.Errorf("mapped restart ran %d selections for a prefix-covered k, want 0", n)
+	}
+
+	// A checkpoint taken from the mapped server reproduces its source file
+	// byte for byte (the encoding of a given engine is canonical, and the
+	// restored prefix is still exactly the one the file carried).
+	model2 := filepath.Join(dir, "model2.bin")
+	getJSON(t, hM, "POST", "/snapshot", `{"path":"`+model2+`"}`, &cp)
+	b1, err := os.ReadFile(model1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(model2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("mapped server checkpoint differs from its source file: %d vs %d bytes", len(b2), len(b1))
+	}
+
+	// Growing past the prefix promotes written shards to the heap but never
+	// touches the still-shared mapping; the selection stays bit-identical.
+	var grownH, grownM serve.SeedsResponse
+	getJSON(t, hH, "GET", "/seeds?k=5", "", &grownH)
+	getJSON(t, hM, "GET", "/seeds?k=5", "", &grownM)
+	requireSameSelection(t, "growth across backends", grownH, grownM)
+
+	// Streaming ingest lands in a heap delta on top of the mapped base, and
+	// the successor answers bit-identically to the heap-backed line.
+	batch := demoIngestBatch(t, credist.ActionID(demoDataset().Log.NumActions()))
+	reqTuples := make([]serve.IngestTuple, len(batch))
+	for i, tp := range batch {
+		reqTuples[i] = serve.IngestTuple{User: tp.User, Action: tp.Action, Time: tp.Time}
+	}
+	body, _ := json.Marshal(map[string]any{"tuples": reqTuples})
+	var irH, irM serve.IngestResponse
+	getJSON(t, hH, "POST", "/ingest", string(body), &irH)
+	getJSON(t, hM, "POST", "/ingest", string(body), &irM)
+	if irH.Entries != irM.Entries || irH.DeltaEntries != irM.DeltaEntries {
+		t.Errorf("ingest shape differs across backends: %+v vs %+v", irH, irM)
+	}
+	getJSON(t, hM, "GET", "/stats", "", &st)
+	if st.DeltaEntries != irM.DeltaEntries {
+		t.Errorf("stats delta = %d, ingest reported %d", st.DeltaEntries, irM.DeltaEntries)
+	}
+	if snM.RowStoreBackend() == "mmap" {
+		if st.RowStore != "mmap" {
+			t.Errorf("post-ingest row_store = %q, want mmap (base still mapped)", st.RowStore)
+		}
+		if st.HeapBytes <= 0 {
+			t.Errorf("post-ingest heap bytes = %d, want > 0 (delta is heap)", st.HeapBytes)
+		}
+		if st.MappedBytes == 0 {
+			t.Error("post-ingest mapped bytes = 0, want the base still file-backed")
+		}
+	}
+	getJSON(t, hH, "GET", "/spread?seeds=1,2,3", "", &spH)
+	getJSON(t, hM, "GET", "/spread?seeds=1,2,3", "", &spM)
+	if spH.Spread != spM.Spread {
+		t.Errorf("post-ingest /spread differs across backends: %b vs %b", spH.Spread, spM.Spread)
+	}
+}
+
+// TestServeMmapRequiresModel pins Build's refusal to map without a file,
+// and the mapped open's refusal of non-snapshot inputs.
+func TestServeMmapRequiresModel(t *testing.T) {
+	if _, err := serve.Build(serve.Source{Dataset: demoDataset(), Mmap: true}); err == nil ||
+		!strings.Contains(err.Error(), "mmap requires a model path") {
+		t.Errorf("Build with mmap and no model path: err = %v", err)
+	}
+	dir := t.TempDir()
+	bogus := filepath.Join(dir, "params.txt")
+	if err := os.WriteFile(bogus, []byte("not a snapshot\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := serve.Build(serve.Source{Dataset: demoDataset(), ModelPath: bogus, Mmap: true}); err == nil {
+		t.Error("mapped open of a non-snapshot file accepted")
+	}
+}

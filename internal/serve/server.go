@@ -369,6 +369,9 @@ type StatsResponse struct {
 	Ingests       int64            `json:"ingests"`
 	LastIngest    *time.Time       `json:"last_ingest,omitempty"`
 	ResidentBytes int64            `json:"resident_bytes"`
+	HeapBytes     int64            `json:"heap_bytes"`
+	MappedBytes   int64            `json:"mapped_bytes"`
+	RowStore      string           `json:"row_store"`
 	SeedPrefixK   int              `json:"seed_prefix_k"`
 	Selections    int64            `json:"selections"`
 	UptimeSec     float64          `json:"uptime_seconds"`
@@ -402,6 +405,9 @@ func (s *Server) handleStats(sn *Snapshot, _ *http.Request) (any, error) {
 		DeltaActions:  sn.DeltaActions(),
 		Ingests:       sn.Ingests(),
 		ResidentBytes: sn.ResidentBytes(),
+		HeapBytes:     sn.HeapBytes(),
+		MappedBytes:   sn.MappedBytes(),
+		RowStore:      sn.RowStoreBackend(),
 		SeedPrefixK:   sn.SeedPrefixLen(),
 		Selections:    sn.Selections(),
 		UptimeSec:     uptime.Seconds(),

@@ -119,7 +119,8 @@ func TestHandlerTable(t *testing.T) {
 		{name: "topk unknown method", method: "GET", target: "/topk?method=bogus&k=3",
 			wantStatus: 400, wantErrSub: "unknown method"},
 		{name: "stats", method: "GET", target: "/stats",
-			wantStatus: 200, wantKeys: []string{"snapshot", "dataset", "users", "entries", "resident_bytes", "requests", "qps_1m"}},
+			wantStatus: 200, wantKeys: []string{"snapshot", "dataset", "users", "entries", "resident_bytes",
+				"heap_bytes", "mapped_bytes", "row_store", "requests", "qps_1m"}},
 		{name: "reload wrong method", method: "GET", target: "/reload",
 			wantStatus: 405},
 		{name: "reload bad json", method: "POST", target: "/reload", body: `{`,
@@ -130,6 +131,8 @@ func TestHandlerTable(t *testing.T) {
 			wantStatus: 400, wantErrSub: "bad JSON"},
 		{name: "reload empty source", method: "POST", target: "/reload", body: `{}`,
 			wantStatus: 400, wantErrSub: "needs a preset"},
+		{name: "reload mmap without model", method: "POST", target: "/reload", body: `{"preset":"flixster-small","mmap":true}`,
+			wantStatus: 400, wantErrSub: "mmap requires a model path"},
 		{name: "snapshot wrong method", method: "GET", target: "/snapshot",
 			wantStatus: 405},
 		{name: "snapshot missing path", method: "POST", target: "/snapshot", body: `{}`,

@@ -46,6 +46,14 @@ type Source struct {
 	// ParamsPath; Lambda/SimpleCredit must match the stored options or be
 	// left zero to adopt them.
 	ModelPath string `json:"model,omitempty"`
+	// Mmap serves the frozen UC base directly out of the ModelPath file
+	// through a read-only memory mapping instead of parsing it onto the
+	// heap: the open touches no cells, so it is near-instant regardless of
+	// model size, and the OS pages shards in on first use. Requires
+	// ModelPath naming a version-3 snapshot (re-save older files to
+	// upgrade). Queries are bit-identical to a heap load; writes (ingest,
+	// seed commits) promote only the shards they touch.
+	Mmap bool `json:"mmap,omitempty"`
 	// TailPath appends an action-log tail file (as written by `datagen
 	// -stream`) to the dataset's log before the model binds to it. With
 	// ModelPath this is how a restarted server catches up past a checkpoint
@@ -95,6 +103,9 @@ func (src Source) describe() string {
 	}
 	if src.ModelPath != "" {
 		s += " model:" + src.ModelPath
+		if src.Mmap {
+			s += " (mmap)"
+		}
 	}
 	return s
 }
@@ -185,6 +196,12 @@ type Snapshot struct {
 
 	entries       int64
 	residentBytes int64
+	// Row-store split of residentBytes: heap-allocated shard bytes vs
+	// bytes still served out of a mapped snapshot file, plus the backend
+	// label ("mmap" while any shard aliases the mapping, else "heap").
+	heapBytes   int64
+	mappedBytes int64
+	rowStore    string
 
 	// Streaming-ingest lineage: delta shape of the base planner plus when
 	// and how often this snapshot line has ingested since its last full
@@ -219,6 +236,9 @@ type Snapshot struct {
 // scans only the log tail past the snapshot's recorded actions. The
 // returned snapshot has ID 0 until a Registry installs it.
 func Build(src Source) (*Snapshot, error) {
+	if src.Mmap && src.ModelPath == "" {
+		return nil, fmt.Errorf("mmap requires a model path (the mapping is the snapshot file)")
+	}
 	ds, err := src.dataset()
 	if err != nil {
 		return nil, err
@@ -246,7 +266,16 @@ func Build(src Source) (*Snapshot, error) {
 		if src.ParamsPath != "" {
 			return nil, fmt.Errorf("model and params are mutually exclusive")
 		}
-		model, err = credist.LoadModel(ds, src.ModelPath, opts)
+		if src.Mmap {
+			// The mapping is deliberately never unmapped: ingest successors
+			// and per-request clones keep sharing the still-mapped shards,
+			// and even after a /reload the replaced snapshot may be pinned
+			// by in-flight requests. One model file's mapping per process
+			// lifetime is the cost of never faulting a reader.
+			model, err = credist.LoadModelMapped(ds, src.ModelPath, opts)
+		} else {
+			model, err = credist.LoadModel(ds, src.ModelPath, opts)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -275,6 +304,9 @@ func Build(src Source) (*Snapshot, error) {
 		base:          base,
 		entries:       base.Entries(),
 		residentBytes: base.ResidentBytes(),
+		heapBytes:     base.HeapBytes(),
+		mappedBytes:   base.MappedBytes(),
+		rowStore:      base.RowStoreBackend(),
 	}
 	if src.ModelPath != "" {
 		sn.modelActions = base.NumActions() - tailActions
@@ -332,6 +364,9 @@ func (sn *Snapshot) Ingest(tuples []credist.Tuple, compact bool) (*Snapshot, err
 		base:          base,
 		entries:       base.Entries(),
 		residentBytes: base.ResidentBytes(),
+		heapBytes:     base.HeapBytes(),
+		mappedBytes:   base.MappedBytes(),
+		rowStore:      base.RowStoreBackend(),
 		deltaEntries:  base.DeltaEntries(),
 		deltaActions:  base.DeltaActions(),
 		ingests:       sn.ingests + 1,
@@ -367,8 +402,21 @@ func (sn *Snapshot) Ingests() int64 { return sn.ingests }
 // snapshot came from a full build or reload).
 func (sn *Snapshot) LastIngest() time.Time { return sn.lastIngest }
 
-// ResidentBytes returns the UC structure's resident footprint.
+// ResidentBytes returns the UC structure's resident footprint —
+// HeapBytes plus MappedBytes.
 func (sn *Snapshot) ResidentBytes() int64 { return sn.residentBytes }
+
+// HeapBytes returns the Go-heap-allocated portion of ResidentBytes.
+func (sn *Snapshot) HeapBytes() int64 { return sn.heapBytes }
+
+// MappedBytes returns the portion of ResidentBytes still served out of a
+// memory-mapped snapshot file (zero unless the source set Mmap).
+func (sn *Snapshot) MappedBytes() int64 { return sn.mappedBytes }
+
+// RowStoreBackend reports how the base planner's shards are served:
+// "mmap" while any shard still aliases the mapped snapshot file, "heap"
+// otherwise.
+func (sn *Snapshot) RowStoreBackend() string { return sn.rowStore }
 
 // NumUsers returns the user-universe size, the bound for node-id inputs.
 func (sn *Snapshot) NumUsers() int { return sn.Dataset().NumUsers() }

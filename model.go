@@ -43,6 +43,21 @@ type Model struct {
 	// a restarted process answers seed queries up to its length without
 	// running selection.
 	prefix *SeedPrefix
+	// mapped is the file mapping behind a LoadModelMapped model (nil
+	// otherwise); Close releases it.
+	mapped *core.MappedSnapshot
+}
+
+// Close releases the file mapping behind a model opened with
+// LoadModelMapped; for every other model it is a no-op. It must only be
+// called once no planner derived from the model is in use — planners
+// share the mapped shards copy-on-write, and their reads fault once the
+// mapping is gone.
+func (m *Model) Close() error {
+	if m == nil {
+		return nil
+	}
+	return m.mapped.Close()
 }
 
 // newModel wires a model with a lazily built evaluator and base engine.
@@ -349,8 +364,22 @@ func (p *Planner) Select(k int) seedsel.Result {
 // statistic (Figure 8, Table 4).
 func (p *Planner) Entries() int64 { return p.eng.Entries() }
 
-// ResidentBytes reports the UC structure's resident slice footprint.
+// ResidentBytes reports the UC structure's total footprint: HeapBytes
+// plus MappedBytes.
 func (p *Planner) ResidentBytes() int64 { return p.eng.ResidentBytes() }
+
+// HeapBytes reports the Go-heap slice footprint of the UC structure;
+// shards still served from a mapped snapshot contribute nothing.
+func (p *Planner) HeapBytes() int64 { return p.eng.HeapBytes() }
+
+// MappedBytes reports the file-backed footprint: bytes of a mapped
+// snapshot's base section this planner's shards still alias (zero for
+// heap-loaded models, shrinking as writes promote shards to heap).
+func (p *Planner) MappedBytes() int64 { return p.eng.MappedBytes() }
+
+// RowStoreBackend reports how the planner's shards are served: "mmap"
+// while any shard still aliases a mapped snapshot, "heap" otherwise.
+func (p *Planner) RowStoreBackend() string { return p.eng.RowStoreBackend() }
 
 // NumActions returns how many actions the planner has scanned.
 func (p *Planner) NumActions() int { return p.eng.NumActions() }
@@ -523,14 +552,45 @@ func LoadModel(ds *Dataset, path string, opts Options) (*Model, error) {
 	return newModel(ds, opts, credit), nil
 }
 
-// loadSnapshotModel binds a binary snapshot to ds: lineage check, options
-// resolution, and the tail append for a log that has grown past the
-// snapshot's scanned prefix.
+// LoadModelMapped restores a model from a version-3 binary snapshot with
+// the frozen UC base served directly from the memory-mapped file: no cell
+// is parsed, no shard allocated, and the OS pages cold shards in and out
+// on demand, so the model can exceed RAM and opening is near-instant
+// regardless of model size. Everything else matches LoadModel's snapshot
+// path — lineage check, stored-options authority, tail append for a grown
+// log (the tail is scanned onto the heap; the base stays mapped) — and
+// every query is bit-identical to the heap-loaded model. Text parameter
+// files and pre-v3 snapshots are rejected; re-save with Save to upgrade.
+//
+// The caller owns the mapping's lifetime: Close the model only after all
+// planners derived from it are gone.
+func LoadModelMapped(ds *Dataset, path string, opts Options) (*Model, error) {
+	eng, lin, prefix, ms, err := core.OpenSnapshotMapped(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := bindSnapshotModel(ds, eng, lin, prefix, opts)
+	if err != nil {
+		ms.Close()
+		return nil, err
+	}
+	m.mapped = ms
+	return m, nil
+}
+
+// loadSnapshotModel binds a heap-parsed binary snapshot to ds.
 func loadSnapshotModel(ds *Dataset, r io.Reader, opts Options) (*Model, error) {
 	eng, lin, prefix, err := core.ReadSnapshotPrefix(r)
 	if err != nil {
 		return nil, err
 	}
+	return bindSnapshotModel(ds, eng, lin, prefix, opts)
+}
+
+// bindSnapshotModel finishes a snapshot load regardless of backend:
+// lineage check, options resolution, and the tail append for a log that
+// has grown past the snapshot's scanned prefix.
+func bindSnapshotModel(ds *Dataset, eng *core.Engine, lin core.Lineage, prefix *SeedPrefix, opts Options) (*Model, error) {
 	if err := lin.Check(ds.Graph, ds.Log); err != nil {
 		return nil, err
 	}
