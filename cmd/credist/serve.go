@@ -31,6 +31,7 @@ func runServe(args []string) {
 		tail      = fs.String("tail", "", "optional action-tail file (as written by `datagen -stream`) appended to the log before the model binds; with -model, how a restart catches up past a checkpoint")
 		lambda    = fs.Float64("lambda", 0.001, "CD truncation threshold (paper default 0.001; 0 keeps every credit); with -model, must match the stored value or be left unset")
 		simple    = fs.Bool("simple-credit", false, "use the equal-split 1/d_in direct-credit rule instead of the learned time-aware rule (Eq. 9)")
+		parts     = fs.Int("partitions", 0, "split the model into N influencer-row partitions behind a scatter-gather coordinator (0 serves the single-engine path; answers are bit-identical at every N); with -model, writes and reopens per-partition slice files named <model>.slice-<i>-of-<N>")
 		warmK     = fs.Int("warm-k", 0, "precompute and cache the CELF selection for this k before accepting traffic (0 skips warmup)")
 	)
 	fs.Usage = func() {
@@ -68,6 +69,8 @@ Examples:
   credist learn -graph d.graph -log d.log -o model.bin
   credist serve -graph d.graph -log d.log -model model.bin        # no relearn/rescan
   credist serve -graph d.graph -log d.log -model model.bin -mmap  # serve straight off the file
+  credist serve -graph d.graph -log d.log -model model.bin -partitions 4 -mmap
+                                  # scatter-gather over 4 mmap'd slice files
 
 Flags:
 `)
@@ -104,6 +107,10 @@ Flags:
 			srcSimple = false
 		}
 	}
+	if *parts < 0 {
+		fmt.Fprintln(os.Stderr, "credist serve: -partitions must be non-negative")
+		os.Exit(1)
+	}
 	src := serve.Source{
 		Preset:       *preset,
 		GraphPath:    *graphPath,
@@ -114,11 +121,18 @@ Flags:
 		TailPath:     *tail,
 		Lambda:       srcLambda,
 		SimpleCredit: srcSimple,
+		Partitions:   *parts,
 	}
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 	start := time.Now()
 	snap, err := serve.Build(src)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "credist serve:", err)
+		os.Exit(1)
+	}
+	// A degraded partitioned build would bind the port and answer 502 to
+	// every query; at the CLI that is a startup failure, not a service.
+	if err := snap.PartitionErr(); err != nil {
 		fmt.Fprintln(os.Stderr, "credist serve:", err)
 		os.Exit(1)
 	}
@@ -134,6 +148,10 @@ Flags:
 		logger.Printf("serve: learned %s in %v: %d users, %d UC entries (%.1f MiB resident)",
 			snap.Dataset().Name, time.Since(start).Round(time.Millisecond),
 			snap.NumUsers(), snap.Entries(), float64(snap.ResidentBytes())/(1<<20))
+	}
+	if snap.Partitioned() {
+		logger.Printf("serve: scatter-gather over %d partitions (%s row store)",
+			snap.NumPartitions(), snap.RowStoreBackend())
 	}
 	if *warmK > 0 {
 		t := time.Now()

@@ -1,0 +1,133 @@
+package celf
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"credist/internal/graph"
+)
+
+// This file is the coordinator-side view of engines split by
+// influencer-row range: a PartitionedEstimator makes a contiguous set of
+// partitions look like one Estimator, so the lazy-forward heap, the
+// parallel first-iteration pass, Resume, and the prefix-incremental
+// machinery of Selection all work over partitions unchanged. Gain routes
+// to the partition owning the candidate's row (where it is exact, not a
+// partial sum); Add extracts the committed seed's row from its owner and
+// broadcasts the commit to every partition. Because each partition
+// returns the same bits the unpartitioned engine would and the heap logic
+// is shared, seeds, gains, and spreads are bit-identical at any partition
+// count.
+
+// Partition is one row-range partition of an additive credit structure,
+// as seen by the coordinator. credist's core.Engine implements it; the
+// indirection (and the opaque seed-row payload) keeps celf free of the
+// engine's cell types.
+type Partition interface {
+	// PartitionRange returns the influencer-row range [lo, hi) this
+	// partition owns.
+	PartitionRange() (lo, hi int)
+	// Gain returns the exact marginal gain of x under the current seed
+	// set. Only valid when this partition owns x's row; must be safe for
+	// concurrent calls between commits.
+	Gain(x graph.NodeID) float64
+	// ExtractSeedRow reads out x's credit rows as an opaque payload for
+	// CommitSeedRow. Only valid on the partition owning x.
+	ExtractSeedRow(x graph.NodeID) any
+	// CommitSeedRow commits x given the owning partition's payload.
+	CommitSeedRow(x graph.NodeID, payload any)
+}
+
+// PartitionedEstimator is a ConcurrentEstimator over a contiguous set of
+// row-range partitions. It carries the seed set across the partitions
+// (every commit is broadcast), so one estimator backs one Selection, like
+// any other stateful estimator.
+type PartitionedEstimator struct {
+	parts   []Partition
+	his     []int // parts[i] owns rows [his[i-1], his[i])
+	nodes   int
+	workers int // commit-broadcast fan-out; 1 = serial
+}
+
+// NewPartitionedEstimator validates that the partitions tile [0, nodes)
+// contiguously (sorted by range start, no overlap, no gap) and returns
+// the estimator. workers bounds the commit-broadcast fan-out; 0 or 1
+// broadcasts serially — the per-partition commits touch disjoint state,
+// so the result is bit-identical either way.
+func NewPartitionedEstimator(parts []Partition, workers int) (*PartitionedEstimator, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("celf: no partitions")
+	}
+	sorted := make([]Partition, len(parts))
+	copy(sorted, parts)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		li, _ := sorted[i].PartitionRange()
+		lj, _ := sorted[j].PartitionRange()
+		return li < lj
+	})
+	pe := &PartitionedEstimator{parts: sorted, his: make([]int, len(sorted)), workers: workers}
+	cur := 0
+	for i, p := range sorted {
+		lo, hi := p.PartitionRange()
+		if lo > hi {
+			return nil, fmt.Errorf("celf: partition %d has inverted rows [%d,%d)", i, lo, hi)
+		}
+		if lo < cur {
+			prevLo, _ := sorted[i-1].PartitionRange()
+			return nil, fmt.Errorf("celf: partition rows [%d,%d) overlap [%d,%d)", lo, hi, prevLo, cur)
+		}
+		if lo > cur {
+			return nil, fmt.Errorf("celf: gap in partition rows: [%d,%d) is not covered before [%d,%d)", cur, lo, lo, hi)
+		}
+		cur = hi
+		pe.his[i] = hi
+	}
+	pe.nodes = cur
+	return pe, nil
+}
+
+// NumNodes returns the tiled universe size.
+func (pe *PartitionedEstimator) NumNodes() int { return pe.nodes }
+
+// Owner returns the partition holding x's row.
+func (pe *PartitionedEstimator) Owner(x graph.NodeID) Partition {
+	i := sort.SearchInts(pe.his, int(x)+1)
+	if i >= len(pe.parts) {
+		panic(fmt.Sprintf("celf: node %d outside the partitioned universe [0,%d)", x, pe.nodes))
+	}
+	return pe.parts[i]
+}
+
+// Gain routes to the owner partition, where the marginal gain is exact.
+func (pe *PartitionedEstimator) Gain(x graph.NodeID) float64 {
+	return pe.Owner(x).Gain(x)
+}
+
+// Add commits x everywhere: the owner extracts x's credit rows once, and
+// every partition applies the commit — in parallel across partitions when
+// workers allow, identically either way since the per-partition updates
+// are disjoint.
+func (pe *PartitionedEstimator) Add(x graph.NodeID) {
+	payload := pe.Owner(x).ExtractSeedRow(x)
+	if pe.workers <= 1 || len(pe.parts) == 1 {
+		for _, p := range pe.parts {
+			p.CommitSeedRow(x, payload)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, p := range pe.parts {
+		wg.Add(1)
+		go func(p Partition) {
+			defer wg.Done()
+			p.CommitSeedRow(x, payload)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// ConcurrentGain marks Gain as safe for concurrent calls between Adds —
+// it routes to partition Gains that are themselves read-only — enabling
+// the parallel first-iteration pass. Compile-time marker, never called.
+func (pe *PartitionedEstimator) ConcurrentGain() {}

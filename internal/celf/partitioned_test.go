@@ -1,0 +1,130 @@
+package celf
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"credist/internal/graph"
+)
+
+// fakePart is a toy additive partition: node x in [lo, hi) has gain
+// weight[x] until committed, and commits are counted on every partition
+// (the broadcast contract).
+type fakePart struct {
+	lo, hi    int
+	weight    []float64 // indexed globally; owner reads only its range
+	committed map[graph.NodeID]bool
+	commits   atomic.Int64
+}
+
+func (f *fakePart) PartitionRange() (int, int) { return f.lo, f.hi }
+func (f *fakePart) Gain(x graph.NodeID) float64 {
+	if int(x) < f.lo || int(x) >= f.hi {
+		panic("routed to the wrong partition")
+	}
+	if f.committed[x] {
+		return 0
+	}
+	return f.weight[x]
+}
+func (f *fakePart) ExtractSeedRow(x graph.NodeID) any {
+	if int(x) < f.lo || int(x) >= f.hi {
+		panic("extract on the wrong partition")
+	}
+	return x
+}
+func (f *fakePart) CommitSeedRow(x graph.NodeID, payload any) {
+	if payload.(graph.NodeID) != x {
+		panic("payload mismatch")
+	}
+	if f.committed == nil {
+		f.committed = make(map[graph.NodeID]bool)
+	}
+	f.committed[x] = true
+	f.commits.Add(1)
+}
+
+func tile(weights []float64, bounds ...int) []Partition {
+	var parts []Partition
+	for i := 1; i < len(bounds); i++ {
+		parts = append(parts, &fakePart{lo: bounds[i-1], hi: bounds[i], weight: weights})
+	}
+	return parts
+}
+
+func TestPartitionedEstimatorRoutingAndBroadcast(t *testing.T) {
+	weights := []float64{5, 1, 9, 2, 8, 3, 7, 4, 6, 0}
+	for _, workers := range []int{1, 4} {
+		parts := tile(weights, 0, 3, 7, 10)
+		pe, err := NewPartitionedEstimator(parts, workers)
+		if err != nil {
+			t.Fatalf("NewPartitionedEstimator: %v", err)
+		}
+		if pe.NumNodes() != 10 {
+			t.Fatalf("NumNodes = %d", pe.NumNodes())
+		}
+		for x, w := range weights {
+			if got := pe.Gain(graph.NodeID(x)); got != w {
+				t.Fatalf("Gain(%d) = %g, want %g", x, got, w)
+			}
+		}
+		pe.Add(4)
+		for _, p := range parts {
+			fp := p.(*fakePart)
+			if fp.commits.Load() != 1 {
+				t.Fatalf("workers=%d: partition [%d,%d) saw %d commits, want 1", workers, fp.lo, fp.hi, fp.commits.Load())
+			}
+		}
+		if got := pe.Gain(4); got != 0 {
+			t.Fatalf("committed Gain(4) = %g", got)
+		}
+
+		// The estimator drives the stock CELF machinery: greedy order by
+		// weight, first-iteration pass fanned over workers.
+		res := NewSelection(pe, Options{Workers: workers}).Grow(3)
+		want := []graph.NodeID{2, 6, 8} // weights 9, 7, 6 (4 is committed)
+		for i, s := range want {
+			if res.Seeds[i] != s {
+				t.Fatalf("workers=%d: seed %d = %d, want %d", workers, i, res.Seeds[i], s)
+			}
+		}
+	}
+}
+
+func TestPartitionedEstimatorValidation(t *testing.T) {
+	weights := make([]float64, 10)
+	cases := []struct {
+		name   string
+		parts  []Partition
+		want   string
+		bounds []int
+	}{
+		{name: "empty", parts: nil, want: "no partitions"},
+		{name: "gap", parts: tile(weights, 0, 3, 3, 10)[0:1:1], want: "gap"},
+		{name: "overlap", parts: append(tile(weights, 0, 6), tile(weights, 4, 10)...), want: "overlap"},
+	}
+	// "gap" above needs a hole in the middle: [0,3) then [5,10).
+	cases[1].parts = []Partition{
+		&fakePart{lo: 0, hi: 3, weight: weights},
+		&fakePart{lo: 5, hi: 10, weight: weights},
+	}
+	for _, c := range cases {
+		if _, err := NewPartitionedEstimator(c.parts, 1); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+	// A cover not starting at 0 is a gap before the first range.
+	if _, err := NewPartitionedEstimator([]Partition{&fakePart{lo: 2, hi: 10, weight: weights}}, 1); err == nil || !strings.Contains(err.Error(), "gap") {
+		t.Errorf("missing head: %v", err)
+	}
+	// NumNodes comes from the cover's end; there is no external universe
+	// to compare against, so a short cover is simply a smaller universe.
+	pe, err := NewPartitionedEstimator(tile(weights, 0, 4), 1)
+	if err != nil {
+		t.Fatalf("short cover rejected: %v", err)
+	}
+	if pe.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d, want 4", pe.NumNodes())
+	}
+}

@@ -61,6 +61,13 @@ type Engine struct {
 
 	baseActions  int   // shards [0, baseActions) form the frozen base
 	deltaEntries int64 // entries the delta shards contributed when scanned
+
+	// A partition engine (partition.go) holds only the UC rows of
+	// influencers in [partLo, partHi) while carrying the full global
+	// per-user state; partitioned stays false on full engines, whose row
+	// range is implicitly [0, numUsers).
+	partitioned    bool
+	partLo, partHi int
 }
 
 // Options configures engine construction.
@@ -240,7 +247,31 @@ func (e *Engine) AppendActions(g *graph.Graph, log *actionlog.Log, from actionlo
 
 	// The per-user walk is serial and in action order, so actionsOf ends
 	// up exactly as NewEngine over the combined log would build it.
+	oldNumUsers := e.numUsers
 	e.mutUsers(log.NumUsers())
+	// A partition whose range ends at the universe end keeps ending there:
+	// rows of users the appended tail registered belong to the trailing
+	// partition, preserving full coverage without cross-partition
+	// coordination.
+	if e.partitioned && e.partHi == oldNumUsers {
+		e.partHi = e.numUsers
+	}
+
+	// Ingest routing: a partition keeps only the scanned rows it owns —
+	// under the range as just extended, so new users' rows are kept by the
+	// trailing partition rather than dropped. The filtered shards sum to
+	// exactly the full scan across a contiguous partition set, and the
+	// global per-user walk below is identical on every partition, so
+	// per-partition appends stay bit-equivalent to slicing a freshly
+	// appended full engine.
+	if e.partitioned {
+		entries = 0
+		for i, shard := range shards {
+			sub, n := e.filterShardToPartition(shard)
+			shards[i] = sub
+			entries += n
+		}
+	}
 	for i, p := range props {
 		a := from + actionlog.ActionID(i)
 		for _, u := range p.Users {
@@ -345,6 +376,9 @@ func (e *Engine) Clone() *Engine {
 		workers:      e.workers,
 		baseActions:  e.baseActions,
 		deltaEntries: e.deltaEntries,
+		partitioned:  e.partitioned,
+		partLo:       e.partLo,
+		partHi:       e.partHi,
 	}
 	// Shards the receiver owns may be mutated by its future Adds or
 	// compacted away, so the clone takes private copies; shared shards are
@@ -477,6 +511,12 @@ func (e *Engine) Seeds() []graph.NodeID {
 // SC keeps no diagonal entry), so it is checked up front — CELF never asks,
 // but the batched-gain API accepts arbitrary candidates.
 func (e *Engine) Gain(x graph.NodeID) float64 {
+	if !e.ownsRow(x) {
+		// A partition can only price candidates whose row it holds;
+		// answering from a missing row would silently drop the UC sum.
+		// Routing is the coordinator's job, so a miss here is a bug.
+		panic(fmt.Sprintf("core: Gain(%d) outside partition rows [%d,%d)", x, e.partLo, e.partHi))
+	}
 	ax := float64(e.au[x])
 	if ax == 0 {
 		return 0
@@ -503,56 +543,15 @@ func (e *Engine) Gain(x graph.NodeID) float64 {
 // Lemma 2 removes from every credit the share flowing through x, and
 // Lemma 3 raises Gamma_{S,u}(a) for every u that x has credit over.
 // Finally x's row and column are removed, matching the V-S superscript
-// semantics of Theorem 3. Both walks follow sorted id order; the Lemma 2
-// deletions never touch x's own row or column, so the snapshots below
-// stay valid throughout. Shards shared with sibling engines are copied
-// before the first write, so Add never disturbs a clone or the frozen
-// base of a serving snapshot.
+// semantics of Theorem 3. Both walks follow sorted id order. Shards
+// shared with sibling engines are copied before the first write, so Add
+// never disturbs a clone or the frozen base of a serving snapshot.
+//
+// Add is exactly CommitSeedRow driven by the engine's own row
+// (partition.go), which is what makes a scatter-gather commit across
+// row-range partitions bit-identical to the single-engine commit.
 func (e *Engine) Add(x graph.NodeID) {
-	xi := int32(x)
-	for _, a := range e.actionsOf[x] {
-		ua := e.mutShard(a)
-		row := ua.row(xi) // (u, Gamma^{V-S}_{x,u}(a)) cells
-		col := ua.col(xi) // v ids with Gamma^{V-S}_{v,x}(a) > 0
-		scx := 0.0
-		if e.sc[a] != nil {
-			scx = e.sc[a][xi]
-		}
-		// The Gamma^{V-S}_{v,x}(a) values are fixed for the whole update
-		// (Lemma 2 only rewrites cells with u != x), so read them once.
-		cvxs := make([]float64, len(col))
-		for i, v := range col {
-			cvxs[i], _ = ua.get(v, xi)
-		}
-		for _, en := range row {
-			u, cxu := en.u, en.c
-			// Lemma 2: credits of every v over u lose the paths through x.
-			for i, v := range col {
-				cvx := cvxs[i]
-				ri, ei, ok := ua.find(v, u)
-				if !ok {
-					// Mathematically the entry holds >= cvx*cxu > 0, but
-					// truncation may have dropped it; nothing to subtract.
-					continue
-				}
-				value := ua.rows[ri][ei].c - cvx*cxu
-				if value > 1e-15 {
-					ua.rows[ri][ei].c = value
-				} else if ua.remove(v, u) {
-					e.entries--
-				}
-			}
-			// Lemma 3: Gamma_{S+x,u}(a) = Gamma_{S,u}(a) + cxu*(1-scx).
-			if e.sc[a] == nil {
-				e.sc[a] = make(map[int32]float64)
-			}
-			e.sc[a][u] += cxu * (1 - scx)
-		}
-		// Remove x's row and column: x is no longer part of V-S.
-		e.entries -= int64(ua.removeRow(xi))
-		e.entries -= int64(ua.removeCol(xi))
-	}
-	e.seeds = append(e.seeds, x)
+	e.CommitSeedRow(x, e.ExtractSeedRow(x))
 }
 
 // ResidentBytes reports the UC structure's total footprint across both

@@ -44,7 +44,10 @@ func (e *Engine) IngestAction(p *actionlog.Propagation, model CreditModel) error
 	// mutable (a one-time copy when it was shared with clones), so each
 	// call then costs only the touched users.
 	shard, entries := scanAction(p, model, e.lambda, 0)
-	e.uc = append(e.uc, &shard)
+	// Ingest routing: a partition keeps only the scanned rows it owns
+	// (the same filter AppendActions applies to tail shards).
+	routed, entries := e.filterShardToPartition(&shard)
+	e.uc = append(e.uc, routed)
 	e.owned = append(e.owned, true)
 	e.sc = append(e.sc, nil)
 	e.entries += entries

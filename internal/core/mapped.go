@@ -176,15 +176,17 @@ func buildColumnsSorted(ua *ucAction) {
 	ua.cols = cols
 }
 
-// validateBaseSection walks a version-3 base section at payload[baseOff:]
+// validateBaseSection walks a version-3/4 base section at payload[baseOff:]
 // and enforces the canonical layout in full: the per-action offset table
 // must point at contiguous, in-order blocks; row keys and cell ids must
-// be strictly ascending and in range; every row offset must equal its
+// be strictly ascending and in range — row keys additionally inside
+// [rowLo, rowHi), the declared row range of a version-4 slice (the full
+// universe for a version-3 file); every row offset must equal its
 // canonical (contiguous, 8-aligned) position; cell padding words must be
 // zero; and the section must end exactly at the payload end. Both the
 // heap reader and the mapped open run this, so a corrupt or hostile
 // offset table is rejected before any row is ever addressed.
-func validateBaseSection(payload []byte, baseOff, numUsers, numActions int) ([]baseExtent, int64, error) {
+func validateBaseSection(payload []byte, baseOff, numUsers, numActions, rowLo, rowHi int) ([]baseExtent, int64, error) {
 	fail := func(format string, args ...any) ([]baseExtent, int64, error) {
 		return nil, 0, fmt.Errorf("core: snapshot: "+format, args...)
 	}
@@ -225,6 +227,9 @@ func validateBaseSection(payload []byte, baseOff, numUsers, numActions int) ([]b
 			off := binary.LittleEndian.Uint64(rec[8:])
 			if key < 0 || int(key) >= numUsers {
 				return fail("action %d row key %d out of range [0,%d)", a, key, numUsers)
+			}
+			if int(key) < rowLo || int(key) >= rowHi {
+				return fail("action %d row key %d outside the slice's declared rows [%d,%d)", a, key, rowLo, rowHi)
 			}
 			if key <= prevKey {
 				return fail("action %d row keys out of order at %d", a, key)
@@ -365,11 +370,12 @@ func parseSnapshotV3(data []byte, alias bool) (*Engine, Lineage, *SeedPrefix, er
 	}
 	payload := data[:len(data)-4]
 	sc := &snapCursor{b: payload, off: len(snapshotMagic)}
-	if version := sc.u32(); version != snapshotVersion {
+	version := sc.u32()
+	if version != snapshotVersion && version != snapshotVersionSlice {
 		if version == snapshotVersionNoBase || version == snapshotVersionNoPrefix {
 			return nil, lin, nil, fmt.Errorf("core: snapshot: version %d predates the mapped base section (version %d); load it without mmap or re-save it", version, snapshotVersion)
 		}
-		return nil, lin, nil, fmt.Errorf("core: snapshot: unsupported version (supported: 1 through %d)", snapshotVersion)
+		return nil, lin, nil, fmt.Errorf("core: snapshot: unsupported version (supported: 1 through %d)", snapshotVersionSlice)
 	}
 	lin, lambda, credit, err := parseSnapshotHeader(sc)
 	if err != nil {
@@ -382,6 +388,17 @@ func parseSnapshotV3(data []byte, alias bool) (*Engine, Lineage, *SeedPrefix, er
 	prefix, err := parseSeedPrefix(sc, lin.NumUsers)
 	if err != nil {
 		return nil, lin, nil, err
+	}
+	// Version-4 slices declare the influencer-row range their base section
+	// holds; the base walk below then enforces it row by row.
+	rowLo, rowHi := 0, lin.NumUsers
+	if version == snapshotVersionSlice {
+		rowLo, rowHi = int(sc.u32()), int(sc.u32())
+		if sc.err == nil && (rowLo < 0 || rowLo > rowHi || rowHi > lin.NumUsers) {
+			return nil, lin, nil, fmt.Errorf("core: snapshot: slice rows [%d,%d) outside the universe [0,%d)", rowLo, rowHi, lin.NumUsers)
+		}
+		e.partitioned = true
+		e.partLo, e.partHi = rowLo, rowHi
 	}
 	// Header CRC: everything from the magic up to this field. It makes the
 	// mapped open corruption-checked over every byte it trusts blindly
@@ -404,7 +421,7 @@ func parseSnapshotV3(data []byte, alias bool) (*Engine, Lineage, *SeedPrefix, er
 		return nil, lin, nil, sc.err
 	}
 	baseOff := sc.off
-	extents, total, err := validateBaseSection(payload, baseOff, lin.NumUsers, lin.NumActions)
+	extents, total, err := validateBaseSection(payload, baseOff, lin.NumUsers, lin.NumActions, rowLo, rowHi)
 	if err != nil {
 		return nil, lin, nil, err
 	}

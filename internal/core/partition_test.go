@@ -1,0 +1,252 @@
+package core
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"credist/internal/graph"
+)
+
+// TestSliceGainParity pins the heart of the partition design: a slice's
+// Gain over its own rows is bit-identical to the full engine's, before
+// and after scatter-gather commits, and entry counts tile exactly.
+func TestSliceGainParity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 17))
+	g, log := randomInstance(rng, 50, 30)
+	full := NewEngine(g, log, Options{Lambda: 0.001})
+	full.Compact()
+
+	bounds := []int{0, 13, 14, 37, 50}
+	var parts []*Engine
+	var total int64
+	for i := 1; i < len(bounds); i++ {
+		p, err := full.Slice(bounds[i-1], bounds[i])
+		if err != nil {
+			t.Fatalf("Slice(%d,%d): %v", bounds[i-1], bounds[i], err)
+		}
+		if !p.IsPartition() {
+			t.Fatalf("slice is not a partition")
+		}
+		total += p.Entries()
+		parts = append(parts, p)
+	}
+	if total != full.Entries() {
+		t.Fatalf("partition entries sum %d, full %d", total, full.Entries())
+	}
+
+	check := func(stage string, ref *Engine) {
+		t.Helper()
+		for _, p := range parts {
+			lo, hi := p.PartitionRange()
+			for x := lo; x < hi; x++ {
+				if got, want := p.Gain(graph.NodeID(x)), ref.Gain(graph.NodeID(x)); got != want {
+					t.Fatalf("%s: partition [%d,%d) Gain(%d) = %b, full %b", stage, lo, hi, x, got, want)
+				}
+			}
+		}
+	}
+	ref := full.Clone()
+	check("pre-commit", ref)
+
+	// Commit two seeds from different partitions scatter-gather and keep
+	// checking against the full engine driven by plain Add.
+	for _, seed := range []graph.NodeID{3, 41} {
+		var payload any
+		for _, p := range parts {
+			if lo, hi := p.PartitionRange(); int(seed) >= lo && int(seed) < hi {
+				payload = p.ExtractSeedRow(seed)
+			}
+		}
+		for _, p := range parts {
+			p.CommitSeedRow(seed, payload)
+		}
+		ref.Add(seed)
+		check("post-commit", ref)
+	}
+	total = 0
+	for _, p := range parts {
+		total += p.Entries()
+	}
+	if total != ref.Entries() {
+		t.Fatalf("post-commit entries sum %d, full %d", total, ref.Entries())
+	}
+}
+
+func TestSliceErrors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 4))
+	g, log := randomInstance(rng, 20, 8)
+	e := NewEngine(g, log, Options{})
+
+	if _, err := e.Slice(-1, 10); err == nil || !strings.Contains(err.Error(), "outside the universe") {
+		t.Fatalf("negative lo: %v", err)
+	}
+	if _, err := e.Slice(5, 25); err == nil || !strings.Contains(err.Error(), "outside the universe") {
+		t.Fatalf("hi beyond universe: %v", err)
+	}
+	if _, err := e.Slice(12, 5); err == nil {
+		t.Fatalf("inverted range accepted")
+	}
+	p, err := e.Slice(0, 10)
+	if err != nil {
+		t.Fatalf("Slice: %v", err)
+	}
+	if _, err := p.Slice(0, 5); err == nil || !strings.Contains(err.Error(), "partition") {
+		t.Fatalf("slicing a partition: %v", err)
+	}
+	e.Add(3)
+	if _, err := e.Slice(0, 10); err != ErrSeedsCommitted {
+		t.Fatalf("slice after Add: %v", err)
+	}
+}
+
+func TestPartitionRejectsForeignRows(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 6))
+	g, log := randomInstance(rng, 20, 8)
+	e := NewEngine(g, log, Options{})
+	p, err := e.Slice(5, 12)
+	if err != nil {
+		t.Fatalf("Slice: %v", err)
+	}
+	for _, fn := range []struct {
+		name string
+		call func()
+	}{
+		{"Gain", func() { p.Gain(2) }},
+		{"ExtractSeedRow", func() { p.ExtractSeedRow(15) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on a foreign row did not panic", fn.name)
+				}
+			}()
+			fn.call()
+		}()
+	}
+}
+
+// TestSnapshotSliceRoundTrip proves the version-4 slice format carries a
+// partition faithfully through both loaders: range, entries, and gains
+// are bit-identical to a fresh in-memory slice, and re-encoding the
+// loaded slice reproduces the file byte for byte (the rule the snapshot
+// fuzzer enforces on arbitrary inputs).
+func TestSnapshotSliceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 12))
+	g, log := randomInstance(rng, 40, 25)
+	credit := LearnTimeAware(g, log)
+	full := NewEngine(g, log, Options{Lambda: 0.001, Credit: credit})
+	full.Compact()
+	lin := DatasetLineage("slice-roundtrip", g, log)
+
+	const lo, hi = 11, 29
+	ref, err := full.Slice(lo, hi)
+	if err != nil {
+		t.Fatalf("Slice: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := full.WriteSnapshotSlice(&buf, lin, nil, lo, hi); err != nil {
+		t.Fatalf("WriteSnapshotSlice: %v", err)
+	}
+	raw := buf.Bytes()
+
+	path := filepath.Join(t.TempDir(), "slice.bin")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+
+	heapEng, _, _, err := ReadSnapshotPrefix(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("ReadSnapshotPrefix: %v", err)
+	}
+	mapEng, _, _, ms, err := OpenSnapshotMapped(path)
+	if err != nil {
+		t.Fatalf("OpenSnapshotMapped: %v", err)
+	}
+	defer ms.Close()
+
+	for name, eng := range map[string]*Engine{"heap": heapEng, "mmap": mapEng} {
+		if !eng.IsPartition() {
+			t.Fatalf("%s: loaded slice is not a partition", name)
+		}
+		if l, h := eng.PartitionRange(); l != lo || h != hi {
+			t.Fatalf("%s: range [%d,%d), want [%d,%d)", name, l, h, lo, hi)
+		}
+		if eng.NumNodes() != full.NumNodes() {
+			t.Fatalf("%s: universe %d, want %d", name, eng.NumNodes(), full.NumNodes())
+		}
+		if eng.Entries() != ref.Entries() {
+			t.Fatalf("%s: entries %d, want %d", name, eng.Entries(), ref.Entries())
+		}
+		for x := lo; x < hi; x++ {
+			if got, want := eng.Gain(graph.NodeID(x)), ref.Gain(graph.NodeID(x)); got != want {
+				t.Fatalf("%s: Gain(%d) = %b, want %b", name, x, got, want)
+			}
+		}
+		// The byte-identical re-encode rule, extended to slices: a loaded
+		// partition re-encodes through WriteSnapshotSlice at its own range.
+		var re bytes.Buffer
+		if err := eng.WriteSnapshotSlice(&re, lin, nil, lo, hi); err != nil {
+			t.Fatalf("%s: re-encode: %v", name, err)
+		}
+		if !bytes.Equal(re.Bytes(), raw) {
+			t.Fatalf("%s: re-encoded slice differs from original (%d vs %d bytes)", name, re.Len(), len(raw))
+		}
+	}
+}
+
+func TestSnapshotSliceWriterRejections(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 3))
+	g, log := randomInstance(rng, 30, 10)
+	full := NewEngine(g, log, Options{})
+	lin := DatasetLineage("slice-rejects", g, log)
+
+	var buf bytes.Buffer
+	if err := full.WriteSnapshotSlice(&buf, lin, nil, 10, 35); err == nil {
+		t.Fatalf("out-of-universe slice range accepted")
+	}
+	if err := full.WriteSnapshotSlice(&buf, lin, nil, 20, 10); err == nil {
+		t.Fatalf("inverted slice range accepted")
+	}
+
+	p, err := full.Slice(5, 15)
+	if err != nil {
+		t.Fatalf("Slice: %v", err)
+	}
+	// A partition engine holds only its own rows: writing a full snapshot,
+	// or a slice at any other range, would mislabel partial data.
+	if err := p.WriteSnapshotPrefix(&buf, lin, nil); err == nil || !strings.Contains(err.Error(), "WriteSnapshotSlice") {
+		t.Fatalf("full snapshot of a partition: %v", err)
+	}
+	if err := p.WriteSnapshotSlice(&buf, lin, nil, 5, 20); err == nil {
+		t.Fatalf("partition wrote a foreign range")
+	}
+	if err := p.WriteSnapshotSlice(&buf, lin, nil, 5, 15); err != nil {
+		t.Fatalf("partition writing its own range: %v", err)
+	}
+
+	// Full snapshots are untouched by the slice format: a full engine
+	// writing [0, numUsers) through WriteSnapshotSlice is still a
+	// version-4 file, while WriteSnapshotPrefix keeps emitting version 3.
+	var v3, v4 bytes.Buffer
+	if err := full.WriteSnapshotPrefix(&v3, lin, nil); err != nil {
+		t.Fatalf("WriteSnapshotPrefix: %v", err)
+	}
+	if err := full.WriteSnapshotSlice(&v4, lin, nil, 0, full.NumNodes()); err != nil {
+		t.Fatalf("WriteSnapshotSlice(full range): %v", err)
+	}
+	if bytes.Equal(v3.Bytes(), v4.Bytes()) {
+		t.Fatalf("v3 and v4 encodings are byte-identical; version bump missing")
+	}
+	eng, _, _, err := ReadSnapshotPrefix(&v4)
+	if err != nil {
+		t.Fatalf("read full-range slice: %v", err)
+	}
+	if !eng.IsPartition() {
+		t.Fatalf("full-range slice did not load as a partition")
+	}
+}

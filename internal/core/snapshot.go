@@ -76,6 +76,15 @@ const (
 	snapshotMagic   = "CREDSNAP"
 	snapshotVersion = 3
 
+	// snapshotVersionSlice marks a partition slice: version 3 plus one
+	// header record (u32 rowLo, u32 rowHi, right after the seed-prefix
+	// section) declaring the influencer-row range the base section holds.
+	// The lineage, params, per-user lists, and prefix describe the FULL
+	// model — only the base section is restricted to rows in the range —
+	// so a contiguous set of slices reassembles the model exactly. Full
+	// snapshots keep writing version 3 byte-identically.
+	snapshotVersionSlice = 4
+
 	// snapshotVersionNoBase is the pre-mmap format: packed 12-byte cells,
 	// no offset tables, no header CRC. Still read, never written.
 	snapshotVersionNoBase = 2
@@ -368,15 +377,52 @@ func writeSeedPrefixSection(sw *snapWriter, prefix *SeedPrefix) {
 // this writer emits are what OpenSnapshotMapped later serves queries from
 // without parsing.
 func (e *Engine) WriteSnapshotPrefix(w io.Writer, lin Lineage, prefix *SeedPrefix) error {
+	if e.partitioned {
+		// A partition's base holds only its own rows; writing it under the
+		// full-model version would produce a file every reader trusts as
+		// the complete credit structure.
+		return fmt.Errorf("core: cannot write a partition engine (rows [%d,%d)) as a full snapshot; use WriteSnapshotSlice", e.partLo, e.partHi)
+	}
+	return e.writeSnapshotRows(w, lin, prefix, snapshotVersion, 0, e.numUsers)
+}
+
+// WriteSnapshotSlice serializes the engine's influencer rows in [lo, hi)
+// as a version-4 partition slice: the identical header (full lineage,
+// params, per-user action lists, seed prefix) plus the declared row
+// range, with the base section restricted to the range's rows in the same
+// canonical offset-addressed layout — so a slice mmaps exactly like a
+// full version-3 file. A contiguous set of slices covering [0, NumNodes())
+// reassembles the model with no row stored twice. A full engine may write
+// any valid range; a partition engine re-encodes only its own range, and
+// the encoding of a given engine remains unique (saving a loaded slice
+// reproduces the file byte for byte).
+func (e *Engine) WriteSnapshotSlice(w io.Writer, lin Lineage, prefix *SeedPrefix, lo, hi int) error {
+	if lo < 0 || lo > hi || hi > e.numUsers {
+		return fmt.Errorf("core: slice rows [%d,%d) outside the universe [0,%d)", lo, hi, e.numUsers)
+	}
+	if e.partitioned && (lo != e.partLo || hi != e.partHi) {
+		return fmt.Errorf("core: partition engine holds rows [%d,%d), cannot write slice [%d,%d)", e.partLo, e.partHi, lo, hi)
+	}
+	return e.writeSnapshotRows(w, lin, prefix, snapshotVersionSlice, lo, hi)
+}
+
+// writeSnapshotRows is the shared body of WriteSnapshotPrefix (version 3,
+// every row) and WriteSnapshotSlice (version 4, rows in [lo, hi) plus the
+// range record in the header).
+func (e *Engine) writeSnapshotRows(w io.Writer, lin Lineage, prefix *SeedPrefix, version uint32, lo, hi int) error {
 	if err := e.checkSnapshotArgs(lin, prefix); err != nil {
 		return err
 	}
 	bw := bufio.NewWriterSize(w, 1<<20)
 	sw := &snapWriter{w: bw}
-	if err := writeSnapshotHeader(sw, e, lin, snapshotVersion); err != nil {
+	if err := writeSnapshotHeader(sw, e, lin, version); err != nil {
 		return err
 	}
 	writeSeedPrefixSection(sw, prefix)
+	if version == snapshotVersionSlice {
+		sw.u32(uint32(lo))
+		sw.u32(uint32(hi))
+	}
 
 	// Header CRC over everything written so far, then zero padding so the
 	// base section starts 8-aligned. Capture the CRC before writing it —
@@ -387,28 +433,45 @@ func (e *Engine) WriteSnapshotPrefix(w io.Writer, lin Lineage, prefix *SeedPrefi
 		sw.bytes(make([]byte, pad))
 	}
 
+	// Per-shard row windows: the directory index range within [lo, hi).
+	// For a full snapshot that is every row of every shard.
+	type window struct {
+		ri0, ri1 int
+		ents     uint64
+	}
+	wins := make([]window, len(e.uc))
+	for a, st := range e.uc {
+		ri0, ri1 := rowIndexRange(st, int32(lo), int32(hi))
+		var ents uint64
+		for ri := ri0; ri < ri1; ri++ {
+			ents += uint64(len(st.rowAt(ri)))
+		}
+		wins[a] = window{ri0: ri0, ri1: ri1, ents: ents}
+	}
+
 	// Offset table: canonical positions, blocks contiguous in action order.
 	off := uint64(len(e.uc)) * 8
-	for _, st := range e.uc {
+	for a := range e.uc {
 		sw.u64(off)
-		off += 8 + (uint64(st.numRows())+uint64(st.entryCount()))*16
+		off += 8 + (uint64(wins[a].ri1-wins[a].ri0)+wins[a].ents)*16
 	}
 
 	// Blocks: row directory then the cells, both in canonical order with
 	// canonical offsets (base-relative).
 	cur := uint64(len(e.uc)) * 8
-	for _, st := range e.uc {
-		nRows := st.numRows()
+	for a, st := range e.uc {
+		win := wins[a]
+		nRows := win.ri1 - win.ri0
 		sw.u64(uint64(nRows))
 		entOff := cur + 8 + uint64(nRows)*16
-		for ri := 0; ri < nRows; ri++ {
+		for ri := win.ri0; ri < win.ri1; ri++ {
 			sw.u32(uint32(st.rowKeyAt(ri)))
 			rowLen := len(st.rowAt(ri))
 			sw.u32(uint32(rowLen))
 			sw.u64(entOff)
 			entOff += uint64(rowLen) * 16
 		}
-		for ri := 0; ri < nRows; ri++ {
+		for ri := win.ri0; ri < win.ri1; ri++ {
 			row := st.rowAt(ri)
 			need := len(row) * 16
 			if cap(sw.buf) < need {
@@ -735,12 +798,12 @@ func ReadSnapshotPrefix(r io.Reader) (*Engine, Lineage, *SeedPrefix, error) {
 
 	version := binary.LittleEndian.Uint32(data[len(snapshotMagic):])
 	switch version {
-	case snapshotVersion:
+	case snapshotVersion, snapshotVersionSlice:
 		return parseSnapshotV3(data, false)
 	case snapshotVersionNoBase, snapshotVersionNoPrefix:
 		return readLegacySnapshot(payload, version)
 	default:
-		return nil, lin, nil, fmt.Errorf("core: snapshot: unsupported version %d (supported: 1 through %d)", version, snapshotVersion)
+		return nil, lin, nil, fmt.Errorf("core: snapshot: unsupported version %d (supported: 1 through %d)", version, snapshotVersionSlice)
 	}
 }
 

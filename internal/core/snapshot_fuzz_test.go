@@ -85,6 +85,47 @@ func FuzzReadSnapshot(f *testing.F) {
 		}
 	}
 
+	// Seeds: version-4 snapshot slices — a mid-universe partition, a
+	// trailing partition carrying the prefix, and a corrupted range field
+	// (CRC-refreshed so the row-range validators do the rejecting).
+	part, err := e.Slice(8, 17)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var slice bytes.Buffer
+	if err := part.WriteSnapshotSlice(&slice, lin, nil, 8, 17); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(slice.Bytes())
+	tailPart, err := e.Slice(17, e.NumNodes())
+	if err != nil {
+		f.Fatal(err)
+	}
+	var tailSlice bytes.Buffer
+	if err := tailPart.WriteSnapshotSlice(&tailSlice, lin, prefix, 17, e.NumNodes()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(tailSlice.Bytes())
+	for _, flip := range []uint32{1, 1 << 31} {
+		// The row range sits right before the 4-byte header CRC and the base
+		// section; recompute both checksums so only the range check can bite.
+		badRange := append([]byte(nil), slice.Bytes()...)
+		baseSize := part.NumActions() * 8
+		for _, st := range part.uc {
+			baseSize += 8 + (st.numRows()+int(st.entryCount()))*16
+		}
+		hdrCRCOff := len(badRange) - 4 - baseSize - 4
+		if hdrCRCOff >= 8 {
+			loOff := hdrCRCOff - 8
+			binary.LittleEndian.PutUint32(badRange[loOff:],
+				binary.LittleEndian.Uint32(badRange[loOff:])^flip)
+			binary.LittleEndian.PutUint32(badRange[hdrCRCOff:], crc32.ChecksumIEEE(badRange[:hdrCRCOff]))
+			binary.LittleEndian.PutUint32(badRange[len(badRange)-4:],
+				crc32.ChecksumIEEE(badRange[:len(badRange)-4]))
+			f.Add(badRange)
+		}
+	}
+
 	// Seeds: version-3 base-section abuse — truncated and misaligned offset
 	// tables, CRC-refreshed so only the canonical-layout validators can
 	// reject them. The base section sits at a computable distance from the
@@ -130,6 +171,20 @@ func FuzzReadSnapshot(f *testing.F) {
 			}
 		}
 		version := binary.LittleEndian.Uint32(data[len(snapshotMagic):])
+		if version == snapshotVersionSlice {
+			// An accepted slice re-encodes through the slice writer at its
+			// own row range; canonical-form uniqueness holds per version.
+			lo, hi := eng.PartitionRange()
+			var out bytes.Buffer
+			if err := eng.WriteSnapshotSlice(&out, lin, pfx, lo, hi); err != nil {
+				t.Fatalf("accepted slice fails to re-serialize: %v", err)
+			}
+			if !bytes.Equal(out.Bytes(), data) {
+				t.Fatalf("accepted slice is not canonical: re-encode differs (%d vs %d bytes)",
+					out.Len(), len(data))
+			}
+			return
+		}
 		if version != snapshotVersion {
 			return // v1/v2 input re-encodes as v3; bytes legitimately differ
 		}

@@ -32,7 +32,10 @@ func TestExperimentsSeedsMatchServe(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
-	served, cached := snap.SelectSeeds(k)
+	served, cached, err := snap.SelectSeeds(k)
+	if err != nil {
+		t.Fatalf("SelectSeeds: %v", err)
+	}
 	if cached {
 		t.Fatal("cold /seeds reported cached")
 	}
@@ -59,7 +62,10 @@ func TestExperimentsSeedsMatchServe(t *testing.T) {
 	// run at that k (prefix-incremental results are real selections, not
 	// approximations).
 	small := eval.SelectCD(env, eval.ExpOptions{K: 5, Lambda: lambda})
-	prefix, cached := snap.SelectSeeds(5)
+	prefix, cached, err := snap.SelectSeeds(5)
+	if err != nil {
+		t.Fatalf("SelectSeeds: %v", err)
+	}
 	if !cached {
 		t.Fatal("k=5 after k=12 was not served from the prefix")
 	}

@@ -309,7 +309,11 @@ func TestConcurrentGainsShareBasePlanner(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
-				got := snap.Gains(nil, []credist.NodeID{0, 1, 2, 3, 4})
+				got, err := snap.Gains(nil, []credist.NodeID{0, 1, 2, 3, 4})
+				if err != nil {
+					t.Errorf("Gains: %v", err)
+					return
+				}
 				for j := range want {
 					if got[j] != want[j] {
 						t.Errorf("gain %d: %b vs %b", j, got[j], want[j])

@@ -60,8 +60,14 @@ func ExampleSnapshot_SelectSeeds() {
 	if err != nil {
 		panic(err)
 	}
-	res, cached := snap.SelectSeeds(3)
-	again, cachedAgain := snap.SelectSeeds(3)
+	res, cached, err := snap.SelectSeeds(3)
+	if err != nil {
+		panic(err)
+	}
+	again, cachedAgain, err := snap.SelectSeeds(3)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("seeds:", len(res.Seeds), "first cached:", cached, "second cached:", cachedAgain)
 	fmt.Println("stable:", res.Seeds[0] == again.Seeds[0])
 	// Output:

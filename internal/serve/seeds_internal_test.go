@@ -35,7 +35,9 @@ func TestIngestSeedsGrowFromExtendedBase(t *testing.T) {
 	if grown.base.DeltaActions() != 1 {
 		t.Fatalf("extended base has %d delta actions, want 1", grown.base.DeltaActions())
 	}
-	if _, cached := grown.SelectSeeds(2); cached {
+	if _, cached, err := grown.SelectSeeds(2); err != nil {
+		t.Fatalf("SelectSeeds: %v", err)
+	} else if cached {
 		t.Fatal("cold post-ingest /seeds reported cached")
 	}
 	// The selection's planner is a clone of the extended base, so the

@@ -112,7 +112,10 @@ func (s *Server) Warm(k int) (*SeedsResult, error) {
 	if k > sn.NumUsers() {
 		return nil, fmt.Errorf("warm-up k %d exceeds the user count %d", k, sn.NumUsers())
 	}
-	res, _ := sn.SelectSeeds(k)
+	res, _, err := sn.SelectSeeds(k)
+	if err != nil {
+		return nil, fmt.Errorf("warm-up selection: %w", err)
+	}
 	if res == nil || len(res.Seeds) == 0 {
 		return nil, fmt.Errorf("warm-up selection for k=%d produced no seeds", k)
 	}
@@ -212,14 +215,22 @@ func (s *Server) handleSpread(sn *Snapshot, r *http.Request) (any, error) {
 		if err := validateIDs(req.Seeds, sn.NumUsers()); err != nil {
 			return nil, err
 		}
-		return SpreadResponse{Snapshot: sn.ID, Seeds: req.Seeds, Spread: sn.Spread(req.Seeds)}, nil
+		spread, err := sn.Spread(req.Seeds)
+		if err != nil {
+			return nil, err
+		}
+		return SpreadResponse{Snapshot: sn.ID, Seeds: req.Seeds, Spread: spread}, nil
 	case req.Sets != nil:
 		for i, set := range req.Sets {
 			if err := validateIDs(set, sn.NumUsers()); err != nil {
 				return nil, badRequest("set %d: %v", i, err)
 			}
 		}
-		return SpreadBatchResponse{Snapshot: sn.ID, Spreads: sn.SpreadBatch(req.Sets)}, nil
+		spreads, err := sn.SpreadBatch(req.Sets)
+		if err != nil {
+			return nil, err
+		}
+		return SpreadBatchResponse{Snapshot: sn.ID, Spreads: spreads}, nil
 	default:
 		return nil, badRequest("missing seeds (e.g. /spread?seeds=1,2,3)")
 	}
@@ -282,11 +293,15 @@ func (s *Server) handleGain(sn *Snapshot, r *http.Request) (any, error) {
 	if err := validateIDs(req.Seeds, sn.NumUsers()); err != nil {
 		return nil, err
 	}
+	gains, err := sn.Gains(req.Seeds, req.Candidates)
+	if err != nil {
+		return nil, err
+	}
 	return GainResponse{
 		Snapshot:   sn.ID,
 		Seeds:      req.Seeds,
 		Candidates: req.Candidates,
-		Gains:      sn.Gains(req.Seeds, req.Candidates),
+		Gains:      gains,
 	}, nil
 }
 
@@ -307,7 +322,10 @@ func (s *Server) handleSeeds(sn *Snapshot, r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, cached := sn.SelectSeeds(k)
+	res, cached, err := sn.SelectSeeds(k)
+	if err != nil {
+		return nil, err
+	}
 	return SeedsResponse{Snapshot: sn.ID, K: k, SeedsResult: *res, Cached: cached}, nil
 }
 
@@ -334,6 +352,9 @@ func (s *Server) handleTopK(sn *Snapshot, r *http.Request) (any, error) {
 	}
 	seeds, spread, err := sn.TopK(method, k)
 	if err != nil {
+		if ae, ok := err.(*apiError); ok {
+			return nil, ae
+		}
 		return nil, badRequest("%v", err)
 	}
 	return TopKResponse{Snapshot: sn.ID, Method: method, K: k, Seeds: seeds, Spread: spread}, nil
@@ -349,6 +370,12 @@ type HealthResponse struct {
 }
 
 func (s *Server) handleHealthz(sn *Snapshot, _ *http.Request) (any, error) {
+	if err := sn.PartitionErr(); err != nil {
+		// A missing partition means every model query over the full
+		// universe fails; the server is up but not serviceable.
+		return nil, &apiError{code: http.StatusServiceUnavailable,
+			msg: fmt.Sprintf("degraded: %v", err)}
+	}
 	return HealthResponse{Status: "ok", Snapshot: sn.ID, Dataset: sn.Dataset().Name}, nil
 }
 
@@ -386,6 +413,24 @@ type StatsResponse struct {
 	ModelActions     int             `json:"model_actions,omitempty"`
 	ModelTailActions int             `json:"model_tail_actions,omitempty"`
 	LastSnapshot     *CheckpointInfo `json:"last_snapshot,omitempty"`
+
+	// Partitioned serving: one row per engine partition, present only when
+	// the snapshot runs behind a scatter-gather coordinator. The top-level
+	// entries/heap_bytes/mapped_bytes above are the sums of these rows.
+	NumPartitions  int             `json:"num_partitions,omitempty"`
+	Partitions     []PartitionStat `json:"partitions,omitempty"`
+	PartitionError string          `json:"partition_error,omitempty"`
+}
+
+// PartitionStat is one engine partition's shape in /stats: the influencer
+// row range it owns ([row_lo,row_hi)) and its share of the resident model.
+type PartitionStat struct {
+	RowLo       int    `json:"row_lo"`
+	RowHi       int    `json:"row_hi"`
+	Entries     int64  `json:"entries"`
+	HeapBytes   int64  `json:"heap_bytes"`
+	MappedBytes int64  `json:"mapped_bytes"`
+	RowStore    string `json:"row_store"`
 }
 
 func (s *Server) handleStats(sn *Snapshot, _ *http.Request) (any, error) {
@@ -423,6 +468,22 @@ func (s *Server) handleStats(sn *Snapshot, _ *http.Request) (any, error) {
 		resp.ModelActions = sn.ModelActions()
 		resp.ModelTailActions = sn.TailActions()
 	}
+	if sn.Partitioned() {
+		resp.NumPartitions = sn.NumPartitions()
+		for _, st := range sn.PartitionStats() {
+			resp.Partitions = append(resp.Partitions, PartitionStat{
+				RowLo:       st.Range.Lo,
+				RowHi:       st.Range.Hi,
+				Entries:     st.Entries,
+				HeapBytes:   st.HeapBytes,
+				MappedBytes: st.MappedBytes,
+				RowStore:    st.RowStore,
+			})
+		}
+	}
+	if err := sn.PartitionErr(); err != nil {
+		resp.PartitionError = err.Error()
+	}
 	s.checkpointMu.Lock()
 	resp.LastSnapshot = s.lastCheckpoint
 	s.checkpointMu.Unlock()
@@ -456,6 +517,13 @@ func (s *Server) handleReload(_ *Snapshot, r *http.Request) (any, error) {
 	sn, err := Build(src)
 	if err != nil {
 		return nil, badRequest("reload: %v", err)
+	}
+	// A degraded partitioned build is tolerated at process start (the
+	// operator sees the error and the old slices stay on disk), but a
+	// reload must never replace a working snapshot with one that cannot
+	// answer queries.
+	if perr := sn.PartitionErr(); perr != nil {
+		return nil, badRequest("reload: refusing to install a degraded partitioned snapshot: %v", perr)
 	}
 	s.reg.Install(sn)
 	elapsed := time.Since(start)
@@ -558,6 +626,11 @@ func (s *Server) handleIngest(_ *Snapshot, r *http.Request) (any, error) {
 	}
 	sn, err := cur.Ingest(tuples, req.Compact)
 	if err != nil {
+		// A degraded partitioned snapshot answers 502, not 400: the tuples
+		// may be perfectly valid, the model just cannot accept them.
+		if ae, ok := err.(*apiError); ok {
+			return nil, ae
+		}
 		return nil, badRequest("ingest: %v", err)
 	}
 	s.reg.Install(sn)
@@ -617,6 +690,9 @@ func (s *Server) handleSnapshot(sn *Snapshot, r *http.Request) (any, error) {
 	}
 	if req.Path == "" {
 		return nil, badRequest("snapshot: missing \"path\"")
+	}
+	if sn.Partitioned() {
+		return s.snapshotPartitioned(sn, req.Path)
 	}
 	// The rename below replaces whatever sits at the path. Like /ingest's
 	// server-side log option, the path itself is trusted to the operator's
@@ -678,6 +754,62 @@ func (s *Server) handleSnapshot(sn *Snapshot, r *http.Request) (any, error) {
 		Snapshot:    sn.ID,
 		Dataset:     sn.Dataset().Name,
 		Path:        req.Path,
+		Actions:     actions,
+		Users:       sn.NumUsers(),
+		Entries:     sn.Entries(),
+		Bytes:       bytes,
+		WriteMillis: float64(elapsed.Nanoseconds()) / 1e6,
+	}, nil
+}
+
+// snapshotPartitioned checkpoints a partitioned snapshot as one slice file
+// per partition at the canonical "<path>.slice-<i>-of-<n>" names, so a
+// restart with `serve -model <path> -partitions <n>` finds them without
+// re-splitting. Each slice goes through the same temp-and-rename dance as
+// the single-file path, and the same clobber guard applies per slice.
+func (s *Server) snapshotPartitioned(sn *Snapshot, path string) (any, error) {
+	if err := sn.PartitionErr(); err != nil {
+		return nil, &apiError{code: http.StatusBadGateway,
+			msg: fmt.Sprintf("snapshot: partitioned model unavailable: %v", err)}
+	}
+	paths := credist.SlicePaths(path, sn.NumPartitions())
+	for _, p := range paths {
+		if prev, err := os.Open(p); err == nil {
+			header := make([]byte, 8)
+			n, _ := io.ReadFull(prev, header)
+			prev.Close()
+			if !credist.IsModelSnapshot(header[:n]) {
+				return nil, badRequest("snapshot: %q exists and is not a model snapshot; refusing to replace it", p)
+			}
+		}
+	}
+	start := time.Now()
+	if err := sn.SaveSlices(paths); err != nil {
+		return nil, fmt.Errorf("snapshot: %v", err)
+	}
+	var bytes int64
+	for _, p := range paths {
+		if fi, err := os.Stat(p); err == nil {
+			bytes += fi.Size()
+		}
+	}
+	elapsed := time.Since(start)
+	actions := sn.Dataset().Log.NumActions()
+	s.checkpointMu.Lock()
+	s.lastCheckpoint = &CheckpointInfo{
+		Path:      path,
+		Snapshot:  sn.ID,
+		Actions:   actions,
+		Bytes:     bytes,
+		WrittenAt: time.Now(),
+	}
+	s.checkpointMu.Unlock()
+	s.logf("serve: wrote %d snapshot slices for %s (%d actions, %d bytes), %.0f ms",
+		len(paths), path, actions, bytes, float64(elapsed.Milliseconds()))
+	return SnapshotResponse{
+		Snapshot:    sn.ID,
+		Dataset:     sn.Dataset().Name,
+		Path:        path,
 		Actions:     actions,
 		Users:       sn.NumUsers(),
 		Entries:     sn.Entries(),

@@ -14,6 +14,7 @@ package serve
 
 import (
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"strings"
@@ -66,8 +67,30 @@ type Source struct {
 	// time-aware Eq. (9) rule.
 	SimpleCredit bool `json:"simple_credit,omitempty"`
 
+	// Partitions splits the model into N contiguous row-range engine
+	// partitions served behind a scatter-gather coordinator: /spread,
+	// /gain, and /seeds fan over the partitions and merge by summation,
+	// with answers bit-identical at every partition count. 0 (the default)
+	// serves the classic single-engine path. With ModelPath, slice files
+	// ("<model>.slice-<i>-of-<N>") are written next to the model on first
+	// start and reopened directly — per-partition memory mappings when
+	// Mmap is set — on every start after.
+	Partitions int `json:"partitions,omitempty"`
+	// SlicePaths serves directly from explicitly named snapshot-slice
+	// files (as written by Model.WriteSnapshotSlice or a partitioned POST
+	// /snapshot), bypassing the full model file entirely. The slices must
+	// tile the user universe exactly; overlaps and gaps are rejected
+	// naming the offending row ranges.
+	SlicePaths []string `json:"slices,omitempty"`
+
 	// Dataset bypasses loading entirely; used by tests and embedders.
 	Dataset *credist.Dataset `json:"-"`
+}
+
+// partitioned reports whether the source asks for the scatter-gather
+// serving path at all (1 partition still exercises the coordinator).
+func (src Source) partitioned() bool {
+	return src.Partitions > 0 || len(src.SlicePaths) > 0
 }
 
 func (src Source) dataset() (*credist.Dataset, error) {
@@ -106,6 +129,15 @@ func (src Source) describe() string {
 		if src.Mmap {
 			s += " (mmap)"
 		}
+	}
+	switch {
+	case len(src.SlicePaths) > 0:
+		s += fmt.Sprintf(" slices:%d", len(src.SlicePaths))
+		if src.Mmap {
+			s += " (mmap)"
+		}
+	case src.Partitions > 0:
+		s += fmt.Sprintf(" partitions:%d", src.Partitions)
 	}
 	return s
 }
@@ -186,13 +218,30 @@ type Snapshot struct {
 	// LoadedAt is when the snapshot finished building.
 	LoadedAt time.Time
 
-	src   Source
+	src Source
+	// ds is the loaded dataset; in the degraded partitioned state (see
+	// partitionErr) it is all a snapshot has, so Dataset reads it rather
+	// than going through the model.
+	ds    *credist.Dataset
 	model *credist.Model
 	// base is the one scanned planner for this model. Its seed set stays
 	// empty forever — it is compacted (frozen) at build time, so requests
 	// that need to commit seeds Clone it by sharing shards and rely on the
-	// engine's copy-on-write to stay isolated.
+	// engine's copy-on-write to stay isolated. nil in partitioned mode,
+	// where parts takes its place.
 	base *credist.Planner
+	// parts is the scatter-gather coordinator over row-range engine
+	// partitions (nil on the single-engine path). Exactly one of base and
+	// parts is set on a healthy snapshot.
+	parts *credist.PartitionedPlanner
+	// partitionErr records a failed partition assembly: the snapshot is
+	// degraded — /healthz answers 503 and every model query 502 naming the
+	// failed partition — instead of the process crash-looping on one
+	// corrupt slice file. The CLI still refuses to start on it.
+	partitionErr error
+	// slicePaths names the slice files the partitions were loaded from
+	// (empty for in-memory partitions).
+	slicePaths []string
 
 	entries       int64
 	residentBytes int64
@@ -260,6 +309,9 @@ func Build(src Source) (*Snapshot, error) {
 		ds = &credist.Dataset{Name: ds.Name, Graph: ds.Graph, Log: grown}
 	}
 	opts := credist.Options{Lambda: src.Lambda, SimpleCredit: src.SimpleCredit}
+	if src.partitioned() {
+		return buildPartitioned(src, ds, opts)
+	}
 	var model *credist.Model
 	switch {
 	case src.ModelPath != "":
@@ -300,6 +352,7 @@ func Build(src Source) (*Snapshot, error) {
 	sn := &Snapshot{
 		LoadedAt:      time.Now(),
 		src:           src,
+		ds:            ds,
 		model:         model,
 		base:          base,
 		entries:       base.Entries(),
@@ -332,6 +385,115 @@ func Build(src Source) (*Snapshot, error) {
 	return sn, nil
 }
 
+// buildPartitioned assembles a scatter-gather snapshot: a coordinator
+// over row-range engine partitions, from explicit slice files, a model
+// file (slices written next to it on first start, reopened after), or an
+// in-memory split of a freshly learned model. A failed partition assembly
+// does not fail the build — the snapshot comes back degraded with the
+// error recorded, so an embedded server can bind and answer /healthz with
+// 503 instead of crash-looping on one corrupt slice; the CLI checks
+// PartitionErr and refuses to start.
+func buildPartitioned(src Source, ds *credist.Dataset, opts credist.Options) (*Snapshot, error) {
+	if src.Partitions > 0 && len(src.SlicePaths) > 0 && src.Partitions != len(src.SlicePaths) {
+		return nil, fmt.Errorf("partitions=%d contradicts the %d slice paths", src.Partitions, len(src.SlicePaths))
+	}
+	if src.ParamsPath != "" && src.ModelPath != "" {
+		return nil, fmt.Errorf("model and params are mutually exclusive")
+	}
+	var (
+		model *credist.Model
+		parts *credist.PartitionedPlanner
+		paths []string
+		err   error
+	)
+	switch {
+	case len(src.SlicePaths) > 0:
+		paths = src.SlicePaths
+		model, parts, err = credist.LoadPartitions(ds, paths, src.Mmap, opts)
+	case src.ModelPath != "":
+		model, parts, paths, err = credist.LoadModelPartitioned(ds, src.ModelPath, src.Partitions, src.Mmap, opts)
+	default:
+		if src.ParamsPath != "" {
+			model, err = credist.LoadModel(ds, src.ParamsPath, opts)
+		} else {
+			model = credist.Learn(ds, opts)
+		}
+		if err == nil {
+			base := model.NewPlanner()
+			base.Compact()
+			parts, err = base.Partition(src.Partitions)
+		}
+	}
+	if err != nil {
+		return &Snapshot{LoadedAt: time.Now(), src: src, ds: ds, partitionErr: err}, nil
+	}
+	sn := &Snapshot{
+		LoadedAt:      time.Now(),
+		src:           src,
+		ds:            ds,
+		model:         model,
+		parts:         parts,
+		slicePaths:    paths,
+		entries:       parts.Entries(),
+		residentBytes: parts.ResidentBytes(),
+		heapBytes:     parts.HeapBytes(),
+		mappedBytes:   parts.MappedBytes(),
+		rowStore:      parts.RowStoreBackend(),
+	}
+	if src.ModelPath != "" || len(src.SlicePaths) > 0 {
+		sn.modelActions = parts.NumActions() - parts.DeltaActions()
+		sn.tailActions = parts.DeltaActions()
+	}
+	if pfx := model.SeedPrefix(); pfx != nil && len(pfx.Seeds) > 0 {
+		sn.prefix.Store(newSeedPrefix(seedsel.Result{
+			Seeds:     pfx.Seeds,
+			Gains:     pfx.Gains,
+			LookupsAt: pfx.LookupsAt,
+		}, false))
+	}
+	// No evaluator warm-up goroutine: in partitioned mode /spread and
+	// /topk route through the coordinator, so the propagation-DAG build
+	// never happens unless an embedder calls Model.Spread directly.
+	return sn, nil
+}
+
+// Partitioned reports whether this snapshot serves (or was asked to
+// serve) the scatter-gather path.
+func (sn *Snapshot) Partitioned() bool { return sn.parts != nil || sn.partitionErr != nil }
+
+// NumPartitions returns the partition count (0 on the single-engine path
+// and in the degraded state).
+func (sn *Snapshot) NumPartitions() int {
+	if sn.parts == nil {
+		return 0
+	}
+	return sn.parts.NumPartitions()
+}
+
+// PartitionStats returns per-partition accounting in partition order (nil
+// on the single-engine path).
+func (sn *Snapshot) PartitionStats() []credist.PartitionStats {
+	if sn.parts == nil {
+		return nil
+	}
+	return sn.parts.Stats()
+}
+
+// PartitionErr returns the recorded partition-assembly failure, or nil.
+// A snapshot carrying one is degraded: every model query answers 502.
+func (sn *Snapshot) PartitionErr() error { return sn.partitionErr }
+
+// partitionGate turns the degraded state into the 502 every model query
+// must return: a failed partition means no query can be answered over the
+// full universe, and a partial sum silently missing one partition's rows
+// would be far worse than an error.
+func (sn *Snapshot) partitionGate() error {
+	if sn.partitionErr != nil {
+		return &apiError{code: http.StatusBadGateway, msg: fmt.Sprintf("partitioned model unavailable: %v", sn.partitionErr)}
+	}
+	return nil
+}
+
 // Ingest builds the successor snapshot extended with a batch of new
 // propagations, incrementally: the model's learned parameters stay
 // frozen, the base planner is cloned (frozen shards shared) and only the
@@ -341,9 +503,15 @@ func Build(src Source) (*Snapshot, error) {
 // compact additionally folds the accumulated delta into the frozen base
 // before the successor is published.
 func (sn *Snapshot) Ingest(tuples []credist.Tuple, compact bool) (*Snapshot, error) {
+	if err := sn.partitionGate(); err != nil {
+		return nil, err
+	}
 	model, err := sn.model.Ingest(tuples)
 	if err != nil {
 		return nil, err
+	}
+	if sn.parts != nil {
+		return sn.ingestPartitioned(model)
 	}
 	base, err := model.ExtendPlanner(sn.base)
 	if err != nil {
@@ -360,6 +528,7 @@ func (sn *Snapshot) Ingest(tuples []credist.Tuple, compact bool) (*Snapshot, err
 	return &Snapshot{
 		LoadedAt:      time.Now(),
 		src:           sn.src,
+		ds:            model.Dataset(),
 		model:         model,
 		base:          base,
 		entries:       base.Entries(),
@@ -376,8 +545,55 @@ func (sn *Snapshot) Ingest(tuples []credist.Tuple, compact bool) (*Snapshot, err
 	}, nil
 }
 
+// ingestPartitioned derives the partitioned successor: every partition
+// clones and scans only its rows of the appended tail, in parallel, and
+// the coordinator over the new set replaces the old one atomically.
+func (sn *Snapshot) ingestPartitioned(model *credist.Model) (*Snapshot, error) {
+	parts, err := sn.parts.Extend(model)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{
+		LoadedAt:      time.Now(),
+		src:           sn.src,
+		ds:            model.Dataset(),
+		model:         model,
+		parts:         parts,
+		slicePaths:    sn.slicePaths,
+		entries:       parts.Entries(),
+		residentBytes: parts.ResidentBytes(),
+		heapBytes:     parts.HeapBytes(),
+		mappedBytes:   parts.MappedBytes(),
+		rowStore:      parts.RowStoreBackend(),
+		deltaEntries:  parts.DeltaEntries(),
+		deltaActions:  parts.DeltaActions(),
+		ingests:       sn.ingests + 1,
+		lastIngest:    time.Now(),
+		modelActions:  sn.modelActions,
+		tailActions:   sn.tailActions,
+	}, nil
+}
+
+// SaveSlices checkpoints the partitioned model as one snapshot-slice file
+// per partition, carrying the published seed prefix so a restart serves
+// /seeds instantly. Only valid on a healthy partitioned snapshot.
+func (sn *Snapshot) SaveSlices(paths []string) error {
+	if err := sn.partitionGate(); err != nil {
+		return err
+	}
+	if sn.parts == nil {
+		return fmt.Errorf("not a partitioned snapshot")
+	}
+	return sn.parts.SaveSlices(sn.model, sn.checkpointPrefix(), paths)
+}
+
 // Dataset returns the snapshot's dataset.
-func (sn *Snapshot) Dataset() *credist.Dataset { return sn.model.Dataset() }
+func (sn *Snapshot) Dataset() *credist.Dataset {
+	if sn.model != nil {
+		return sn.model.Dataset()
+	}
+	return sn.ds
+}
 
 // Model returns the underlying learned model.
 func (sn *Snapshot) Model() *credist.Model { return sn.model }
@@ -421,26 +637,51 @@ func (sn *Snapshot) RowStoreBackend() string { return sn.rowStore }
 // NumUsers returns the user-universe size, the bound for node-id inputs.
 func (sn *Snapshot) NumUsers() int { return sn.Dataset().NumUsers() }
 
-// Spread evaluates sigma_cd for one seed set.
-func (sn *Snapshot) Spread(seeds []credist.NodeID) float64 {
-	return sn.model.Spread(seeds)
+// Spread evaluates sigma_cd for one seed set. On the partitioned path the
+// coordinator telescopes exact per-seed gains (bit-identical at every
+// partition count, though summed in a different order than the
+// single-engine evaluator); degraded partitioned snapshots answer 502.
+func (sn *Snapshot) Spread(seeds []credist.NodeID) (float64, error) {
+	if err := sn.partitionGate(); err != nil {
+		return 0, err
+	}
+	if sn.parts != nil {
+		return sn.parts.Spread(seeds)
+	}
+	return sn.model.Spread(seeds), nil
 }
 
 // SpreadBatch evaluates sigma_cd for many seed sets, fanning the sets over
 // the available cores. Each set is evaluated independently, so the floats
 // are identical to len(sets) sequential Spread calls.
-func (sn *Snapshot) SpreadBatch(sets [][]credist.NodeID) []float64 {
+func (sn *Snapshot) SpreadBatch(sets [][]credist.NodeID) ([]float64, error) {
+	if err := sn.partitionGate(); err != nil {
+		return nil, err
+	}
 	out := make([]float64, len(sets))
-	forEach(len(sets), func(i int) { out[i] = sn.model.Spread(sets[i]) })
-	return out
+	errs := make([]error, len(sets))
+	forEach(len(sets), func(i int) { out[i], errs[i] = sn.Spread(sets[i]) })
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // Gains returns the marginal gain of each candidate against the base seed
-// set, batched. With an empty base the shared scanned planner answers
-// directly (Gain is read-only); otherwise the base planner is cloned and
-// the seeds committed to the clone. Either way every value is bit-identical
-// to credist.Model.Gains on the same arguments.
-func (sn *Snapshot) Gains(base, candidates []credist.NodeID) []float64 {
+// set, batched. With an empty base the shared scanned planner (or the
+// shared partitions) answers directly (Gain is read-only); otherwise the
+// base state is cloned and the seeds committed to the clone. Either way
+// every value is bit-identical to credist.Model.Gains on the same
+// arguments, at any partition count.
+func (sn *Snapshot) Gains(base, candidates []credist.NodeID) ([]float64, error) {
+	if err := sn.partitionGate(); err != nil {
+		return nil, err
+	}
+	if sn.parts != nil {
+		return sn.parts.Gains(base, candidates)
+	}
 	p := sn.base
 	if len(base) > 0 {
 		p = sn.base.Clone()
@@ -450,7 +691,7 @@ func (sn *Snapshot) Gains(base, candidates []credist.NodeID) []float64 {
 	}
 	out := make([]float64, len(candidates))
 	forEach(len(candidates), func(i int) { out[i] = p.Gain(candidates[i]) })
-	return out
+	return out, nil
 }
 
 // SelectSeeds answers a CELF seed selection for k seeds from the
@@ -464,15 +705,18 @@ func (sn *Snapshot) Gains(base, candidates []credist.NodeID) []float64 {
 // is being published are served from it. cached reports whether the
 // request was answered without running any selection. The result is
 // bit-identical to the offline Model.SelectSeeds(k).
-func (sn *Snapshot) SelectSeeds(k int) (res *SeedsResult, cached bool) {
+func (sn *Snapshot) SelectSeeds(k int) (res *SeedsResult, cached bool, err error) {
+	if err := sn.partitionGate(); err != nil {
+		return nil, false, err
+	}
 	if pv := sn.prefix.Load(); pv != nil && pv.covers(k) {
-		return pv.result(k), true
+		return pv.result(k), true, nil
 	}
 	sn.seedMu.Lock()
 	defer sn.seedMu.Unlock()
 	if pv := sn.prefix.Load(); pv != nil && pv.covers(k) {
 		// A concurrent request grew past k while we waited for the lock.
-		return pv.result(k), true
+		return pv.result(k), true, nil
 	}
 	if sn.seedSel == nil {
 		// First growth: resume from the restored prefix when there is one
@@ -481,17 +725,29 @@ func (sn *Snapshot) SelectSeeds(k int) (res *SeedsResult, cached bool) {
 		// own (possibly ingest-extended) planner, shards shared — never
 		// the model's lazy base, which for an ingest-grown model would be
 		// a second from-scratch scan of the combined log; and it owns the
-		// clone, so Engine.Add never touches the shared base.
+		// clone, so Engine.Add never touches the shared base. On the
+		// partitioned path the same resume runs scatter-gather over fresh
+		// partition clones, bit-identical to the single-engine selection.
 		var restored *credist.SeedPrefix
 		if pv := sn.prefix.Load(); pv != nil {
 			restored = &credist.SeedPrefix{Seeds: pv.seeds, Gains: pv.gains, LookupsAt: pv.lookupsAt}
 		}
-		sel, err := sn.base.ResumeSelection(restored)
-		if err != nil {
+		var sel *credist.GrowableSelection
+		var rerr error
+		if sn.parts != nil {
+			sel, rerr = sn.parts.ResumeSelection(restored)
+		} else {
+			sel, rerr = sn.base.ResumeSelection(restored)
+		}
+		if rerr != nil {
 			// A published prefix always comes from this snapshot's model,
 			// so Resume cannot reject it; recover into a fresh selection
 			// regardless.
-			sel = sn.base.NewSelection()
+			if sn.parts != nil {
+				sel = sn.parts.NewSelection()
+			} else {
+				sel = sn.base.NewSelection()
+			}
 		}
 		sn.seedSel = sel
 	}
@@ -499,7 +755,7 @@ func (sn *Snapshot) SelectSeeds(k int) (res *SeedsResult, cached bool) {
 	grown := sn.seedSel.Grow(k)
 	pv := newSeedPrefix(grown, sn.seedSel.Exhausted())
 	sn.prefix.Store(pv)
-	return pv.result(k), false
+	return pv.result(k), false, nil
 }
 
 // Selections returns how many CELF growth runs this snapshot has actually
@@ -541,6 +797,9 @@ func (sn *Snapshot) TailActions() int { return sn.tailActions }
 // "pagerank") together with the CD-model spread the set achieves — the
 // paper's "Spread Achieved" comparison (Figure 6) as an online query.
 func (sn *Snapshot) TopK(method string, k int) ([]credist.NodeID, float64, error) {
+	if err := sn.partitionGate(); err != nil {
+		return nil, 0, err
+	}
 	var seeds []credist.NodeID
 	switch method {
 	case "highdeg":
@@ -550,7 +809,11 @@ func (sn *Snapshot) TopK(method string, k int) ([]credist.NodeID, float64, error
 	default:
 		return nil, 0, fmt.Errorf("unknown method %q (valid: highdeg, pagerank)", method)
 	}
-	return seeds, sn.model.Spread(seeds), nil
+	spread, err := sn.Spread(seeds)
+	if err != nil {
+		return nil, 0, err
+	}
+	return seeds, spread, nil
 }
 
 // forEach runs fn(0..n-1) over up to GOMAXPROCS goroutines. Results are

@@ -309,7 +309,8 @@ func (s *GrowableSelection) Exhausted() bool { return s.sel.Exhausted() }
 
 // Planner exposes the selection's owned planner for inspection (entries,
 // resident bytes, delta accounting). Mutating it corrupts the selection;
-// it is read-only by contract.
+// it is read-only by contract. Selections grown from a PartitionedPlanner
+// have no single planner and return nil.
 func (s *GrowableSelection) Planner() *Planner { return s.p }
 
 // Planner is the stateful side of the model: the scanned UC credit
