@@ -1,0 +1,317 @@
+package credist
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"credist/internal/core"
+	"credist/internal/ris"
+)
+
+// Approximate serving tier: bounded-error, bounded-latency spread answers
+// from a shared RR-sample collection of reverse credit walks.
+//
+// The tier trades the exact evaluator's full credit-DAG walk per query for
+// membership counting over pre-drawn samples, and reports an honest
+// Wilson confidence interval around the exact sigma_cd value (the walks
+// are exactly unbiased for it; see core.CreditWalkSource). Samples are
+// drawn once and shared: a query with a tight eps grows the collection,
+// and every later query answers from the grown pool for free. Growth is
+// striped and per-stream deterministic, so the answer to any query is
+// bit-identical regardless of worker count, growth history, or whether
+// the collection was restored from a version-5 snapshot or drawn live.
+
+const (
+	// defaultApproxSeed is the PCG seed the tier samples with when none
+	// was restored from a snapshot. Fixed so two processes serving the
+	// same model return bit-identical approximate answers.
+	defaultApproxSeed = 0x5eed
+	// initialApproxSamples is the collection size the first approximate
+	// query starts from before any eps-driven doubling.
+	initialApproxSamples = 4 * ris.DefaultStripe
+	// DefaultMaxApproxSamples caps adaptive growth when ApproxOptions
+	// leaves MaxSamples zero; it matches the RecommendedSamples clamp.
+	DefaultMaxApproxSamples = 500000
+	// zeroHitStopSamples stops eps-driven growth for a seed set no sample
+	// hits: its relative half-width is undefined (+Inf) at any pool size,
+	// so past this many samples the tier reports the absolute interval
+	// [0, small] instead of growing to the cap chasing an unreachable eps.
+	zeroHitStopSamples = 16 * ris.DefaultStripe
+)
+
+// ApproxOptions bounds one approximate query. Zero values mean: Eps 0.1,
+// no wall-clock budget, DefaultMaxApproxSamples, GOMAXPROCS sampling
+// workers. Eps and Budget may be combined; the query stops at whichever
+// bound binds first and reports the precision it actually achieved.
+type ApproxOptions struct {
+	// Eps is the target relative half-width of the confidence interval:
+	// the query grows the sample pool until
+	// (CIHigh-CILow)/(2*Estimate) <= Eps or another bound binds.
+	Eps float64
+	// Budget caps the query's wall-clock time. Growth stops once spent;
+	// the reply still carries a valid (wider) interval.
+	Budget time.Duration
+	// MaxSamples caps the collection size this query may grow to.
+	MaxSamples int
+	// Workers fans sample growth over this many goroutines; answers are
+	// bit-identical at any value.
+	Workers int
+}
+
+// ApproxResult is one bounded-error answer from the approximate tier.
+type ApproxResult struct {
+	// Estimate is the RR estimate of sigma_cd, with [CILow, CIHigh] its
+	// 99% Wilson confidence interval around the exact value.
+	Estimate, CILow, CIHigh float64
+	// AchievedEps is the realized relative half-width; +Inf when the
+	// estimate is zero. At most Eps when the eps bound is what stopped
+	// growth.
+	AchievedEps float64
+	// Samples is the collection size the answer was computed from; Grown
+	// is how many of those were drawn during this call (0 when the pool —
+	// possibly snapshot-restored — was already sufficient).
+	Samples, Grown int
+	// Elapsed is the query's wall-clock time.
+	Elapsed time.Duration
+}
+
+// ApproxStats describes the tier's current sample pool for /stats.
+type ApproxStats struct {
+	// Samples and Bytes size the current collection (0 before the first
+	// approximate query on a model with no restored sketch).
+	Samples int
+	Bytes   int64
+	// Sampled counts samples drawn by this process; a snapshot-restored
+	// pool answers with Sampled 0 until a query outgrows it.
+	Sampled int64
+}
+
+// approxTier is the per-model state behind ApproxSpread/ApproxSeeds.
+type approxTier struct {
+	mu sync.Mutex // serializes growth; queries read coll lock-free
+	// coll is the published collection: readers load it atomically and
+	// estimate against an immutable snapshot while growth swaps in a
+	// superset.
+	coll atomic.Pointer[ris.Collection]
+	// restored is a version-5 snapshot's sketch, consumed (under mu) into
+	// the initial collection on first use.
+	restored *core.RRSketch
+	src      ris.Source
+	sampled  atomic.Int64
+}
+
+// ensure returns the current collection, materializing the walk source
+// and the restored sketch on first use. It never draws new samples.
+func (m *Model) ensureApprox() (*ris.Collection, ris.Source, error) {
+	t := &m.approx
+	if c := t.coll.Load(); c != nil && t.src != nil {
+		return c, t.src, nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.src == nil {
+		src, err := m.eval().CreditWalks()
+		if err != nil {
+			return nil, nil, err
+		}
+		t.src = src
+	}
+	if c := t.coll.Load(); c != nil {
+		return c, t.src, nil
+	}
+	if sk := t.restored; sk != nil {
+		c, err := ris.FromSets(t.src.NumNodes(), sk.Roots, sk.Seed, sk.Sets)
+		if err != nil {
+			return nil, nil, fmt.Errorf("credist: restored RR sketch: %w", err)
+		}
+		t.restored = nil
+		t.coll.Store(c)
+		return c, t.src, nil
+	}
+	return nil, t.src, nil
+}
+
+// grow extends the published collection to count samples (no-op if it
+// already holds that many) and returns the resulting collection.
+func (m *Model) growApprox(src ris.Source, count, workers int) *ris.Collection {
+	t := &m.approx
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := t.coll.Load()
+	if c == nil {
+		c = ris.CollectParallel(src, count, defaultApproxSeed, ris.CollectOptions{Workers: workers})
+		t.sampled.Add(int64(c.NumSets()))
+		t.coll.Store(c)
+		return c
+	}
+	if count <= c.NumSets() {
+		return c
+	}
+	grown := c.Extend(src, count, ris.CollectOptions{Workers: workers})
+	t.sampled.Add(int64(grown.NumSets() - c.NumSets()))
+	t.coll.Store(grown)
+	return grown
+}
+
+func (o ApproxOptions) resolved() ApproxOptions {
+	if o.Eps <= 0 {
+		o.Eps = 0.1
+	}
+	if o.MaxSamples <= 0 {
+		o.MaxSamples = DefaultMaxApproxSamples
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// ApproxSpread answers a spread query from the RR-sample tier: an
+// unbiased estimate of sigma_cd(seeds) with a 99% Wilson confidence
+// interval, growing the shared sample pool (doubling, reusing every
+// already-drawn stripe) until the interval's relative half-width reaches
+// opts.Eps or the time/sample budget is spent. It is safe for concurrent
+// use and deterministic: the same model state and seed set yield the same
+// answer at any worker count.
+func (m *Model) ApproxSpread(seeds []NodeID, opts ApproxOptions) (ApproxResult, error) {
+	start := time.Now()
+	opts = opts.resolved()
+	c, src, err := m.ensureApprox()
+	if err != nil {
+		return ApproxResult{}, err
+	}
+	grown := 0
+	if c == nil {
+		n := initialApproxSamples
+		if n > opts.MaxSamples {
+			n = opts.MaxSamples
+		}
+		c = m.growApprox(src, n, opts.Workers)
+		grown = c.NumSets()
+	}
+	for {
+		est := c.Estimate(seeds)
+		if est.Eps <= opts.Eps ||
+			(est.Hits == 0 && c.NumSets() >= zeroHitStopSamples) ||
+			c.NumSets() >= opts.MaxSamples ||
+			(opts.Budget > 0 && time.Since(start) >= opts.Budget) {
+			return ApproxResult{
+				Estimate:    est.Spread,
+				CILow:       est.Low,
+				CIHigh:      est.High,
+				AchievedEps: est.Eps,
+				Samples:     est.Samples,
+				Grown:       grown,
+				Elapsed:     time.Since(start),
+			}, nil
+		}
+		target := 2 * c.NumSets()
+		if target > opts.MaxSamples {
+			target = opts.MaxSamples
+		}
+		next := m.growApprox(src, target, opts.Workers)
+		grown += next.NumSets() - c.NumSets()
+		c = next
+	}
+}
+
+// ApproxSeeds runs greedy maximum-coverage seed selection over the
+// RR-sample tier: the returned seeds maximize sample coverage, and the
+// result's interval describes the selected set's spread. The pool grows
+// (within the same bounds as ApproxSpread) until the selected set's
+// interval meets opts.Eps, re-selecting on each growth step since more
+// samples can change the greedy choice.
+func (m *Model) ApproxSeeds(k int, opts ApproxOptions) ([]NodeID, ApproxResult, error) {
+	start := time.Now()
+	opts = opts.resolved()
+	c, src, err := m.ensureApprox()
+	if err != nil {
+		return nil, ApproxResult{}, err
+	}
+	grown := 0
+	if c == nil {
+		n := initialApproxSamples
+		if n > opts.MaxSamples {
+			n = opts.MaxSamples
+		}
+		c = m.growApprox(src, n, opts.Workers)
+		grown = c.NumSets()
+	}
+	for {
+		seeds, _ := c.SelectSeeds(k)
+		est := c.Estimate(seeds)
+		if est.Eps <= opts.Eps ||
+			(est.Hits == 0 && c.NumSets() >= zeroHitStopSamples) ||
+			c.NumSets() >= opts.MaxSamples ||
+			(opts.Budget > 0 && time.Since(start) >= opts.Budget) {
+			return seeds, ApproxResult{
+				Estimate:    est.Spread,
+				CILow:       est.Low,
+				CIHigh:      est.High,
+				AchievedEps: est.Eps,
+				Samples:     est.Samples,
+				Grown:       grown,
+				Elapsed:     time.Since(start),
+			}, nil
+		}
+		target := 2 * c.NumSets()
+		if target > opts.MaxSamples {
+			target = opts.MaxSamples
+		}
+		next := m.growApprox(src, target, opts.Workers)
+		grown += next.NumSets() - c.NumSets()
+		c = next
+	}
+}
+
+// BuildApproxSketch grows the tier's sample pool to at least n samples so
+// the next Save persists them (`credist learn -ris-samples`): a process
+// restarted from that snapshot answers its first approximate query with
+// zero sampling work.
+func (m *Model) BuildApproxSketch(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("credist: sketch size %d must be positive", n)
+	}
+	_, src, err := m.ensureApprox()
+	if err != nil {
+		return err
+	}
+	m.growApprox(src, n, runtime.GOMAXPROCS(0))
+	return nil
+}
+
+// ApproxStats reports the tier's current pool; see the field docs.
+func (m *Model) ApproxStats() ApproxStats {
+	t := &m.approx
+	s := ApproxStats{Sampled: t.sampled.Load()}
+	if c := t.coll.Load(); c != nil {
+		s.Samples = c.NumSets()
+		s.Bytes = c.Bytes()
+	} else if sk := t.restored; sk != nil {
+		// Restored but not yet materialized: report the sketch's size so
+		// /stats shows the carried-forward pool right after startup.
+		s.Samples = len(sk.Sets)
+		for _, set := range sk.Sets {
+			s.Bytes += int64(len(set)) * int64(unsafeNodeIDSize)
+		}
+	}
+	return s
+}
+
+// approxSketch snapshots the tier's pool for persistence (nil when the
+// tier holds nothing, keeping sketchless snapshots at version 3).
+func (m *Model) approxSketch() *core.RRSketch {
+	t := &m.approx
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c := t.coll.Load(); c != nil {
+		return &core.RRSketch{Seed: c.Seed(), Roots: c.Roots(), Sets: c.Sets()}
+	}
+	// A restored sketch not yet queried still carries forward.
+	return t.restored
+}
+
+const unsafeNodeIDSize = 4 // sizeof(graph.NodeID); used only for stats

@@ -1,0 +1,221 @@
+package credist
+
+import (
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// approxFields strips the timing from an ApproxResult so deterministic
+// fields can be compared across runs and worker counts.
+func approxFields(r ApproxResult) ApproxResult {
+	r.Elapsed = 0
+	return r
+}
+
+// TestApproxWithinEps is the accuracy wall for the approximate tier: on
+// the flixster-small preset, the reported confidence interval must
+// contain the exact evaluator's spread for several seed sets, and an
+// eps-bound query must achieve its target.
+func TestApproxWithinEps(t *testing.T) {
+	ds, err := GeneratePreset("flixster-small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Learn(ds, Options{Lambda: 0.001})
+	celfSeeds, _ := m.SelectSeeds(5)
+	for _, seeds := range [][]NodeID{
+		celfSeeds,
+		{0, 1, 2, 3},
+		{10, 50, 100, 200, 400},
+	} {
+		exact := m.Spread(seeds)
+		res, err := m.ApproxSpread(seeds, ApproxOptions{Eps: 0.1})
+		if err != nil {
+			t.Fatalf("ApproxSpread(%v): %v", seeds, err)
+		}
+		if res.CILow > exact || exact > res.CIHigh {
+			t.Fatalf("seeds %v: exact spread %g outside reported interval [%g, %g] (estimate %g, %d samples)",
+				seeds, exact, res.CILow, res.CIHigh, res.Estimate, res.Samples)
+		}
+		if res.AchievedEps > 0.1 && res.Samples < DefaultMaxApproxSamples {
+			t.Fatalf("seeds %v: achieved eps %g over target with budget left (%d samples)",
+				seeds, res.AchievedEps, res.Samples)
+		}
+		if res.Estimate < res.CILow || res.Estimate > res.CIHigh || res.Samples <= 0 {
+			t.Fatalf("seeds %v: malformed result %+v", seeds, res)
+		}
+	}
+}
+
+// TestApproxDeterministicAcrossWorkers pins the serving guarantee that
+// approximate answers are bit-identical at any sampling worker count.
+func TestApproxDeterministicAcrossWorkers(t *testing.T) {
+	ds := Generate(tinyConfig(11))
+	seeds := []NodeID{1, 5, 9}
+	var ref ApproxResult
+	for i, workers := range []int{1, 4, 13} {
+		m := Learn(ds, Options{Lambda: 0.001})
+		res, err := m.ApproxSpread(seeds, ApproxOptions{Eps: 0.05, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = res
+			continue
+		}
+		if approxFields(res) != approxFields(ref) {
+			t.Fatalf("workers=%d: result %+v differs from workers=1 %+v", workers, res, ref)
+		}
+	}
+
+	// Seed selection over the tier is deterministic too.
+	m1, m2 := Learn(ds, Options{Lambda: 0.001}), Learn(ds, Options{Lambda: 0.001})
+	s1, r1, err := m1.ApproxSeeds(4, ApproxOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, r2, err := m2.ApproxSeeds(4, ApproxOptions{Workers: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1, s2) || approxFields(r1) != approxFields(r2) {
+		t.Fatalf("ApproxSeeds diverged across workers: %v %+v vs %v %+v", s1, r1, s2, r2)
+	}
+}
+
+// TestApproxBudget pins the bounded-latency contract: a budgeted query
+// returns promptly with a valid (possibly wide) interval instead of
+// growing to the eps target.
+func TestApproxBudget(t *testing.T) {
+	ds := Generate(tinyConfig(12))
+	m := Learn(ds, Options{Lambda: 0.001})
+	res, err := m.ApproxSpread([]NodeID{2, 3}, ApproxOptions{Eps: 1e-9, Budget: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples <= 0 || res.CILow > res.Estimate || res.Estimate > res.CIHigh {
+		t.Fatalf("budgeted result malformed: %+v", res)
+	}
+	if res.Samples > DefaultMaxApproxSamples {
+		t.Fatalf("budgeted query grew past the cap: %d samples", res.Samples)
+	}
+
+	// A zero-hit seed set must not grow to the cap chasing +Inf eps.
+	none, err := Learn(ds, Options{Lambda: 0.001}).ApproxSpread(nil, ApproxOptions{Eps: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.Estimate != 0 || !math.IsInf(none.AchievedEps, 1) {
+		t.Fatalf("empty-set result %+v", none)
+	}
+	if none.Samples > zeroHitStopSamples {
+		t.Fatalf("zero-hit query grew to %d samples", none.Samples)
+	}
+}
+
+// TestApproxSnapshotRestart pins the version-5 cold-start guarantee: a
+// model restored from a sketch-carrying snapshot answers its first
+// approximate query with zero sampling work and bit-identical results,
+// through both the heap and the mapped loader.
+func TestApproxSnapshotRestart(t *testing.T) {
+	ds := Generate(tinyConfig(13))
+	m := Learn(ds, Options{Lambda: 0.001})
+	const pool = 4096
+	if err := m.BuildApproxSketch(pool); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.ApproxStats(); st.Samples != pool || st.Sampled != pool {
+		t.Fatalf("builder stats %+v", st)
+	}
+	seeds := []NodeID{3, 8, 21}
+	// Cap at the persisted pool so the answer is a pure read on both sides.
+	capOpts := ApproxOptions{Eps: 1e-9, MaxSamples: pool}
+	want, err := m.ApproxSpread(seeds, capOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "model.bin")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	load := func(name string, open func() (*Model, error)) {
+		back, err := open()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		defer back.Close()
+		if st := back.ApproxStats(); st.Samples != pool || st.Sampled != 0 {
+			t.Fatalf("%s: restored stats %+v, want %d samples and zero sampling", name, st, pool)
+		}
+		got, err := back.ApproxSpread(seeds, capOpts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Grown != 0 {
+			t.Fatalf("%s: first restored query drew %d samples, want 0", name, got.Grown)
+		}
+		if approxFields(got) != approxFields(want) {
+			t.Fatalf("%s: restored answer %+v differs from pre-restart %+v", name, got, want)
+		}
+		if st := back.ApproxStats(); st.Sampled != 0 {
+			t.Fatalf("%s: restored query sampled %d sets", name, st.Sampled)
+		}
+		// Growth past the restored pool continues the same streams: it
+		// must match a continuously grown collection bit for bit.
+		grown, err := back.ApproxSpread(seeds, ApproxOptions{Eps: 1e-9, MaxSamples: 2 * pool})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fresh := Learn(ds, Options{Lambda: 0.001})
+		cont, err := fresh.ApproxSpread(seeds, ApproxOptions{Eps: 1e-9, MaxSamples: 2 * pool})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if approxFields(grown) != approxFields(func() ApproxResult { cont.Grown = grown.Grown; return cont }()) {
+			t.Fatalf("%s: growth after restore %+v diverges from continuous %+v", name, grown, cont)
+		}
+	}
+	load("heap", func() (*Model, error) { return LoadModel(ds, path, Options{}) })
+	load("mapped", func() (*Model, error) { return LoadModelMapped(ds, path, Options{}) })
+
+	// A model that never touched the approximate tier still writes a
+	// plain version-3 snapshot: loading it restores no sketch.
+	plainPath := filepath.Join(t.TempDir(), "plain.bin")
+	if err := Learn(ds, Options{Lambda: 0.001}).Save(plainPath); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := LoadModel(ds, plainPath, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := plain.ApproxStats(); st.Samples != 0 {
+		t.Fatalf("sketchless snapshot restored %d samples", st.Samples)
+	}
+}
+
+// TestApproxSketchDroppedOnTailAppend pins that a sketch (like a seed
+// prefix) does not survive a snapshot load against a grown log: the walks
+// sampled the old log's propagation DAGs.
+func TestApproxSketchDroppedOnTailAppend(t *testing.T) {
+	ds := Generate(tinyConfig(14))
+	half := &Dataset{Name: ds.Name, Graph: ds.Graph, Log: ds.Log.Prefix(ds.Log.NumActions() / 2)}
+	m := Learn(half, Options{Lambda: 0.001})
+	if err := m.BuildApproxSketch(1024); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "half.bin")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModel(ds, path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := back.ApproxStats(); st.Samples != 0 {
+		t.Fatalf("stale sketch survived a tail append: %+v", st)
+	}
+}

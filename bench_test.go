@@ -929,3 +929,139 @@ func BenchmarkUCFlixsterSmall(b *testing.B) {
 		engine.Gain(NodeID(i % full.Graph.NumNodes()))
 	}
 }
+
+// --- approximate tier: RIS serving vs the exact evaluator -------------------
+
+// BenchmarkApproxVsExact contrasts the exact sigma_cd evaluation with a
+// warm approximate-tier query at eps=0.1 on the full flixster-small
+// preset: the approximate path answers by membership counting over
+// pre-drawn RR samples instead of walking every credit DAG, and still
+// reports an interval containing the exact value.
+func BenchmarkApproxVsExact(b *testing.B) {
+	cfg, ok := datagen.PresetByName("flixster-small")
+	if !ok {
+		b.Fatal("missing preset")
+	}
+	full := datagen.Generate(cfg)
+	ds := &Dataset{Name: full.Name, Graph: full.Graph, Log: full.Log}
+	m := Learn(ds, Options{Lambda: 0.001})
+	seeds, _ := m.SelectSeeds(10)
+	exact := m.Spread(seeds)
+	// Warm: the first approximate query grows the pool to its eps target;
+	// every later query answers from the shared samples.
+	warm, err := m.ApproxSpread(seeds, ApproxOptions{Eps: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if warm.CILow > exact || exact > warm.CIHigh {
+		b.Fatalf("exact spread %g outside reported interval [%g, %g]", exact, warm.CILow, warm.CIHigh)
+	}
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = m.Spread(seeds)
+		}
+	})
+	b.Run("approx-eps0.1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := m.ApproxSpread(seeds, ApproxOptions{Eps: 0.1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(warm.Samples), "samples")
+	})
+}
+
+type approxBench struct {
+	Commit      string  `json:"commit,omitempty"`
+	Date        string  `json:"date"`
+	Dataset     string  `json:"dataset"`
+	Users       int     `json:"users"`
+	Seeds       int     `json:"seeds"`
+	Samples     int     `json:"samples"`
+	ExactNs     int64   `json:"exact_ns"`
+	ApproxNs    int64   `json:"approx_ns"`
+	Speedup     float64 `json:"speedup"`
+	ExactSpread float64 `json:"exact_spread"`
+	Estimate    float64 `json:"estimate"`
+	CILow       float64 `json:"ci_low"`
+	CIHigh      float64 `json:"ci_high"`
+	AchievedEps float64 `json:"achieved_eps"`
+}
+
+// TestWriteApproxBenchJSON is the CI bench smoke behind the
+// BENCH_APPROX_JSON env var (the output path; unset skips): it times the
+// exact evaluator against a warm eps=0.1 approximate query on the
+// flixster-small preset, checks the reported interval contains the exact
+// value and that the approximate path is at least 10x faster, and writes
+// the committed-baseline artifact.
+func TestWriteApproxBenchJSON(t *testing.T) {
+	out := os.Getenv("BENCH_APPROX_JSON")
+	if out == "" {
+		t.Skip("set BENCH_APPROX_JSON=<path> to write the approx bench artifact")
+	}
+	cfg, ok := datagen.PresetByName("flixster-small")
+	if !ok {
+		t.Fatal("missing preset")
+	}
+	full := datagen.Generate(cfg)
+	ds := &Dataset{Name: full.Name, Graph: full.Graph, Log: full.Log}
+	m := Learn(ds, Options{Lambda: 0.001})
+	seeds, _ := m.SelectSeeds(10)
+	exact := m.Spread(seeds)
+	warm, err := m.ApproxSpread(seeds, ApproxOptions{Eps: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CILow > exact || exact > warm.CIHigh {
+		t.Fatalf("exact spread %g outside reported interval [%g, %g]", exact, warm.CILow, warm.CIHigh)
+	}
+	// Steady state on both sides: several reps, best time wins, so a CI
+	// scheduler hiccup cannot fail the speedup gate spuriously.
+	best := func(f func()) int64 {
+		bestNs := int64(1<<63 - 1)
+		for rep := 0; rep < 5; rep++ {
+			t0 := time.Now()
+			f()
+			if ns := time.Since(t0).Nanoseconds(); ns < bestNs {
+				bestNs = ns
+			}
+		}
+		return bestNs
+	}
+	exactNs := best(func() { _ = m.Spread(seeds) })
+	approxNs := best(func() {
+		if _, err := m.ApproxSpread(seeds, ApproxOptions{Eps: 0.1}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	speedup := float64(exactNs) / float64(approxNs)
+	if speedup < 10 {
+		t.Fatalf("approximate tier only %.1fx faster than exact (exact %d ns, approx %d ns), want >= 10x",
+			speedup, exactNs, approxNs)
+	}
+	rec := approxBench{
+		Commit:      os.Getenv("BENCH_COMMIT"),
+		Date:        time.Now().UTC().Format(time.RFC3339),
+		Dataset:     full.Name,
+		Users:       full.Graph.NumNodes(),
+		Seeds:       len(seeds),
+		Samples:     warm.Samples,
+		ExactNs:     exactNs,
+		ApproxNs:    approxNs,
+		Speedup:     speedup,
+		ExactSpread: exact,
+		Estimate:    warm.Estimate,
+		CILow:       warm.CILow,
+		CIHigh:      warm.CIHigh,
+		AchievedEps: warm.AchievedEps,
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("approx vs exact: exact %.2f ms, approx %.3f ms (%.0fx), interval [%.1f, %.1f] contains %.1f -> %s",
+		float64(exactNs)/1e6, float64(approxNs)/1e6, speedup, warm.CILow, warm.CIHigh, exact, out)
+}

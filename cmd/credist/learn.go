@@ -24,6 +24,7 @@ func runLearn(args []string) {
 		lambda    = fs.Float64("lambda", 0.001, "CD truncation threshold (paper default 0.001; 0 keeps every credit)")
 		simple    = fs.Bool("simple-credit", false, "use the equal-split 1/d_in direct-credit rule instead of the learned time-aware rule (Eq. 9)")
 		seedK     = fs.Int("seed-k", 0, "also run CELF for this many seeds and persist the selection prefix in the snapshot, so `credist serve -model` answers /seeds?k<=N instantly from the first request (0 skips)")
+		risN      = fs.Int("ris-samples", 0, "also draw this many RR samples (reverse credit walks) and persist the sketch in the snapshot, so `credist serve -model` answers its first approximate query (/spread?eps=) with zero sampling work (0 skips)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), `Usage: credist learn [flags] -o model.bin
@@ -37,6 +38,7 @@ processed.
 
   credist learn -preset flixster-small -o model.bin
   credist learn -preset flixster-small -seed-k 50 -o model.bin   # + seed prefix
+  credist learn -preset flixster-small -ris-samples 100000 -o model.bin  # + RR sketch
   credist serve -preset flixster-small -model model.bin
   credist learn -graph d.graph -log d.log -lambda 0.001 -o model.bin
 
@@ -76,6 +78,16 @@ Flags:
 		model.RecordSeedPrefix(res)
 		fmt.Printf("selected %d-seed prefix (spread %.2f, %d gain evaluations) in %v\n",
 			len(res.Seeds), res.Spread(), res.Lookups, time.Since(t).Round(time.Millisecond))
+	}
+	if *risN > 0 {
+		t := time.Now()
+		if err := model.BuildApproxSketch(*risN); err != nil {
+			fmt.Fprintln(os.Stderr, "credist learn:", err)
+			os.Exit(1)
+		}
+		ast := model.ApproxStats()
+		fmt.Printf("drew %d RR samples (%.1f MiB sketch) in %v\n",
+			ast.Samples, float64(ast.Bytes)/(1<<20), time.Since(t).Round(time.Millisecond))
 	}
 	if err := model.Save(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "credist learn:", err)

@@ -42,15 +42,22 @@ from a dataset, hold it as an immutable snapshot, and answer concurrent
 JSON queries. Endpoints:
 
   GET  /spread?seeds=1,2,3     sigma_cd of a seed set (POST {"seeds":[...]}
-                               or {"sets":[[...],...]} for batches)
+                               or {"sets":[[...],...]} for batches); add
+                               &eps=0.1 and/or &budget=10ms for a bounded-
+                               error, bounded-latency RR-tier estimate with
+                               a 99%% confidence interval around the exact
+                               value ({estimate, ci_low, ci_high, ...})
   GET  /gain?candidates=4,5    batched marginal gains, optional &seeds= base
   GET  /seeds?k=N              CELF seed selection, prefix-incremental: one
                                growable selection per snapshot; any k at or
                                below the largest computed (or restored from
-                               -model / -warm-k) is a zero-work prefix slice
+                               -model / -warm-k) is a zero-work prefix slice;
+                               add &eps=0.1 for RR coverage-greedy seeds with
+                               an interval on the selected set's spread
   GET  /topk?method=highdeg&k=N  heuristic baseline seeds, CD-scored
   GET  /healthz                liveness
-  GET  /stats                  snapshot shape, base/delta UC entries, QPS
+  GET  /stats                  snapshot shape, base/delta UC entries, QPS,
+                               RR-sketch size and approximate-tier hits
   POST /reload                 learn from a new source and atomically swap,
                                e.g. {"preset":"flickr-small","lambda":0.001}
   POST /ingest                 append new propagations incrementally (only the

@@ -320,13 +320,25 @@ func (s *Selection) buildHeap() {
 		for _, x := range s.seeds {
 			committed[x] = struct{}{}
 		}
-		filtered := make([]graph.NodeID, 0, len(pool))
+		// The caller's Candidates slice is never mutated and, when no
+		// committed seed appears in it, never copied either — long-lived
+		// pools (the RIS tier hands its covered-node index straight in, on
+		// every selection) stay zero-allocation here.
+		overlap := 0
 		for _, x := range pool {
-			if _, in := committed[x]; !in {
-				filtered = append(filtered, x)
+			if _, in := committed[x]; in {
+				overlap++
 			}
 		}
-		pool = filtered
+		if overlap > 0 {
+			filtered := make([]graph.NodeID, 0, len(pool)-overlap)
+			for _, x := range pool {
+				if _, in := committed[x]; !in {
+					filtered = append(filtered, x)
+				}
+			}
+			pool = filtered
+		}
 	}
 	round := len(s.seeds)
 	ents := make(gainHeap, len(pool))

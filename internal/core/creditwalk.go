@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"credist/internal/graph"
+)
+
+// CreditWalkSource samples the CD spread objective by reverse credit
+// walks over the evaluator's propagation DAGs. It is the approximate
+// tier's RR-sample source, satisfying internal/ris's structural Source
+// interface without core importing ris.
+//
+// The construction makes the estimator exactly unbiased for sigma_cd
+// (Eq. 8), not merely for a proxy diffusion model: the credit DP that
+// defines Gamma_{S,u}(a) — val[i] = 1 if u_i is a seed, else
+// sum_j val[parent j] * gamma_j — is precisely the hit probability of a
+// stochastic walk that, standing at participant i, steps to parent j
+// with probability gamma_j and stops with the leftover probability
+// 1 - sum gamma (the CreditModel contract guarantees sum gamma <= 1).
+// So with a root u drawn uniformly from the active users (A_u > 0), an
+// action a drawn uniformly from u's A_u actions, and the walk path
+// recorded from u, Pr[path intersects S] = sigma_cd(S) / Roots(): a
+// sampled root inside S hits with probability 1 (its kappa is exactly 1),
+// and every other root contributes Gamma_{S,u}(a)/A_u in expectation.
+// Scaling the hit fraction by Roots() therefore converges to the exact
+// Evaluator.Spread value, which is what lets the serving tier report a
+// genuine confidence interval around the exact answer.
+//
+// Every choice the walk makes is a deterministic function of the rng
+// stream and the evaluator's frozen structures (roots ascending, action
+// lists in log order, parents in chronological order), so sampling is
+// bit-identical across processes and restarts for a given seed.
+type CreditWalkSource struct {
+	ev    *Evaluator
+	roots []graph.NodeID // users with A_u > 0, ascending
+}
+
+// CreditWalks returns the reverse credit-walk sample source over the
+// evaluator's training propagations. It fails only when no user performed
+// any action (nothing to sample; sigma_cd is identically zero there).
+func (ev *Evaluator) CreditWalks() (*CreditWalkSource, error) {
+	var roots []graph.NodeID
+	for u := 0; u < ev.numUsers; u++ {
+		if ev.au[u] > 0 {
+			roots = append(roots, graph.NodeID(u))
+		}
+	}
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("core: credit walks need at least one active user")
+	}
+	return &CreditWalkSource{ev: ev, roots: roots}, nil
+}
+
+// NumNodes returns the user-universe size.
+func (s *CreditWalkSource) NumNodes() int { return s.ev.numUsers }
+
+// Roots returns the number of active users — the estimate's scale
+// numerator N+: sigma_cd(S) = N+ * Pr[a walk path hits S].
+func (s *CreditWalkSource) Roots() int { return len(s.roots) }
+
+// NewWalker returns a sampling closure drawing one walk path per call.
+// Walkers are independent and allocation-light; the striped collector
+// runs one per stripe.
+func (s *CreditWalkSource) NewWalker() func(rng *rand.Rand) []graph.NodeID {
+	return func(rng *rand.Rand) []graph.NodeID {
+		u := s.roots[rng.IntN(len(s.roots))]
+		actions := s.ev.actionsOf[u]
+		a := actions[rng.IntN(len(actions))]
+		return s.walk(a, u, rng)
+	}
+}
+
+// walk records one reverse credit walk through propagation a starting at
+// participant u: step to parent j with probability gamma_j, stop with the
+// leftover mass. Chronological indices strictly decrease, so the path is
+// duplicate-free and at most the propagation depth long; the root is
+// always included (a seed root is a guaranteed hit, mirroring its unit
+// kappa in Evaluator.Spread).
+func (s *CreditWalkSource) walk(a int32, u graph.NodeID, rng *rand.Rand) []graph.NodeID {
+	p := s.ev.props[a]
+	i := p.Index(u)
+	path := []graph.NodeID{u}
+	for {
+		gi := s.ev.gammas[a][i]
+		if len(gi) == 0 {
+			return path
+		}
+		x := rng.Float64()
+		acc := 0.0
+		next := int32(-1)
+		for k, j := range p.Parents[i] {
+			acc += gi[k]
+			if x < acc {
+				next = j
+				break
+			}
+		}
+		if next < 0 {
+			return path
+		}
+		i = next
+		path = append(path, p.Users[i])
+	}
+}
+
+// RRSketch is the persisted form of the approximate tier's RR-sample
+// collection: the PCG seed the stripes were drawn from, the root count
+// the estimates scale by, and the samples themselves in draw order. A
+// version-5 snapshot carries one so a restarted server answers its first
+// approximate query with zero sampling work; because stripes are
+// per-stream deterministic, a restored sketch also grows bit-identically
+// to a continuous collection.
+type RRSketch struct {
+	Seed  uint64
+	Roots int
+	Sets  [][]graph.NodeID
+}
+
+// Validate enforces the structural rules writer and reader share (so the
+// writer can never produce a sketch section every load refuses): at least
+// one sample, every sample non-empty with ids inside the universe, and a
+// root count in [1, numUsers].
+func (sk *RRSketch) Validate(numUsers int) error {
+	if len(sk.Sets) == 0 {
+		return fmt.Errorf("core: RR sketch has no samples")
+	}
+	if sk.Roots < 1 || sk.Roots > numUsers {
+		return fmt.Errorf("core: RR sketch root count %d outside [1,%d]", sk.Roots, numUsers)
+	}
+	for i, set := range sk.Sets {
+		if len(set) == 0 {
+			return fmt.Errorf("core: RR sample %d is empty", i)
+		}
+		for _, v := range set {
+			if v < 0 || int(v) >= numUsers {
+				return fmt.Errorf("core: RR sample %d node %d outside [0,%d)", i, v, numUsers)
+			}
+		}
+	}
+	return nil
+}
+
+// writeSketchSection emits the version-5 RR-sketch section. Every field
+// is written verbatim and count-prefixed, so the encoding of a given
+// sketch is unique and an accepted file re-encodes byte for byte.
+func writeSketchSection(sw *snapWriter, sk *RRSketch) {
+	sw.u64(sk.Seed)
+	sw.u32(uint32(sk.Roots))
+	sw.u32(uint32(len(sk.Sets)))
+	for _, set := range sk.Sets {
+		sw.u32(uint32(len(set)))
+		for _, v := range set {
+			sw.u32(uint32(v))
+		}
+	}
+}
+
+// parseSketchSection parses the version-5 RR-sketch section, enforcing
+// exactly the rules RRSketch.Validate states.
+func parseSketchSection(sc *snapCursor, numUsers int) (*RRSketch, error) {
+	sk := &RRSketch{Seed: sc.u64()}
+	roots := sc.u32()
+	if sc.err == nil && (roots < 1 || int(roots) > numUsers) {
+		sc.fail("RR sketch root count %d outside [1,%d]", roots, numUsers)
+	}
+	sk.Roots = int(roots)
+	n := sc.count("RR sample", 4)
+	if sc.err == nil && n == 0 {
+		sc.fail("version-5 snapshot with an empty RR sketch")
+	}
+	sk.Sets = make([][]graph.NodeID, 0, n)
+	for i := 0; i < n && sc.err == nil; i++ {
+		l := sc.count("RR sample entry", 4)
+		if sc.err != nil {
+			break
+		}
+		if l == 0 {
+			sc.fail("RR sample %d is empty", i)
+			break
+		}
+		set := make([]graph.NodeID, l)
+		for j := range set {
+			v := sc.u32()
+			if sc.err != nil {
+				break
+			}
+			if int(v) >= numUsers {
+				sc.fail("RR sample %d node %d outside [0,%d)", i, v, numUsers)
+				break
+			}
+			set[j] = graph.NodeID(v)
+		}
+		sk.Sets = append(sk.Sets, set)
+	}
+	return sk, sc.err
+}

@@ -337,21 +337,30 @@ func (m *MappedSnapshot) Backend() string {
 // is still present and verified whenever the same file is read with
 // ReadSnapshotPrefix.
 func OpenSnapshotMapped(path string) (*Engine, Lineage, *SeedPrefix, *MappedSnapshot, error) {
+	eng, lin, prefix, _, ms, err := OpenSnapshotMappedSketch(path)
+	return eng, lin, prefix, ms, err
+}
+
+// OpenSnapshotMappedSketch is OpenSnapshotMapped plus the stored RR
+// sketch (nil for versions below 5). The sketch section sits inside the
+// header CRC, so even the mapped open — which skips the footer — reads it
+// corruption-checked.
+func OpenSnapshotMappedSketch(path string) (*Engine, Lineage, *SeedPrefix, *RRSketch, *MappedSnapshot, error) {
 	var lin Lineage
 	data, release, err := mmapFile(path)
 	if err != nil {
-		return nil, lin, nil, nil, err
+		return nil, lin, nil, nil, nil, err
 	}
 	ms := &MappedSnapshot{data: data, release: release, backend: "mmap"}
 	if !mappedAliasSupported() {
 		ms.backend = "heap"
 	}
-	eng, lin, prefix, err := parseSnapshotV3(data, ms.backend == "mmap")
+	eng, lin, prefix, sketch, err := parseSnapshotV3(data, ms.backend == "mmap")
 	if err != nil {
 		ms.Close()
-		return nil, lin, nil, nil, err
+		return nil, lin, nil, nil, nil, err
 	}
-	return eng, lin, prefix, ms, nil
+	return eng, lin, prefix, sketch, ms, nil
 }
 
 // parseSnapshotV3 parses a version-3 snapshot payload held in data
@@ -360,34 +369,34 @@ func OpenSnapshotMapped(path string) (*Engine, Lineage, *SeedPrefix, *MappedSnap
 // header CRC is verified either way; the full-file footer CRC is the
 // caller's concern (ReadSnapshotPrefix verifies it first, the mapped
 // open deliberately skips it).
-func parseSnapshotV3(data []byte, alias bool) (*Engine, Lineage, *SeedPrefix, error) {
+func parseSnapshotV3(data []byte, alias bool) (*Engine, Lineage, *SeedPrefix, *RRSketch, error) {
 	var lin Lineage
 	if len(data) < len(snapshotMagic)+4+4 {
-		return nil, lin, nil, fmt.Errorf("core: snapshot: truncated input: shorter than the fixed header")
+		return nil, lin, nil, nil, fmt.Errorf("core: snapshot: truncated input: shorter than the fixed header")
 	}
 	if !IsSnapshotHeader(data) {
-		return nil, lin, nil, fmt.Errorf("core: snapshot: bad magic (not a snapshot file)")
+		return nil, lin, nil, nil, fmt.Errorf("core: snapshot: bad magic (not a snapshot file)")
 	}
 	payload := data[:len(data)-4]
 	sc := &snapCursor{b: payload, off: len(snapshotMagic)}
 	version := sc.u32()
-	if version != snapshotVersion && version != snapshotVersionSlice {
+	if version != snapshotVersion && version != snapshotVersionSlice && version != snapshotVersionSketch {
 		if version == snapshotVersionNoBase || version == snapshotVersionNoPrefix {
-			return nil, lin, nil, fmt.Errorf("core: snapshot: version %d predates the mapped base section (version %d); load it without mmap or re-save it", version, snapshotVersion)
+			return nil, lin, nil, nil, fmt.Errorf("core: snapshot: version %d predates the mapped base section (version %d); load it without mmap or re-save it", version, snapshotVersion)
 		}
-		return nil, lin, nil, fmt.Errorf("core: snapshot: unsupported version (supported: 1 through %d)", snapshotVersionSlice)
+		return nil, lin, nil, nil, fmt.Errorf("core: snapshot: unsupported version (supported: 1 through %d)", snapshotVersionSketch)
 	}
 	lin, lambda, credit, err := parseSnapshotHeader(sc)
 	if err != nil {
-		return nil, lin, nil, err
+		return nil, lin, nil, nil, err
 	}
 	e := newSnapshotEngine(lin, lambda, credit)
 	if err := parseUsers(sc, lin, e); err != nil {
-		return nil, lin, nil, err
+		return nil, lin, nil, nil, err
 	}
 	prefix, err := parseSeedPrefix(sc, lin.NumUsers)
 	if err != nil {
-		return nil, lin, nil, err
+		return nil, lin, nil, nil, err
 	}
 	// Version-4 slices declare the influencer-row range their base section
 	// holds; the base walk below then enforces it row by row.
@@ -395,10 +404,19 @@ func parseSnapshotV3(data []byte, alias bool) (*Engine, Lineage, *SeedPrefix, er
 	if version == snapshotVersionSlice {
 		rowLo, rowHi = int(sc.u32()), int(sc.u32())
 		if sc.err == nil && (rowLo < 0 || rowLo > rowHi || rowHi > lin.NumUsers) {
-			return nil, lin, nil, fmt.Errorf("core: snapshot: slice rows [%d,%d) outside the universe [0,%d)", rowLo, rowHi, lin.NumUsers)
+			return nil, lin, nil, nil, fmt.Errorf("core: snapshot: slice rows [%d,%d) outside the universe [0,%d)", rowLo, rowHi, lin.NumUsers)
 		}
 		e.partitioned = true
 		e.partLo, e.partHi = rowLo, rowHi
+	}
+	// Version-5 snapshots carry the approximate tier's RR sketch between
+	// the prefix section and the header CRC, so both the heap and the
+	// mapped open restore it integrity-checked.
+	var sketch *RRSketch
+	if version == snapshotVersionSketch {
+		if sketch, err = parseSketchSection(sc, lin.NumUsers); err != nil {
+			return nil, lin, nil, nil, err
+		}
 	}
 	// Header CRC: everything from the magic up to this field. It makes the
 	// mapped open corruption-checked over every byte it trusts blindly
@@ -406,24 +424,24 @@ func parseSnapshotV3(data []byte, alias bool) (*Engine, Lineage, *SeedPrefix, er
 	headerEnd := sc.off
 	declared := sc.u32()
 	if sc.err != nil {
-		return nil, lin, nil, sc.err
+		return nil, lin, nil, nil, sc.err
 	}
 	if got := crc32.ChecksumIEEE(payload[:headerEnd]); got != declared {
-		return nil, lin, nil, fmt.Errorf("core: snapshot: header checksum mismatch (file %08x, computed %08x)", declared, got)
+		return nil, lin, nil, nil, fmt.Errorf("core: snapshot: header checksum mismatch (file %08x, computed %08x)", declared, got)
 	}
 	padLen := (8 - sc.off%8) % 8
 	for _, b := range sc.take(padLen) {
 		if b != 0 {
-			return nil, lin, nil, fmt.Errorf("core: snapshot: non-zero alignment padding before the base section")
+			return nil, lin, nil, nil, fmt.Errorf("core: snapshot: non-zero alignment padding before the base section")
 		}
 	}
 	if sc.err != nil {
-		return nil, lin, nil, sc.err
+		return nil, lin, nil, nil, sc.err
 	}
 	baseOff := sc.off
 	extents, total, err := validateBaseSection(payload, baseOff, lin.NumUsers, lin.NumActions, rowLo, rowHi)
 	if err != nil {
-		return nil, lin, nil, err
+		return nil, lin, nil, nil, err
 	}
 	e.entries = total
 	if alias && (len(payload) == baseOff || uintptr(unsafe.Pointer(&payload[baseOff]))%8 == 0) {
@@ -433,7 +451,7 @@ func parseSnapshotV3(data []byte, alias bool) (*Engine, Lineage, *SeedPrefix, er
 	} else {
 		decodeHeapShards(e, payload, extents, lin.NumUsers)
 	}
-	return e, lin, prefix, nil
+	return e, lin, prefix, sketch, nil
 }
 
 // aliasShard wraps one validated block as an in-place mappedShard.

@@ -85,6 +85,17 @@ const (
 	// snapshots keep writing version 3 byte-identically.
 	snapshotVersionSlice = 4
 
+	// snapshotVersionSketch marks a snapshot carrying the approximate
+	// tier's RR sketch: version 3 plus one header section (right after the
+	// seed-prefix section, inside the header CRC) holding the sketch's PCG
+	// seed, its root count, and every RR sample verbatim (u64 seed, u32
+	// roots, u32 sample count >= 1, then per sample u32 len >= 1 + that
+	// many u32 node ids in [0, numUsers)). A restart rebuilds the
+	// approximate tier's collection from the section with zero sampling
+	// work. Snapshots without a sketch keep writing version 3
+	// byte-identically; slices (version 4) never carry a sketch.
+	snapshotVersionSketch = 5
+
 	// snapshotVersionNoBase is the pre-mmap format: packed 12-byte cells,
 	// no offset tables, no header CRC. Still read, never written.
 	snapshotVersionNoBase = 2
@@ -377,13 +388,32 @@ func writeSeedPrefixSection(sw *snapWriter, prefix *SeedPrefix) {
 // this writer emits are what OpenSnapshotMapped later serves queries from
 // without parsing.
 func (e *Engine) WriteSnapshotPrefix(w io.Writer, lin Lineage, prefix *SeedPrefix) error {
+	return e.WriteSnapshotSketch(w, lin, prefix, nil)
+}
+
+// WriteSnapshotSketch serializes the engine, its lineage, an optional
+// seed prefix, and an optional RR sketch. With a non-empty sketch the
+// file is written as version 5 (version 3 plus the sketch section); with
+// sk nil (or empty) it is the byte-identical version-3 file
+// WriteSnapshotPrefix has always produced, so sketchless snapshots stay
+// readable by older binaries.
+func (e *Engine) WriteSnapshotSketch(w io.Writer, lin Lineage, prefix *SeedPrefix, sk *RRSketch) error {
 	if e.partitioned {
 		// A partition's base holds only its own rows; writing it under the
 		// full-model version would produce a file every reader trusts as
 		// the complete credit structure.
 		return fmt.Errorf("core: cannot write a partition engine (rows [%d,%d)) as a full snapshot; use WriteSnapshotSlice", e.partLo, e.partHi)
 	}
-	return e.writeSnapshotRows(w, lin, prefix, snapshotVersion, 0, e.numUsers)
+	version := uint32(snapshotVersion)
+	if sk != nil && len(sk.Sets) > 0 {
+		if err := sk.Validate(e.numUsers); err != nil {
+			return err
+		}
+		version = snapshotVersionSketch
+	} else {
+		sk = nil
+	}
+	return e.writeSnapshotRows(w, lin, prefix, version, 0, e.numUsers, sk)
 }
 
 // WriteSnapshotSlice serializes the engine's influencer rows in [lo, hi)
@@ -403,13 +433,14 @@ func (e *Engine) WriteSnapshotSlice(w io.Writer, lin Lineage, prefix *SeedPrefix
 	if e.partitioned && (lo != e.partLo || hi != e.partHi) {
 		return fmt.Errorf("core: partition engine holds rows [%d,%d), cannot write slice [%d,%d)", e.partLo, e.partHi, lo, hi)
 	}
-	return e.writeSnapshotRows(w, lin, prefix, snapshotVersionSlice, lo, hi)
+	return e.writeSnapshotRows(w, lin, prefix, snapshotVersionSlice, lo, hi, nil)
 }
 
-// writeSnapshotRows is the shared body of WriteSnapshotPrefix (version 3,
-// every row) and WriteSnapshotSlice (version 4, rows in [lo, hi) plus the
-// range record in the header).
-func (e *Engine) writeSnapshotRows(w io.Writer, lin Lineage, prefix *SeedPrefix, version uint32, lo, hi int) error {
+// writeSnapshotRows is the shared body of WriteSnapshotSketch (version 3,
+// every row; version 5 when an RR sketch rides along) and
+// WriteSnapshotSlice (version 4, rows in [lo, hi) plus the range record
+// in the header).
+func (e *Engine) writeSnapshotRows(w io.Writer, lin Lineage, prefix *SeedPrefix, version uint32, lo, hi int, sk *RRSketch) error {
 	if err := e.checkSnapshotArgs(lin, prefix); err != nil {
 		return err
 	}
@@ -422,6 +453,9 @@ func (e *Engine) writeSnapshotRows(w io.Writer, lin Lineage, prefix *SeedPrefix,
 	if version == snapshotVersionSlice {
 		sw.u32(uint32(lo))
 		sw.u32(uint32(hi))
+	}
+	if version == snapshotVersionSketch {
+		writeSketchSection(sw, sk)
 	}
 
 	// Header CRC over everything written so far, then zero padding so the
@@ -764,46 +798,55 @@ func ReadSnapshot(r io.Reader) (*Engine, Lineage, error) {
 	return e, lin, err
 }
 
-// ReadSnapshotPrefix parses a snapshot written by WriteSnapshotPrefix and
+// ReadSnapshotPrefix parses a snapshot written by WriteSnapshotPrefix,
+// discarding any stored RR sketch. See ReadSnapshotSketch.
+func ReadSnapshotPrefix(r io.Reader) (*Engine, Lineage, *SeedPrefix, error) {
+	e, lin, prefix, _, err := ReadSnapshotSketch(r)
+	return e, lin, prefix, err
+}
+
+// ReadSnapshotSketch parses a snapshot written by WriteSnapshotSketch and
 // rebuilds the engine heap-resident: the column mirror of every shard and
 // the Au normalizers are reconstructed deterministically from the stored
-// rows. Any supported version (1 through 3) is accepted. The returned
+// rows. Any supported version (1 through 5) is accepted. The returned
 // engine is frozen (every shard shared) with the full scanned range as its
 // base, has no committed seeds, and is bit-for-bit equivalent to the saved
 // engine; the returned prefix is the stored seed prefix, or nil when the
-// file carries none (always for version-1 files). Corrupt or truncated
-// input — bad magic, impossible counts, unordered keys, a CRC mismatch,
-// trailing garbage, a malformed prefix — is rejected with an error, never
-// a panic or an unbounded allocation. For serving straight off the file
-// without this parse, see OpenSnapshotMapped.
-func ReadSnapshotPrefix(r io.Reader) (*Engine, Lineage, *SeedPrefix, error) {
+// file carries none (always for version-1 files), and the returned sketch
+// is the stored RR sketch, or nil for every version below 5. Corrupt or
+// truncated input — bad magic, impossible counts, unordered keys, a CRC
+// mismatch, trailing garbage, a malformed prefix or sketch — is rejected
+// with an error, never a panic or an unbounded allocation. For serving
+// straight off the file without this parse, see OpenSnapshotMapped.
+func ReadSnapshotSketch(r io.Reader) (*Engine, Lineage, *SeedPrefix, *RRSketch, error) {
 	var lin Lineage
 	data, err := io.ReadAll(r)
 	if err != nil {
-		return nil, lin, nil, fmt.Errorf("core: snapshot: read: %w", err)
+		return nil, lin, nil, nil, fmt.Errorf("core: snapshot: read: %w", err)
 	}
 	if len(data) < len(snapshotMagic)+4+4 {
-		return nil, lin, nil, errors.New("core: snapshot: truncated input: shorter than the fixed header")
+		return nil, lin, nil, nil, errors.New("core: snapshot: truncated input: shorter than the fixed header")
 	}
 	if !IsSnapshotHeader(data) {
-		return nil, lin, nil, errors.New("core: snapshot: bad magic (not a snapshot file)")
+		return nil, lin, nil, nil, errors.New("core: snapshot: bad magic (not a snapshot file)")
 	}
 	// Integrity first: the CRC footer covers the whole payload, so every
 	// later structural check runs on bytes known to be exactly what the
 	// writer produced (or the file is rejected here, wholesale).
 	payload, footer := data[:len(data)-4], data[len(data)-4:]
 	if got, want := binary.LittleEndian.Uint32(footer), crc32.ChecksumIEEE(payload); got != want {
-		return nil, lin, nil, fmt.Errorf("core: snapshot: checksum mismatch (file %08x, computed %08x): corrupt or truncated input", got, want)
+		return nil, lin, nil, nil, fmt.Errorf("core: snapshot: checksum mismatch (file %08x, computed %08x): corrupt or truncated input", got, want)
 	}
 
 	version := binary.LittleEndian.Uint32(data[len(snapshotMagic):])
 	switch version {
-	case snapshotVersion, snapshotVersionSlice:
+	case snapshotVersion, snapshotVersionSlice, snapshotVersionSketch:
 		return parseSnapshotV3(data, false)
 	case snapshotVersionNoBase, snapshotVersionNoPrefix:
-		return readLegacySnapshot(payload, version)
+		e, l, p, err := readLegacySnapshot(payload, version)
+		return e, l, p, nil, err
 	default:
-		return nil, lin, nil, fmt.Errorf("core: snapshot: unsupported version %d (supported: 1 through %d)", version, snapshotVersionSlice)
+		return nil, lin, nil, nil, fmt.Errorf("core: snapshot: unsupported version %d (supported: 1 through %d)", version, snapshotVersionSketch)
 	}
 }
 

@@ -126,6 +126,58 @@ func FuzzReadSnapshot(f *testing.F) {
 		}
 	}
 
+	// Seeds: version-5 snapshot carrying an RR sketch, plus CRC-refreshed
+	// corruptions of the sketch section (the section sits right after the
+	// seed-prefix section, inside the header CRC, so both checksums must
+	// be restamped for the structural validators to do the rejecting).
+	src, err := NewEvaluator(g, log, credit).CreditWalks()
+	if err != nil {
+		f.Fatal(err)
+	}
+	walker := src.NewWalker()
+	skRng := rand.New(rand.NewPCG(3, 0x415a))
+	sketch := &RRSketch{Seed: 3, Roots: src.Roots()}
+	for i := 0; i < 40; i++ {
+		sketch.Sets = append(sketch.Sets, walker(skRng))
+	}
+	var sketched bytes.Buffer
+	if err := e.WriteSnapshotSketch(&sketched, lin, prefix, sketch); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sketched.Bytes())
+	{
+		// Locate the sketch section by replaying the header parse: the
+		// cursor lands exactly at the section start, and the header CRC
+		// sits right after the section.
+		v5 := sketched.Bytes()
+		sc := &snapCursor{b: v5[:len(v5)-4], off: len(snapshotMagic) + 4}
+		lin5, lambda5, credit5, err := parseSnapshotHeader(sc)
+		if err != nil {
+			f.Fatal(err)
+		}
+		tmp := newSnapshotEngine(lin5, lambda5, credit5)
+		if err := parseUsers(sc, lin5, tmp); err != nil {
+			f.Fatal(err)
+		}
+		if _, err := parseSeedPrefix(sc, lin5.NumUsers); err != nil {
+			f.Fatal(err)
+		}
+		skOff := sc.off
+		sketchSize := 8 + 4 + 4
+		for _, set := range sketch.Sets {
+			sketchSize += 4 + 4*len(set)
+		}
+		hdrCRCOff := skOff + sketchSize
+		for _, tweak := range []int{8, 12, 16} { // roots, sample count, first sample len
+			bad := append([]byte(nil), v5...)
+			binary.LittleEndian.PutUint32(bad[skOff+tweak:],
+				binary.LittleEndian.Uint32(bad[skOff+tweak:])^(1<<30))
+			binary.LittleEndian.PutUint32(bad[hdrCRCOff:], crc32.ChecksumIEEE(bad[:hdrCRCOff]))
+			binary.LittleEndian.PutUint32(bad[len(bad)-4:], crc32.ChecksumIEEE(bad[:len(bad)-4]))
+			f.Add(bad)
+		}
+	}
+
 	// Seeds: version-3 base-section abuse — truncated and misaligned offset
 	// tables, CRC-refreshed so only the canonical-layout validators can
 	// reject them. The base section sits at a computable distance from the
@@ -156,7 +208,7 @@ func FuzzReadSnapshot(f *testing.F) {
 	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		eng, lin, pfx, err := ReadSnapshotPrefix(bytes.NewReader(data))
+		eng, lin, pfx, sketch, err := ReadSnapshotSketch(bytes.NewReader(data))
 		if err != nil {
 			return // rejected input is the expected outcome; no panic happened
 		}
@@ -181,6 +233,19 @@ func FuzzReadSnapshot(f *testing.F) {
 			}
 			if !bytes.Equal(out.Bytes(), data) {
 				t.Fatalf("accepted slice is not canonical: re-encode differs (%d vs %d bytes)",
+					out.Len(), len(data))
+			}
+			return
+		}
+		if version == snapshotVersionSketch {
+			// An accepted sketch snapshot re-encodes through the sketch
+			// writer; section encoding is unique, so bytes must round-trip.
+			var out bytes.Buffer
+			if err := eng.WriteSnapshotSketch(&out, lin, pfx, sketch); err != nil {
+				t.Fatalf("accepted sketch snapshot fails to re-serialize: %v", err)
+			}
+			if !bytes.Equal(out.Bytes(), data) {
+				t.Fatalf("accepted sketch snapshot is not canonical: re-encode differs (%d vs %d bytes)",
 					out.Len(), len(data))
 			}
 			return

@@ -1,0 +1,124 @@
+package ris
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"credist/internal/graph"
+)
+
+// DefaultStripe is the fixed stripe width of parallel collection: stripe i
+// always owns samples [i*DefaultStripe, (i+1)*DefaultStripe) and draws
+// them from its own PCG stream, so a collection's contents depend only on
+// (source, seed, count) — never on the worker count or on how the
+// collection was grown to its size.
+const DefaultStripe = 256
+
+// pcgStreamBase offsets the per-stripe PCG stream ids (stripe i draws from
+// stream pcgStreamBase+i). The constant is the stream id the old serial
+// collector used for its single stream.
+const pcgStreamBase = 0x415a
+
+// CollectOptions configures parallel collection.
+type CollectOptions struct {
+	// Workers bounds the stripe fan-out. 0 means GOMAXPROCS. The worker
+	// count affects wall time only; the collected samples are
+	// bit-identical at any value.
+	Workers int
+}
+
+// Collect draws count RR sets deterministically from the seed using the
+// classic live-edge sampler. It is the historical entry point, now a thin
+// wrapper over the striped parallel collector.
+func Collect(s *Sampler, count int, seed uint64) *Collection {
+	return CollectParallel(CascadeSource(s.w, s.model), count, seed, CollectOptions{})
+}
+
+// CollectParallel draws count RR samples from the source, fanning stripes
+// over the workers. The result is bit-identical at any worker count and
+// extends deterministically: Extend to a larger count yields exactly the
+// collection CollectParallel would have drawn at that count directly.
+func CollectParallel(src Source, count int, seed uint64, opts CollectOptions) *Collection {
+	if count < 0 {
+		count = 0
+	}
+	sets := make([][]graph.NodeID, count)
+	fillStripes(src, sets, seed, 0, opts.Workers)
+	return newCollection(src.NumNodes(), src.Roots(), seed, sets)
+}
+
+// Extend returns a new collection grown to count samples, reusing every
+// already-drawn sample: only stripes past the current length are drawn
+// (plus a replay of the final partial stripe's prefix, whose samples are
+// discarded — per-stripe streams make the replay bit-identical). The
+// receiver is untouched and stays valid. The source and seed must be the
+// ones the collection was drawn with, or the determinism contract — grown
+// and directly-drawn collections agree bit for bit — is silently lost.
+func (c *Collection) Extend(src Source, count int, opts CollectOptions) *Collection {
+	if count <= len(c.sets) {
+		return c
+	}
+	sets := make([][]graph.NodeID, count)
+	copy(sets, c.sets)
+	fillStripes(src, sets, c.seed, len(c.sets), opts.Workers)
+	return newCollection(c.n, c.roots, c.seed, sets)
+}
+
+// fillStripes draws samples [from, len(sets)) into sets, one fresh PCG
+// stream and one fresh walker per stripe. Stripes are claimed atomically
+// by a worker pool but each stripe's samples are written only at that
+// stripe's own indices, so scheduling cannot reorder anything.
+func fillStripes(src Source, sets [][]graph.NodeID, seed uint64, from, workers int) {
+	to := len(sets)
+	if from >= to {
+		return
+	}
+	first, last := from/DefaultStripe, (to-1)/DefaultStripe
+	stripes := last - first + 1
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > stripes {
+		workers = stripes
+	}
+	draw := func(stripe int) {
+		rng := rand.New(rand.NewPCG(seed, pcgStreamBase+uint64(stripe)))
+		walker := src.NewWalker()
+		lo := stripe * DefaultStripe
+		hi := min(lo+DefaultStripe, to)
+		for j := lo; j < hi; j++ {
+			set := walker(rng)
+			// The first stripe may start mid-stripe when extending: the
+			// prefix is replayed to advance the stream, its samples are
+			// already in place.
+			if j >= from {
+				sets[j] = set
+			}
+		}
+	}
+	if workers <= 1 {
+		for s := first; s <= last; s++ {
+			draw(s)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(int64(first))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1) - 1)
+				if s > last {
+					return
+				}
+				draw(s)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,255 @@
+package ris
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sync"
+
+	"credist/internal/celf"
+	"credist/internal/graph"
+)
+
+// Collection is an immutable batch of RR samples with an inverted index
+// from node to the samples it appears in. The index mirrors the core
+// engine's sorted sparse-row layout — a sorted key slice plus per-key
+// index lists — instead of a map, so lookups are allocation-free binary
+// searches and iteration order is deterministic by construction. The key
+// slice doubles as the seed-selection candidate pool (anything outside it
+// has zero gain forever), handed to the celf engine without a per-call
+// rebuild.
+type Collection struct {
+	n      int // node universe
+	roots  int // scale numerator (Source.Roots at collection time)
+	seed   uint64
+	sets   [][]graph.NodeID
+	keys   []graph.NodeID // sorted nodes appearing in >= 1 sample
+	covers [][]int32      // covers[i] = ascending sample indices containing keys[i]
+	marks  sync.Pool      // *marker scratch for EstimateSpread
+}
+
+// marker is the epoch-marked membership scratch EstimateSpread borrows
+// from the pool: mark[si] == epoch means sample si is already counted in
+// the current union. Bumping the epoch resets every slot in O(1).
+type marker struct {
+	mark  []uint32
+	epoch uint32
+}
+
+// newCollection wraps drawn samples and builds the inverted index.
+func newCollection(n, roots int, seed uint64, sets [][]graph.NodeID) *Collection {
+	c := &Collection{n: n, roots: roots, seed: seed, sets: sets}
+	c.buildCovers()
+	c.marks.New = func() any { return &marker{mark: make([]uint32, len(sets))} }
+	return c
+}
+
+// FromSets reconstructs a collection from previously drawn samples (the
+// snapshot-restore path). The samples are adopted verbatim; the index is
+// rebuilt, so estimates and selections are bit-identical to the collection
+// the samples were drawn from. Every sample must be non-empty with ids in
+// [0, n), and roots must lie in [1, n].
+func FromSets(n, roots int, seed uint64, sets [][]graph.NodeID) (*Collection, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("ris: universe size %d", n)
+	}
+	if roots < 1 || roots > n {
+		return nil, fmt.Errorf("ris: root count %d outside [1,%d]", roots, n)
+	}
+	for i, set := range sets {
+		if len(set) == 0 {
+			return nil, fmt.Errorf("ris: sample %d is empty", i)
+		}
+		for _, v := range set {
+			if v < 0 || int(v) >= n {
+				return nil, fmt.Errorf("ris: sample %d node %d outside [0,%d)", i, v, n)
+			}
+		}
+	}
+	return newCollection(n, roots, seed, sets), nil
+}
+
+// buildCovers builds the sorted inverted index in two counting passes
+// (CSR-style, no maps): ascending node ids, ascending sample indices.
+func (c *Collection) buildCovers() {
+	counts := make([]int32, c.n)
+	entries := 0
+	for _, set := range c.sets {
+		for _, v := range set {
+			counts[v]++
+			entries++
+		}
+	}
+	distinct := 0
+	for _, cnt := range counts {
+		if cnt > 0 {
+			distinct++
+		}
+	}
+	c.keys = make([]graph.NodeID, 0, distinct)
+	c.covers = make([][]int32, 0, distinct)
+	slot := make([]int32, c.n) // node -> 1+index into keys; 0 = absent
+	backing := make([]int32, entries)
+	off := 0
+	for v, cnt := range counts {
+		if cnt == 0 {
+			continue
+		}
+		c.keys = append(c.keys, graph.NodeID(v))
+		c.covers = append(c.covers, backing[off:off:off+int(cnt)])
+		off += int(cnt)
+		slot[v] = int32(len(c.keys))
+	}
+	for si, set := range c.sets {
+		for _, v := range set {
+			ki := slot[v] - 1
+			c.covers[ki] = append(c.covers[ki], int32(si))
+		}
+	}
+}
+
+// coverOf returns the ascending sample indices containing x (nil if x
+// appears in no sample).
+func (c *Collection) coverOf(x graph.NodeID) []int32 {
+	if x < 0 || int(x) >= c.n {
+		return nil
+	}
+	i, ok := slices.BinarySearch(c.keys, x)
+	if !ok {
+		return nil
+	}
+	return c.covers[i]
+}
+
+// NumSets returns the number of samples.
+func (c *Collection) NumSets() int { return len(c.sets) }
+
+// NumNodes returns the node-universe size.
+func (c *Collection) NumNodes() int { return c.n }
+
+// Roots returns the scale numerator estimates are multiplied by.
+func (c *Collection) Roots() int { return c.roots }
+
+// Seed returns the PCG seed the samples were drawn from.
+func (c *Collection) Seed() uint64 { return c.seed }
+
+// Sets returns the samples themselves, in draw order. Callers must treat
+// the result as read-only; it is what the snapshot writer persists.
+func (c *Collection) Sets() [][]graph.NodeID { return c.sets }
+
+// Bytes estimates the resident size of the samples plus their index, for
+// capacity reporting.
+func (c *Collection) Bytes() int64 {
+	var b int64
+	for _, set := range c.sets {
+		b += int64(len(set)) * 4 * 2 // sample entry + its inverted-index entry
+	}
+	return b + int64(len(c.keys))*4 + int64(len(c.sets))*24
+}
+
+// hitCount returns |{samples hit by S}| by walking the union of the
+// seeds' cover lists with a pooled epoch-marked membership array:
+// O(sum of cover-list lengths), no per-call map, no allocation.
+func (c *Collection) hitCount(seeds []graph.NodeID) int {
+	mk := c.marks.Get().(*marker)
+	if mk.epoch == math.MaxUint32 {
+		clear(mk.mark)
+		mk.epoch = 0
+	}
+	mk.epoch++
+	hits := 0
+	for _, s := range seeds {
+		for _, si := range c.coverOf(s) {
+			if mk.mark[si] != mk.epoch {
+				mk.mark[si] = mk.epoch
+				hits++
+			}
+		}
+	}
+	c.marks.Put(mk)
+	return hits
+}
+
+// EstimateSpread returns Roots() * (fraction of samples hit by S), the
+// unbiased spread estimate for an arbitrary seed set.
+func (c *Collection) EstimateSpread(seeds []graph.NodeID) float64 {
+	if len(c.sets) == 0 {
+		return 0
+	}
+	return float64(c.roots) * float64(c.hitCount(seeds)) / float64(len(c.sets))
+}
+
+// Estimator is the maximum-coverage marginal-gain oracle over a
+// Collection: Gain(x) counts the samples containing x that no committed
+// seed has covered yet, Add marks x's samples covered. Gain reads only the
+// covered bitmap (exact integer counts, no floats to drift), so it
+// carries the concurrent-gain marker and the shared celf engine fans the
+// first-iteration pass over workers with bit-identical results at any
+// worker count. One Estimator holds one selection's state; Collection
+// itself stays immutable and reusable.
+type Estimator struct {
+	c       *Collection
+	covered []bool
+	count   int // covered samples
+}
+
+// Estimator returns a fresh maximum-coverage estimator over the samples.
+func (c *Collection) Estimator() *Estimator {
+	return &Estimator{c: c, covered: make([]bool, len(c.sets))}
+}
+
+// NumNodes returns the node universe size (the candidate universe).
+func (e *Estimator) NumNodes() int { return e.c.n }
+
+// Gain returns the number of not-yet-covered samples containing x.
+func (e *Estimator) Gain(x graph.NodeID) float64 {
+	n := 0
+	for _, si := range e.c.coverOf(x) {
+		if !e.covered[si] {
+			n++
+		}
+	}
+	return float64(n)
+}
+
+// Add commits x, marking every sample containing it covered.
+func (e *Estimator) Add(x graph.NodeID) {
+	for _, si := range e.c.coverOf(x) {
+		if !e.covered[si] {
+			e.covered[si] = true
+			e.count++
+		}
+	}
+}
+
+// CoveredCount returns how many samples the committed seeds cover.
+func (e *Estimator) CoveredCount() int { return e.count }
+
+// ConcurrentGain marks Gain as safe for concurrent calls between Adds.
+// Compile-time marker for celf.ConcurrentEstimator; never called.
+func (e *Estimator) ConcurrentGain() {}
+
+// SelectSeeds runs greedy maximum coverage over the samples — through the
+// shared celf selection engine, like every other seed selector in the
+// repository — and returns the chosen seeds plus the implied spread
+// estimate for each prefix: spread_i = Roots() * covered_i / |sets|. The
+// candidate pool is the index's sorted key slice, reused as-is (celf
+// never mutates it), so the pool order — and therefore the selection — is
+// deterministic with no per-call rebuild. Selection stops once no
+// candidate covers a new sample (zero-gain seeds are meaningless under
+// coverage).
+func (c *Collection) SelectSeeds(k int) ([]graph.NodeID, []float64) {
+	res := celf.Run(c.Estimator(), k, celf.Options{Candidates: c.keys})
+	var seeds []graph.NodeID
+	var spreads []float64
+	covered := 0.0
+	for i, g := range res.Gains {
+		if g <= 0 {
+			break
+		}
+		covered += g
+		seeds = append(seeds, res.Seeds[i])
+		spreads = append(spreads, float64(c.roots)*covered/float64(len(c.sets)))
+	}
+	return seeds, spreads
+}

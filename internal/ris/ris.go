@@ -1,22 +1,25 @@
 // Package ris implements reverse influence sampling (Borgs et al. 2014,
-// the foundation of TIM/IMM), a post-paper influence-maximization
-// technique included as an extension baseline: sample reverse-reachable
-// (RR) sets under the propagation model's live-edge distribution, then
-// pick seeds by greedy maximum coverage over the samples. Expected spread
-// of a set S is n * Pr[S hits a random RR set], so coverage translates
-// directly into spread estimates.
+// the foundation of TIM/IMM): sample reverse-reachable (RR) sets, then
+// pick seeds by greedy maximum coverage over the samples and estimate the
+// spread of arbitrary sets as Roots * Pr[S hits a random sample]. The
+// sampling distribution is pluggable (Source): the classic live-edge
+// cascade sampler backs the ablation baseline, and the CD credit-walk
+// source in internal/core backs the serving layer's approximate tier.
 //
-// It gives the repository a second scalable IM algorithm with a guarantee
-// (a (1-1/e-epsilon) approximation for sufficiently many samples) to
-// contrast with the CD engine in the ablation benchmarks.
+// Collections are drawn in fixed-width stripes, one PCG stream per stripe
+// (stripe i owns samples [i*b, (i+1)*b)), so a collection's contents are
+// bit-identical at any worker count and under any growth path — the same
+// determinism wall the selection engine enforces. On top of the samples
+// sit Wilson/Hoeffding confidence intervals over the hit fraction, which
+// turn the point estimate into a bounded-error answer and drive adaptive
+// sample growth.
 package ris
 
 import (
+	"math"
 	"math/rand/v2"
-	"slices"
 
 	"credist/internal/cascade"
-	"credist/internal/celf"
 	"credist/internal/graph"
 )
 
@@ -87,135 +90,6 @@ func (s *Sampler) SampleFrom(root graph.NodeID, rng *rand.Rand) []graph.NodeID {
 	return set
 }
 
-// Collection is a batch of RR sets with an inverted index from node to
-// the samples it appears in.
-type Collection struct {
-	n      int
-	sets   [][]graph.NodeID
-	covers map[graph.NodeID][]int32
-}
-
-// Collect draws count RR sets deterministically from the seed.
-func Collect(s *Sampler, count int, seed uint64) *Collection {
-	rng := rand.New(rand.NewPCG(seed, 0x415a))
-	c := &Collection{
-		n:      s.w.Graph().NumNodes(),
-		covers: make(map[graph.NodeID][]int32),
-	}
-	for i := 0; i < count; i++ {
-		set := s.Sample(rng)
-		c.sets = append(c.sets, set)
-		for _, v := range set {
-			c.covers[v] = append(c.covers[v], int32(i))
-		}
-	}
-	return c
-}
-
-// NumSets returns the number of samples.
-func (c *Collection) NumSets() int { return len(c.sets) }
-
-// Estimator is the maximum-coverage marginal-gain oracle over a
-// Collection: Gain(x) counts the RR sets containing x that no committed
-// seed has covered yet, Add marks x's sets covered. Gain reads only the
-// covered bitmap (exact integer counts, no floats to drift), so it
-// carries the concurrent-gain marker and the shared celf engine fans the
-// first-iteration pass over workers with bit-identical results at any
-// worker count. One Estimator holds one selection's state; Collection
-// itself stays immutable and reusable.
-type Estimator struct {
-	c       *Collection
-	covered []bool
-	count   int // covered RR sets
-}
-
-// Estimator returns a fresh maximum-coverage estimator over the samples.
-func (c *Collection) Estimator() *Estimator {
-	return &Estimator{c: c, covered: make([]bool, len(c.sets))}
-}
-
-// NumNodes returns the graph's node count (the candidate universe).
-func (e *Estimator) NumNodes() int { return e.c.n }
-
-// Gain returns the number of not-yet-covered RR sets containing x.
-func (e *Estimator) Gain(x graph.NodeID) float64 {
-	n := 0
-	for _, si := range e.c.covers[x] {
-		if !e.covered[si] {
-			n++
-		}
-	}
-	return float64(n)
-}
-
-// Add commits x, marking every RR set containing it covered.
-func (e *Estimator) Add(x graph.NodeID) {
-	for _, si := range e.c.covers[x] {
-		if !e.covered[si] {
-			e.covered[si] = true
-			e.count++
-		}
-	}
-}
-
-// CoveredCount returns how many RR sets the committed seeds cover.
-func (e *Estimator) CoveredCount() int { return e.count }
-
-// ConcurrentGain marks Gain as safe for concurrent calls between Adds.
-// Compile-time marker for celf.ConcurrentEstimator; never called.
-func (e *Estimator) ConcurrentGain() {}
-
-// SelectSeeds runs greedy maximum coverage over the RR sets — through the
-// shared celf selection engine, like every other seed selector in the
-// repository — and returns the chosen seeds plus the implied spread
-// estimate for each prefix: spread_i = n * covered_i / |sets|. The
-// candidate pool is the nodes appearing in at least one sample (anything
-// else has zero gain forever), sorted so the pool order — and therefore
-// the selection — is deterministic. Selection stops once no candidate
-// covers a new sample (zero-gain seeds are meaningless under coverage).
-func (c *Collection) SelectSeeds(k int) ([]graph.NodeID, []float64) {
-	pool := make([]graph.NodeID, 0, len(c.covers))
-	for v := range c.covers {
-		pool = append(pool, v)
-	}
-	slices.Sort(pool)
-	res := celf.Run(c.Estimator(), k, celf.Options{Candidates: pool})
-	var seeds []graph.NodeID
-	var spreads []float64
-	covered := 0.0
-	for i, g := range res.Gains {
-		if g <= 0 {
-			break
-		}
-		covered += g
-		seeds = append(seeds, res.Seeds[i])
-		spreads = append(spreads, float64(c.n)*covered/float64(len(c.sets)))
-	}
-	return seeds, spreads
-}
-
-// EstimateSpread returns n * (fraction of RR sets hit by S), the unbiased
-// RIS spread estimate for an arbitrary set.
-func (c *Collection) EstimateSpread(seeds []graph.NodeID) float64 {
-	if len(c.sets) == 0 {
-		return 0
-	}
-	inS := make(map[graph.NodeID]bool, len(seeds))
-	for _, s := range seeds {
-		inS[s] = true
-	}
-	hit := 0
-	for _, set := range c.sets {
-		for _, v := range set {
-			if inS[v] {
-				hit++
-				break
-			}
-		}
-	}
-	return float64(c.n) * float64(hit) / float64(len(c.sets))
-}
-
 // RecommendedSamples returns a practical sample count for (n, k,
 // epsilon): the simplified TIM bound O((k log n + log 2) * n / eps^2)
 // divided by the expected RR-set mass, capped for laptop use. It is a
@@ -224,11 +98,11 @@ func RecommendedSamples(n, k int, eps float64) int {
 	if eps <= 0 {
 		eps = 0.2
 	}
-	logN := 1.0
-	for m := n; m > 1; m >>= 1 {
-		logN++
+	logN := 0.0
+	if n > 1 {
+		logN = math.Ceil(math.Log2(float64(n)))
 	}
-	count := int(float64(k)*logN/(eps*eps)) * 8
+	count := int((float64(k)*logN + math.Ln2) / (eps * eps) * 8)
 	if count < 1000 {
 		count = 1000
 	}

@@ -148,13 +148,52 @@ func TestRISvsGreedyQuality(t *testing.T) {
 }
 
 func TestRecommendedSamples(t *testing.T) {
-	if got := RecommendedSamples(1000, 10, 0.2); got < 1000 {
-		t.Fatalf("samples = %d", got)
+	// want computes the documented formula directly:
+	// 8*(k*ceil(log2 n) + ln 2)/eps^2, clamped to [1000, 500000]. The old
+	// hand-rolled loop overcounted ceil(log2 n) by one for exact powers of
+	// two and dropped the additive log 2 term entirely.
+	want := func(n, k int, eps float64) int {
+		logN := 0.0
+		if n > 1 {
+			logN = math.Ceil(math.Log2(float64(n)))
+		}
+		c := int((float64(k)*logN + math.Ln2) / (eps * eps) * 8)
+		return max(1000, min(c, 500000))
+	}
+	cases := []struct {
+		name string
+		n, k int
+		eps  float64
+	}{
+		{"single node", 1, 5, 0.1},
+		{"two nodes", 2, 5, 0.1},
+		{"power of two", 1 << 10, 10, 0.1},
+		{"power of two large", 1 << 20, 10, 0.1},
+		{"off power", 1000, 10, 0.1},
+		{"low clamp", 10, 1, 0.5},
+		{"high clamp", 1 << 30, 500, 0.01},
+		{"eps default", 100, 1, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eps := tc.eps
+			if eps <= 0 {
+				eps = 0.2
+			}
+			if got := RecommendedSamples(tc.n, tc.k, tc.eps); got != want(tc.n, tc.k, eps) {
+				t.Fatalf("RecommendedSamples(%d,%d,%g) = %d, want %d", tc.n, tc.k, tc.eps, got, want(tc.n, tc.k, eps))
+			}
+		})
+	}
+	// Pin the exact clamp values and the power-of-two fix numerically.
+	if got := RecommendedSamples(1, 1, 0.1); got != 1000 {
+		t.Fatalf("n=1 should clamp low: %d", got)
 	}
 	if got := RecommendedSamples(1<<30, 500, 0.01); got != 500000 {
-		t.Fatalf("cap not applied: %d", got)
+		t.Fatalf("high clamp not applied: %d", got)
 	}
-	if got := RecommendedSamples(100, 1, 0); got < 1000 {
-		t.Fatalf("eps default broken: %d", got)
+	rawF := (10*10.0 + math.Ln2) / (0.1 * 0.1) * 8
+	if got, raw := RecommendedSamples(1<<10, 10, 0.1), int(rawF); got != raw {
+		t.Fatalf("ceil(log2(1024)) must be 10, not 11: got %d, want %d", got, raw)
 	}
 }

@@ -1,0 +1,191 @@
+package serve_test
+
+import (
+	"fmt"
+	"testing"
+
+	"credist/internal/serve"
+)
+
+// TestApproxSpreadEndpoint pins the approximate /spread contract: a valid
+// interval containing both the estimate and the exact engine's answer,
+// achieved eps at or under the target, and the /stats hit counters.
+func TestApproxSpreadEndpoint(t *testing.T) {
+	h := newTestServer(t).Handler()
+	code, exactBody := do(t, h, "GET", "/spread?seeds=1,2,3", "")
+	if code != 200 {
+		t.Fatalf("exact /spread: %d %v", code, exactBody)
+	}
+	exact := exactBody["spread"].(float64)
+
+	for _, target := range []string{
+		"/spread?seeds=1,2,3&eps=0.1",
+		"/spread?seeds=1,2,3&budget=500ms",
+		"/spread?seeds=1,2,3&eps=0.1&budget=2s",
+	} {
+		code, body := do(t, h, "GET", target, "")
+		if code != 200 {
+			t.Fatalf("%s: %d %v", target, code, body)
+		}
+		for _, key := range []string{"estimate", "ci_low", "ci_high", "achieved_eps", "samples", "elapsed"} {
+			if _, ok := body[key]; !ok {
+				t.Fatalf("%s: response missing %q: %v", target, key, body)
+			}
+		}
+		lo, hi := body["ci_low"].(float64), body["ci_high"].(float64)
+		est := body["estimate"].(float64)
+		if lo > est || est > hi {
+			t.Fatalf("%s: estimate %g outside interval [%g,%g]", target, est, lo, hi)
+		}
+		if lo > exact || exact > hi {
+			t.Fatalf("%s: exact spread %g outside interval [%g,%g]", target, exact, lo, hi)
+		}
+		if body["samples"].(float64) <= 0 {
+			t.Fatalf("%s: no samples reported: %v", target, body)
+		}
+	}
+
+	// The POST body carries the same parameters.
+	code, body := do(t, h, "POST", "/spread", `{"seeds":[1,2,3],"eps":0.2,"budget":"1s"}`)
+	if code != 200 {
+		t.Fatalf("POST approx /spread: %d %v", code, body)
+	}
+	if _, ok := body["estimate"]; !ok {
+		t.Fatalf("POST approx /spread: not an approximate reply: %v", body)
+	}
+
+	// Exact endpoints are untouched and the tier counters tick.
+	code, stats := do(t, h, "GET", "/stats", "")
+	if code != 200 {
+		t.Fatalf("/stats: %d", code)
+	}
+	if stats["approx_spread_requests"].(float64) != 4 {
+		t.Fatalf("approx_spread_requests = %v, want 4", stats["approx_spread_requests"])
+	}
+	if stats["approx_samples"].(float64) <= 0 || stats["approx_bytes"].(float64) <= 0 {
+		t.Fatalf("stats missing sketch shape: %v", stats)
+	}
+	if stats["approx_sampled"].(float64) <= 0 {
+		t.Fatalf("live-sampled pool reports zero sampling: %v", stats)
+	}
+
+	// Malformed parameters are 400s.
+	for _, target := range []string{
+		"/spread?seeds=1,2&eps=0",
+		"/spread?seeds=1,2&eps=1.5",
+		"/spread?seeds=1,2&eps=nope",
+		"/spread?seeds=1,2&budget=-3ms",
+		"/spread?seeds=1,2&budget=fast",
+	} {
+		if code, _ := do(t, h, "GET", target, ""); code != 400 {
+			t.Fatalf("%s: code %d, want 400", target, code)
+		}
+	}
+	// A batch cannot ride the approximate tier.
+	if code, _ := do(t, h, "POST", "/spread", `{"sets":[[1],[2]],"eps":0.1}`); code != 400 {
+		t.Fatal("batched approximate spread accepted")
+	}
+}
+
+// TestApproxSeedsEndpoint pins /seeds?eps=: coverage-greedy seeds with an
+// interval on the selected set, distinct from the exact CELF reply shape.
+func TestApproxSeedsEndpoint(t *testing.T) {
+	h := newTestServer(t).Handler()
+	code, body := do(t, h, "GET", "/seeds?k=5&eps=0.1", "")
+	if code != 200 {
+		t.Fatalf("/seeds?eps: %d %v", code, body)
+	}
+	seeds, ok := body["seeds"].([]any)
+	if !ok || len(seeds) != 5 {
+		t.Fatalf("approximate seeds reply: %v", body)
+	}
+	for _, key := range []string{"estimate", "ci_low", "ci_high", "achieved_eps", "samples", "elapsed"} {
+		if _, ok := body[key]; !ok {
+			t.Fatalf("approximate /seeds missing %q: %v", key, body)
+		}
+	}
+	if _, hasGains := body["gains"]; hasGains {
+		t.Fatalf("approximate /seeds leaked the exact reply shape: %v", body)
+	}
+	// The exact path still answers the CELF shape.
+	code, body = do(t, h, "GET", "/seeds?k=3", "")
+	if code != 200 || body["gains"] == nil {
+		t.Fatalf("exact /seeds regressed: %d %v", code, body)
+	}
+	code, stats := do(t, h, "GET", "/stats", "")
+	if code != 200 || stats["approx_seeds_requests"].(float64) != 1 {
+		t.Fatalf("approx_seeds_requests = %v, want 1", stats["approx_seeds_requests"])
+	}
+}
+
+// TestApproxZeroSpreadEncodes pins the JSON edge: a zero-estimate reply
+// has no finite relative precision, which must encode as a null
+// achieved_eps, not break the encoder.
+func TestApproxZeroSpreadEncodes(t *testing.T) {
+	h := newTestServer(t).Handler()
+	// An empty seed list hits nothing. The query parameter form cannot
+	// express it, but the POST body can.
+	code, body := do(t, h, "POST", "/spread", `{"seeds":[],"eps":0.1}`)
+	if code != 200 {
+		t.Fatalf("zero-spread approx: %d %v", code, body)
+	}
+	if body["estimate"].(float64) != 0 {
+		t.Fatalf("empty set estimated %v", body["estimate"])
+	}
+	if eps, present := body["achieved_eps"]; !present || eps != nil {
+		t.Fatalf("achieved_eps = %v, want null", eps)
+	}
+}
+
+// TestApproxPartitionedUnavailable pins the 501 on scatter-gather
+// deployments: the RR tier needs the whole universe in one engine.
+func TestApproxPartitionedUnavailable(t *testing.T) {
+	snap, err := serve.Build(serve.Source{Dataset: demoDataset(), Lambda: 0.001, Partitions: 2})
+	if err != nil {
+		t.Fatalf("partitioned Build: %v", err)
+	}
+	h := serve.New(snap).Handler()
+	if code, body := do(t, h, "GET", "/spread?seeds=1,2&eps=0.1", ""); code != 501 {
+		t.Fatalf("partitioned approx /spread: %d %v, want 501", code, body)
+	}
+	if code, body := do(t, h, "GET", "/seeds?k=3&eps=0.1", ""); code != 501 {
+		t.Fatalf("partitioned approx /seeds: %d %v, want 501", code, body)
+	}
+	// Exact queries still answer.
+	if code, _ := do(t, h, "GET", "/spread?seeds=1,2", ""); code != 200 {
+		t.Fatal("partitioned exact /spread regressed")
+	}
+	code, stats := do(t, h, "GET", "/stats", "")
+	if code != 200 {
+		t.Fatal("/stats on partitioned deployment")
+	}
+	for _, key := range []string{"approx_samples", "approx_bytes", "approx_sampled"} {
+		if v := stats[key].(float64); v != 0 {
+			t.Fatalf("partitioned %s = %v, want 0", key, v)
+		}
+	}
+}
+
+// TestApproxDeterministicAcrossServers pins that two servers over the
+// same dataset answer approximate queries identically (the serving-tier
+// face of the striped-collection determinism wall).
+func TestApproxDeterministicAcrossServers(t *testing.T) {
+	query := "/spread?seeds=4,9,16&eps=0.05"
+	var ref map[string]any
+	for i := 0; i < 2; i++ {
+		h := newTestServer(t).Handler()
+		code, body := do(t, h, "GET", query, "")
+		if code != 200 {
+			t.Fatalf("server %d: %d %v", i, code, body)
+		}
+		if i == 0 {
+			ref = body
+			continue
+		}
+		for _, key := range []string{"estimate", "ci_low", "ci_high", "achieved_eps", "samples"} {
+			if fmt.Sprint(body[key]) != fmt.Sprint(ref[key]) {
+				t.Fatalf("%s differs across servers: %v vs %v", key, body[key], ref[key])
+			}
+		}
+	}
+}

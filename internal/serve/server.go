@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -12,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"credist"
@@ -35,6 +37,10 @@ type Server struct {
 	// POST /snapshot, surfaced in /stats.
 	checkpointMu   sync.Mutex
 	lastCheckpoint *CheckpointInfo
+	// Approximate-tier hit counters: how many /spread and /seeds requests
+	// were answered from the RR-sample tier instead of the exact engine.
+	approxSpreadHits atomic.Int64
+	approxSeedsHits  atomic.Int64
 	// Logf, when set, receives one line per reload. Queries are not logged.
 	Logf func(format string, args ...any)
 }
@@ -184,6 +190,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 type spreadRequest struct {
 	Seeds []credist.NodeID   `json:"seeds,omitempty"`
 	Sets  [][]credist.NodeID `json:"sets,omitempty"`
+	// Eps and Budget route the query to the approximate RR tier: eps is
+	// the target relative CI half-width, budget a wall-clock cap (a Go
+	// duration string, e.g. "10ms"). Either alone switches tiers.
+	Eps    float64 `json:"eps,omitempty"`
+	Budget string  `json:"budget,omitempty"`
 }
 
 // SpreadResponse answers a single-set /spread query.
@@ -199,6 +210,74 @@ type SpreadBatchResponse struct {
 	Spreads  []float64 `json:"spreads"`
 }
 
+// ApproxBody is the bounded-error answer shared by approximate /spread
+// and /seeds replies: the RR estimate with its 99% Wilson confidence
+// interval around the exact sigma_cd value. AchievedEps is null when the
+// estimate is zero (relative precision is undefined there); Elapsed is
+// seconds of wall clock spent answering.
+type ApproxBody struct {
+	Estimate    float64  `json:"estimate"`
+	CILow       float64  `json:"ci_low"`
+	CIHigh      float64  `json:"ci_high"`
+	AchievedEps *float64 `json:"achieved_eps"`
+	Samples     int      `json:"samples"`
+	Elapsed     float64  `json:"elapsed"`
+}
+
+// ApproxSpreadResponse answers /spread?eps= or ?budget= from the RR tier.
+type ApproxSpreadResponse struct {
+	Snapshot int64            `json:"snapshot"`
+	Seeds    []credist.NodeID `json:"seeds"`
+	ApproxBody
+}
+
+// ApproxSeedsResponse answers /seeds?k=&eps= from the RR tier: seeds by
+// greedy sample coverage, interval on the selected set's spread.
+type ApproxSeedsResponse struct {
+	Snapshot int64            `json:"snapshot"`
+	K        int              `json:"k"`
+	Seeds    []credist.NodeID `json:"seeds"`
+	ApproxBody
+}
+
+func approxBody(res credist.ApproxResult) ApproxBody {
+	b := ApproxBody{
+		Estimate: res.Estimate,
+		CILow:    res.CILow,
+		CIHigh:   res.CIHigh,
+		Samples:  res.Samples,
+		Elapsed:  res.Elapsed.Seconds(),
+	}
+	// +Inf is not representable in JSON; null is the honest encoding.
+	if !math.IsInf(res.AchievedEps, 0) {
+		eps := res.AchievedEps
+		b.AchievedEps = &eps
+	}
+	return b
+}
+
+// parseApproxOpts extracts the approximate-tier parameters; ok reports
+// whether the request opted into the tier at all. eps comes pre-parsed
+// (0 = absent) so the JSON body and the query string share one validator.
+func parseApproxOpts(eps float64, epsSet bool, budget string) (opts credist.ApproxOptions, ok bool, err error) {
+	if epsSet {
+		if eps <= 0 || eps >= 1 {
+			return opts, false, badRequest("eps must be in (0,1), got %g", eps)
+		}
+		opts.Eps = eps
+		ok = true
+	}
+	if budget != "" {
+		d, err := time.ParseDuration(budget)
+		if err != nil || d <= 0 {
+			return opts, false, badRequest("budget must be a positive duration (e.g. 10ms), got %q", budget)
+		}
+		opts.Budget = d
+		ok = true
+	}
+	return opts, ok, nil
+}
+
 func (s *Server) handleSpread(sn *Snapshot, r *http.Request) (any, error) {
 	var req spreadRequest
 	if r.Method == http.MethodPost {
@@ -208,9 +287,25 @@ func (s *Server) handleSpread(sn *Snapshot, r *http.Request) (any, error) {
 	} else if err := req.fromQuery(r); err != nil {
 		return nil, err
 	}
+	opts, approx, err := parseApproxOpts(req.Eps, req.Eps != 0, req.Budget)
+	if err != nil {
+		return nil, err
+	}
 	switch {
 	case req.Seeds != nil && req.Sets != nil:
 		return nil, badRequest("provide seeds or sets, not both")
+	case approx && req.Sets != nil:
+		return nil, badRequest("eps/budget apply to a single seed set, not a batch")
+	case approx:
+		if err := validateIDs(req.Seeds, sn.NumUsers()); err != nil {
+			return nil, err
+		}
+		res, err := sn.ApproxSpread(req.Seeds, opts)
+		if err != nil {
+			return nil, err
+		}
+		s.approxSpreadHits.Add(1)
+		return ApproxSpreadResponse{Snapshot: sn.ID, Seeds: req.Seeds, ApproxBody: approxBody(res)}, nil
 	case req.Seeds != nil:
 		if err := validateIDs(req.Seeds, sn.NumUsers()); err != nil {
 			return nil, err
@@ -237,7 +332,16 @@ func (s *Server) handleSpread(sn *Snapshot, r *http.Request) (any, error) {
 }
 
 func (req *spreadRequest) fromQuery(r *http.Request) error {
-	raw := r.URL.Query().Get("seeds")
+	q := r.URL.Query()
+	if raw := q.Get("eps"); raw != "" {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil || v <= 0 || v >= 1 {
+			return badRequest("eps must be a number in (0,1), got %q", raw)
+		}
+		req.Eps = v
+	}
+	req.Budget = q.Get("budget")
+	raw := q.Get("seeds")
 	if raw == "" {
 		return nil
 	}
@@ -321,6 +425,25 @@ func (s *Server) handleSeeds(sn *Snapshot, r *http.Request) (any, error) {
 	k, err := parseK(r, sn.NumUsers())
 	if err != nil {
 		return nil, err
+	}
+	q := r.URL.Query()
+	eps := 0.0
+	if raw := q.Get("eps"); raw != "" {
+		if eps, err = strconv.ParseFloat(raw, 64); err != nil || eps <= 0 || eps >= 1 {
+			return nil, badRequest("eps must be a number in (0,1), got %q", raw)
+		}
+	}
+	opts, approx, err := parseApproxOpts(eps, eps != 0, q.Get("budget"))
+	if err != nil {
+		return nil, err
+	}
+	if approx {
+		seeds, res, err := sn.ApproxSeeds(k, opts)
+		if err != nil {
+			return nil, err
+		}
+		s.approxSeedsHits.Add(1)
+		return ApproxSeedsResponse{Snapshot: sn.ID, K: k, Seeds: seeds, ApproxBody: approxBody(res)}, nil
 	}
 	res, cached, err := sn.SelectSeeds(k)
 	if err != nil {
@@ -406,6 +529,16 @@ type StatsResponse struct {
 	RequestsBy    map[string]int64 `json:"requests_by_endpoint"`
 	QPS           float64          `json:"qps_1m"`
 
+	// Approximate RR tier: the current sample pool's size and bytes,
+	// samples drawn by this process (0 right after a sketch-carrying
+	// restart), and how many requests each endpoint answered from the
+	// tier. All zero on partitioned deployments, which have no tier.
+	ApproxSamples        int   `json:"approx_samples"`
+	ApproxBytes          int64 `json:"approx_bytes"`
+	ApproxSampled        int64 `json:"approx_sampled"`
+	ApproxSpreadRequests int64 `json:"approx_spread_requests"`
+	ApproxSeedsRequests  int64 `json:"approx_seeds_requests"`
+
 	// Snapshot provenance: where this snapshot line cold-started from
 	// (when it was loaded from a binary model file) and the most recent
 	// checkpoint written through POST /snapshot.
@@ -460,6 +593,12 @@ func (s *Server) handleStats(sn *Snapshot, _ *http.Request) (any, error) {
 		RequestsBy:    per,
 		QPS:           qps,
 	}
+	ast := sn.ApproxStats()
+	resp.ApproxSamples = ast.Samples
+	resp.ApproxBytes = ast.Bytes
+	resp.ApproxSampled = ast.Sampled
+	resp.ApproxSpreadRequests = s.approxSpreadHits.Load()
+	resp.ApproxSeedsRequests = s.approxSeedsHits.Load()
 	if t := sn.LastIngest(); !t.IsZero() {
 		resp.LastIngest = &t
 	}

@@ -651,6 +651,46 @@ func (sn *Snapshot) Spread(seeds []credist.NodeID) (float64, error) {
 	return sn.model.Spread(seeds), nil
 }
 
+// ApproxSpread answers a spread query from the model's bounded-error RR
+// tier (see credist.Model.ApproxSpread). The tier samples over the full
+// user universe, which a partitioned deployment does not hold in any one
+// engine, so partitioned snapshots answer 501 rather than an estimate
+// whose interval could not be honored.
+func (sn *Snapshot) ApproxSpread(seeds []credist.NodeID, opts credist.ApproxOptions) (credist.ApproxResult, error) {
+	if err := sn.partitionGate(); err != nil {
+		return credist.ApproxResult{}, err
+	}
+	if sn.parts != nil {
+		return credist.ApproxResult{}, errApproxPartitioned
+	}
+	return sn.model.ApproxSpread(seeds, opts)
+}
+
+// ApproxSeeds runs RR maximum-coverage seed selection with a confidence
+// interval on the selected set's spread; same partitioning rule as
+// ApproxSpread.
+func (sn *Snapshot) ApproxSeeds(k int, opts credist.ApproxOptions) ([]credist.NodeID, credist.ApproxResult, error) {
+	if err := sn.partitionGate(); err != nil {
+		return nil, credist.ApproxResult{}, err
+	}
+	if sn.parts != nil {
+		return nil, credist.ApproxResult{}, errApproxPartitioned
+	}
+	return sn.model.ApproxSeeds(k, opts)
+}
+
+// ApproxStats reports the RR tier's sample pool (zero on partitioned
+// deployments, which have no tier).
+func (sn *Snapshot) ApproxStats() credist.ApproxStats {
+	if sn.parts != nil || sn.model == nil {
+		return credist.ApproxStats{}
+	}
+	return sn.model.ApproxStats()
+}
+
+var errApproxPartitioned = &apiError{code: http.StatusNotImplemented,
+	msg: "approximate queries are unavailable on a partitioned deployment (the RR tier needs the full universe in one engine)"}
+
 // SpreadBatch evaluates sigma_cd for many seed sets, fanning the sets over
 // the available cores. Each set is evaluated independently, so the floats
 // are identical to len(sets) sequential Spread calls.

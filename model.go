@@ -46,6 +46,11 @@ type Model struct {
 	// mapped is the file mapping behind a LoadModelMapped model (nil
 	// otherwise); Close releases it.
 	mapped *core.MappedSnapshot
+	// approx is the bounded-error serving tier's RR-sample state: a
+	// striped, deterministically grown collection of reverse credit walks,
+	// seeded either lazily on the first approximate query or from a
+	// version-5 snapshot's restored sketch (zero sampling on restart).
+	approx approxTier
 }
 
 // Close releases the file mapping behind a model opened with
@@ -504,7 +509,12 @@ func (m *Model) WriteSnapshot(w io.Writer, p *Planner, prefix *SeedPrefix) error
 		}
 		eng = p.eng
 	}
-	return eng.WriteSnapshotPrefix(w, core.DatasetLineage(m.ds.Name, m.ds.Graph, m.ds.Log), prefix)
+	// The RR sketch rides along whenever the approximate tier holds one:
+	// walks are drawn from the evaluator over exactly the model's log, and
+	// the lineage written here is that same log's, so a sketch attached to
+	// this model is always consistent with the snapshot (the version stays
+	// 3 when there is no sketch, keeping sketchless files byte-identical).
+	return eng.WriteSnapshotSketch(w, core.DatasetLineage(m.ds.Name, m.ds.Graph, m.ds.Log), prefix, m.approxSketch())
 }
 
 // IsModelSnapshot reports whether data (at least the first 8 bytes of a
@@ -566,11 +576,11 @@ func LoadModel(ds *Dataset, path string, opts Options) (*Model, error) {
 // The caller owns the mapping's lifetime: Close the model only after all
 // planners derived from it are gone.
 func LoadModelMapped(ds *Dataset, path string, opts Options) (*Model, error) {
-	eng, lin, prefix, ms, err := core.OpenSnapshotMapped(path)
+	eng, lin, prefix, sketch, ms, err := core.OpenSnapshotMappedSketch(path)
 	if err != nil {
 		return nil, err
 	}
-	m, err := bindSnapshotModel(ds, eng, lin, prefix, opts)
+	m, err := bindSnapshotModel(ds, eng, lin, prefix, sketch, opts)
 	if err != nil {
 		ms.Close()
 		return nil, err
@@ -581,17 +591,17 @@ func LoadModelMapped(ds *Dataset, path string, opts Options) (*Model, error) {
 
 // loadSnapshotModel binds a heap-parsed binary snapshot to ds.
 func loadSnapshotModel(ds *Dataset, r io.Reader, opts Options) (*Model, error) {
-	eng, lin, prefix, err := core.ReadSnapshotPrefix(r)
+	eng, lin, prefix, sketch, err := core.ReadSnapshotSketch(r)
 	if err != nil {
 		return nil, err
 	}
-	return bindSnapshotModel(ds, eng, lin, prefix, opts)
+	return bindSnapshotModel(ds, eng, lin, prefix, sketch, opts)
 }
 
 // bindSnapshotModel finishes a snapshot load regardless of backend:
 // lineage check, options resolution, and the tail append for a log that
 // has grown past the snapshot's scanned prefix.
-func bindSnapshotModel(ds *Dataset, eng *core.Engine, lin core.Lineage, prefix *SeedPrefix, opts Options) (*Model, error) {
+func bindSnapshotModel(ds *Dataset, eng *core.Engine, lin core.Lineage, prefix *SeedPrefix, sketch *core.RRSketch, opts Options) (*Model, error) {
 	if err := lin.Check(ds.Graph, ds.Log); err != nil {
 		return nil, err
 	}
@@ -613,8 +623,10 @@ func bindSnapshotModel(ds *Dataset, eng *core.Engine, lin core.Lineage, prefix *
 		}
 		// The stored seed prefix was selected over the snapshot's log
 		// prefix; appended actions change every marginal gain, so it no
-		// longer describes this model and is dropped.
+		// longer describes this model and is dropped. The RR sketch falls
+		// for the same reason: its walks sampled the old log's DAGs.
 		prefix = nil
+		sketch = nil
 	}
 	// Freeze rather than Compact: clones share everything either way, and
 	// keeping the delta accounting lets callers (and /stats) see how much
@@ -623,5 +635,6 @@ func bindSnapshotModel(ds *Dataset, eng *core.Engine, lin core.Lineage, prefix *
 	m := newModel(ds, stored, credit)
 	m.base = func() *core.Engine { return eng }
 	m.prefix = prefix
+	m.approx.restored = sketch
 	return m, nil
 }
