@@ -134,6 +134,81 @@ func (m *Model) ensureApprox() (*ris.Collection, ris.Source, error) {
 	return nil, t.src, nil
 }
 
+// ensureApproxFixed returns the current collection without ever touching
+// the credit-walk source: a restored sketch is materialized, but no
+// samples can be drawn. This is the partitioned serving path — no single
+// engine holds the full universe there, so the evaluator behind the walk
+// source must never be built. nil (with nil error) means the tier holds
+// nothing.
+func (m *Model) ensureApproxFixed() (*ris.Collection, error) {
+	t := &m.approx
+	if c := t.coll.Load(); c != nil {
+		return c, nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c := t.coll.Load(); c != nil {
+		return c, nil
+	}
+	sk := t.restored
+	if sk == nil {
+		return nil, nil
+	}
+	c, err := ris.FromSets(m.ds.Graph.NumNodes(), sk.Roots, sk.Seed, sk.Sets)
+	if err != nil {
+		return nil, fmt.Errorf("credist: restored RR sketch: %w", err)
+	}
+	t.restored = nil
+	t.coll.Store(c)
+	return c, nil
+}
+
+// ApproxSpreadFixed answers a spread query from the tier's existing pool —
+// snapshot-restored or grown by earlier queries — without drawing a single
+// sample: the answer carries whatever precision the pool affords, with
+// AchievedEps reporting it honestly. ok is false when the tier holds no
+// samples at all (the caller decides how to fail). This is how a
+// partitioned deployment serves approximate queries from a persisted
+// sketch: the fixed pool was drawn over the full universe before the model
+// was split, and estimation is pure membership counting.
+func (m *Model) ApproxSpreadFixed(seeds []NodeID) (ApproxResult, bool, error) {
+	start := time.Now()
+	c, err := m.ensureApproxFixed()
+	if err != nil || c == nil {
+		return ApproxResult{}, false, err
+	}
+	est := c.Estimate(seeds)
+	return ApproxResult{
+		Estimate:    est.Spread,
+		CILow:       est.Low,
+		CIHigh:      est.High,
+		AchievedEps: est.Eps,
+		Samples:     est.Samples,
+		Elapsed:     time.Since(start),
+	}, true, nil
+}
+
+// ApproxSeedsFixed is ApproxSeeds over the existing pool only: greedy
+// maximum-coverage selection and the selected set's interval, never
+// growing the collection. ok is false when the tier holds no samples.
+func (m *Model) ApproxSeedsFixed(k int) ([]NodeID, ApproxResult, bool, error) {
+	start := time.Now()
+	c, err := m.ensureApproxFixed()
+	if err != nil || c == nil {
+		return nil, ApproxResult{}, false, err
+	}
+	seeds, _ := c.SelectSeeds(k)
+	est := c.Estimate(seeds)
+	return seeds, ApproxResult{
+		Estimate:    est.Spread,
+		CILow:       est.Low,
+		CIHigh:      est.High,
+		AchievedEps: est.Eps,
+		Samples:     est.Samples,
+		Elapsed:     time.Since(start),
+	}, true, nil
+}
+
 // grow extends the published collection to count samples (no-op if it
 // already holds that many) and returns the resulting collection.
 func (m *Model) growApprox(src ris.Source, count, workers int) *ris.Collection {

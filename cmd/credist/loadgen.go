@@ -1,0 +1,326 @@
+// credist loadgen replays a mixed /spread + /gain + /seeds workload
+// against a running credist server at a fixed target rate and reports
+// latency quantiles and achieved throughput, in the same JSON shape as
+// the repo's other BENCH_*.json artifacts:
+//
+//	credist serve -preset flixster-small -addr :8632 &
+//	credist loadgen -addr http://localhost:8632 -qps 200 -duration 10s -o BENCH_serve.json
+//
+// The load loop is open: requests are scheduled on a fixed clock
+// regardless of completions (up to -concurrency in flight), so a slow
+// server shows up as achieved throughput below the target and growing
+// tail latency, not as a silently slower clock.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+type loadgenConfig struct {
+	Base        string        // server base URL, no trailing slash
+	QPS         float64       // target request rate
+	Duration    time.Duration // wall-clock run length
+	K           int           // k for /seeds requests
+	SpreadW     int           // relative mix weights
+	GainW       int
+	SeedsW      int
+	Concurrency int // in-flight cap
+	Seed        int64
+}
+
+// loadgenReport is the JSON artifact. Latencies are milliseconds.
+type loadgenReport struct {
+	Commit      string  `json:"commit"`
+	Date        string  `json:"date"`
+	Target      string  `json:"target"`
+	Users       int     `json:"users"`
+	TargetQPS   float64 `json:"target_qps"`
+	DurationSec float64 `json:"duration_sec"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	Throughput  float64 `json:"throughput_qps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+
+	Endpoints map[string]loadgenEndpoint `json:"endpoints"`
+}
+
+type loadgenEndpoint struct {
+	Requests int     `json:"requests"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
+func runLoadgen(args []string) {
+	fs := flag.NewFlagSet("credist loadgen", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", "http://localhost:8632", "base URL of the running credist server")
+		qps      = fs.Float64("qps", 200, "target request rate across all endpoints")
+		duration = fs.Duration("duration", 10*time.Second, "how long to run")
+		k        = fs.Int("k", 5, "k for /seeds requests")
+		mix      = fs.String("mix", "spread=8,gain=3,seeds=1", "relative endpoint weights as name=weight pairs")
+		conc     = fs.Int("concurrency", 16, "maximum requests in flight")
+		seed     = fs.Int64("seed", 1, "workload RNG seed (request kinds and ids)")
+		out      = fs.String("o", "", "write the JSON report to this file (default stdout)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), `Usage: credist loadgen [flags]
+
+Replay a mixed /spread+/gain+/seeds workload against a running server:
+
+  credist loadgen -addr http://localhost:8632 -qps 200 -duration 10s -o BENCH_serve.json
+
+Flags:
+`)
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	cfg := loadgenConfig{
+		Base: strings.TrimRight(*addr, "/"), QPS: *qps, Duration: *duration,
+		K: *k, Concurrency: *conc, Seed: *seed,
+	}
+	var err error
+	if cfg.SpreadW, cfg.GainW, cfg.SeedsW, err = parseMix(*mix); err != nil {
+		fmt.Fprintln(os.Stderr, "credist loadgen:", err)
+		os.Exit(1)
+	}
+	report, err := loadgenRun(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "credist loadgen:", err)
+		os.Exit(1)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "credist loadgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+		fmt.Printf("loadgen: %d requests (%d errors), %.1f req/s achieved, p50 %.2fms p99 %.2fms -> %s\n",
+			report.Requests, report.Errors, report.Throughput, report.P50Ms, report.P99Ms, *out)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "credist loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func parseMix(raw string) (spread, gain, seeds int, err error) {
+	for _, pair := range strings.Split(raw, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return 0, 0, 0, fmt.Errorf("-mix: want name=weight pairs, got %q", pair)
+		}
+		var w int
+		if _, err := fmt.Sscanf(val, "%d", &w); err != nil || w < 0 {
+			return 0, 0, 0, fmt.Errorf("-mix: bad weight %q for %q", val, name)
+		}
+		switch strings.TrimSpace(name) {
+		case "spread":
+			spread = w
+		case "gain":
+			gain = w
+		case "seeds":
+			seeds = w
+		default:
+			return 0, 0, 0, fmt.Errorf("-mix: unknown endpoint %q (spread, gain, seeds)", name)
+		}
+	}
+	if spread+gain+seeds == 0 {
+		return 0, 0, 0, fmt.Errorf("-mix: all weights zero")
+	}
+	return spread, gain, seeds, nil
+}
+
+// loadgenRun drives the workload and aggregates the report. Split from
+// the flag front-end so tests can call it against an httptest server.
+func loadgenRun(cfg loadgenConfig) (*loadgenReport, error) {
+	if cfg.QPS <= 0 {
+		return nil, fmt.Errorf("qps must be positive, got %g", cfg.QPS)
+	}
+	if cfg.Concurrency < 1 {
+		cfg.Concurrency = 1
+	}
+	users, err := loadgenUsers(cfg.Base)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.K < 1 || cfg.K > users {
+		return nil, fmt.Errorf("k=%d outside the server's universe [1,%d]", cfg.K, users)
+	}
+
+	type sample struct {
+		endpoint string
+		ms       float64
+		err      bool
+	}
+	var (
+		mu      sync.Mutex
+		samples []sample
+		wg      sync.WaitGroup
+	)
+	slots := make(chan struct{}, cfg.Concurrency)
+	client := &http.Client{Timeout: 30 * time.Second}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	total := cfg.SpreadW + cfg.GainW + cfg.SeedsW
+
+	interval := time.Duration(float64(time.Second) / cfg.QPS)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.Now().Add(cfg.Duration)
+	start := time.Now()
+
+	for time.Now().Before(deadline) {
+		<-ticker.C
+		// Pick the endpoint and its ids on the scheduler goroutine so the
+		// request stream is a deterministic function of -seed.
+		var endpoint, target string
+		switch p := rng.Intn(total); {
+		case p < cfg.SpreadW:
+			endpoint = "spread"
+			ids := distinctIDs(rng, users, 3)
+			target = fmt.Sprintf("%s/spread?seeds=%d,%d,%d", cfg.Base, ids[0], ids[1], ids[2])
+		case p < cfg.SpreadW+cfg.GainW:
+			endpoint = "gain"
+			ids := distinctIDs(rng, users, 3)
+			target = fmt.Sprintf("%s/gain?seeds=%d&candidates=%d,%d", cfg.Base, ids[0], ids[1], ids[2])
+		default:
+			endpoint = "seeds"
+			target = fmt.Sprintf("%s/seeds?k=%d", cfg.Base, cfg.K)
+		}
+		select {
+		case slots <- struct{}{}:
+		default:
+			// At the in-flight cap: drop the tick rather than queue, so
+			// latency measures the server, not our backlog.
+			mu.Lock()
+			samples = append(samples, sample{endpoint: endpoint, err: true})
+			mu.Unlock()
+			continue
+		}
+		wg.Add(1)
+		go func(endpoint, target string) {
+			defer wg.Done()
+			defer func() { <-slots }()
+			t0 := time.Now()
+			resp, err := client.Get(target)
+			ms := float64(time.Since(t0)) / float64(time.Millisecond)
+			bad := err != nil
+			if resp != nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				bad = bad || resp.StatusCode != http.StatusOK
+			}
+			mu.Lock()
+			samples = append(samples, sample{endpoint: endpoint, ms: ms, err: bad})
+			mu.Unlock()
+		}(endpoint, target)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report := &loadgenReport{
+		Commit:      benchCommit(),
+		Date:        time.Now().UTC().Format(time.RFC3339),
+		Target:      cfg.Base,
+		Users:       users,
+		TargetQPS:   cfg.QPS,
+		DurationSec: elapsed.Seconds(),
+		Endpoints:   map[string]loadgenEndpoint{},
+	}
+	var all []float64
+	perEndpoint := map[string][]float64{}
+	for _, s := range samples {
+		report.Requests++
+		if s.err {
+			report.Errors++
+			continue
+		}
+		all = append(all, s.ms)
+		perEndpoint[s.endpoint] = append(perEndpoint[s.endpoint], s.ms)
+	}
+	report.Throughput = float64(report.Requests-report.Errors) / elapsed.Seconds()
+	report.P50Ms, report.P99Ms = quantiles(all)
+	for name, lats := range perEndpoint {
+		p50, p99 := quantiles(lats)
+		report.Endpoints[name] = loadgenEndpoint{Requests: len(lats), P50Ms: p50, P99Ms: p99}
+	}
+	return report, nil
+}
+
+// distinctIDs draws n distinct user ids; the server 400s duplicate ids
+// in one request, so colliding draws are re-rolled.
+func distinctIDs(rng *rand.Rand, users, n int) []int {
+	ids := make([]int, 0, n)
+	seen := make(map[int]bool, n)
+	for len(ids) < n {
+		id := rng.Intn(users)
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// loadgenUsers asks /stats for the universe size the workload draws
+// ids from (and doubles as the up-and-serving check).
+func loadgenUsers(base string) (int, error) {
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		return 0, fmt.Errorf("is the server running? GET /stats: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("GET /stats: status %d", resp.StatusCode)
+	}
+	var st struct {
+		Users int `json:"users"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, fmt.Errorf("GET /stats: %w", err)
+	}
+	if st.Users <= 0 {
+		return 0, fmt.Errorf("GET /stats reported %d users", st.Users)
+	}
+	return st.Users, nil
+}
+
+func quantiles(lats []float64) (p50, p99 float64) {
+	if len(lats) == 0 {
+		return 0, 0
+	}
+	sort.Float64s(lats)
+	return lats[len(lats)*50/100], lats[min(len(lats)-1, len(lats)*99/100)]
+}
+
+// benchCommit mirrors the other BENCH_*.json writers: the commit comes
+// from CI's environment, "local" otherwise.
+func benchCommit() string {
+	if c := os.Getenv("BENCH_COMMIT"); c != "" {
+		return c
+	}
+	return "local"
+}

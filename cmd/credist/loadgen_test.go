@@ -1,0 +1,96 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"credist"
+	"credist/internal/datagen"
+	"credist/internal/serve"
+)
+
+// TestLoadgenRun drives the workload generator against an in-process
+// server and pins the report shape: every endpoint in the mix shows up,
+// quantiles are ordered, and a clean run has zero errors.
+func TestLoadgenRun(t *testing.T) {
+	ds := credist.Generate(datagen.Config{
+		Name: "loadgen-demo", NumUsers: 150, OutDegree: 4, Reciprocity: 0.6,
+		NumActions: 80, MeanInfluence: 0.1, MeanDelay: 8,
+		SpontaneousPerAction: 1, Seed: 7,
+	})
+	snap, err := serve.Build(serve.Source{Dataset: ds, Lambda: 0.001})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	srv := httptest.NewServer(serve.New(snap).Handler())
+	defer srv.Close()
+
+	// Warm the expensive one-time paths (evaluator build, first CELF run)
+	// so the measured run exercises steady-state serving: cold-start cost
+	// is the cold-start benchmark's job, not loadgen's.
+	for _, target := range []string{"/spread?seeds=1,2,3", "/seeds?k=3"} {
+		resp, err := http.Get(srv.URL + target)
+		if err != nil {
+			t.Fatalf("warm %s: %v", target, err)
+		}
+		resp.Body.Close()
+	}
+
+	report, err := loadgenRun(loadgenConfig{
+		Base: srv.URL, QPS: 400, Duration: 500 * time.Millisecond,
+		K: 3, SpreadW: 8, GainW: 3, SeedsW: 1, Concurrency: 8, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("loadgenRun: %v", err)
+	}
+	if report.Requests == 0 {
+		t.Fatal("no requests issued")
+	}
+	if report.Errors != 0 {
+		t.Fatalf("%d/%d requests errored", report.Errors, report.Requests)
+	}
+	if report.Throughput <= 0 {
+		t.Fatalf("throughput = %g", report.Throughput)
+	}
+	if report.P50Ms <= 0 || report.P99Ms < report.P50Ms {
+		t.Fatalf("quantiles p50=%g p99=%g", report.P50Ms, report.P99Ms)
+	}
+	for _, name := range []string{"spread", "gain", "seeds"} {
+		ep, ok := report.Endpoints[name]
+		if !ok || ep.Requests == 0 {
+			t.Errorf("endpoint %s missing from the report: %+v", name, report.Endpoints)
+			continue
+		}
+		if ep.P99Ms < ep.P50Ms {
+			t.Errorf("endpoint %s: p99 %g < p50 %g", name, ep.P99Ms, ep.P50Ms)
+		}
+	}
+	if report.Users != 150 {
+		t.Errorf("users = %d, want 150", report.Users)
+	}
+
+	// The front-end validates before hammering anything.
+	if _, err := loadgenRun(loadgenConfig{Base: srv.URL, QPS: 0}); err == nil {
+		t.Error("qps=0 accepted")
+	}
+	if _, err := loadgenRun(loadgenConfig{Base: srv.URL, QPS: 10, Duration: time.Millisecond, K: 0, SpreadW: 1}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := loadgenRun(loadgenConfig{Base: "http://127.0.0.1:1", QPS: 10, Duration: time.Millisecond, K: 1, SpreadW: 1}); err == nil {
+		t.Error("unreachable server accepted")
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	s, g, sd, err := parseMix("spread=8,gain=3,seeds=1")
+	if err != nil || s != 8 || g != 3 || sd != 1 {
+		t.Fatalf("parseMix = %d,%d,%d, %v", s, g, sd, err)
+	}
+	for _, bad := range []string{"spread=0,gain=0,seeds=0", "nope=3", "spread=x", "spread"} {
+		if _, _, _, err := parseMix(bad); err == nil {
+			t.Errorf("mix %q accepted", bad)
+		}
+	}
+}

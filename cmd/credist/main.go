@@ -6,13 +6,17 @@
 //	credist -preset flixster-small -k 50
 //	credist -graph data/d.graph -log data/d.log -k 20 -method cd
 //	credist -preset flixster-small -eval 12,99,340
+//	credist -preset flixster-small -k 20 -audience 5,9,13 -window 30
+//	credist -preset flixster-small -k 20 -costs 3:2.5,7:0.5 -budget 10
 //	credist learn -preset flixster-small -o model.bin
 //	credist serve -preset flixster-small -model model.bin -addr :8632
 //	credist ingest -tail data/flixster-small.tail.log
+//	credist loadgen -addr http://localhost:8632 -qps 200 -duration 10s
 //
 // Selection output: one line per seed with its marginal gain, then the
 // predicted total spread. Run `credist -h`, `credist learn -h`, `credist
-// serve -h`, or `credist ingest -h` for the full flag reference.
+// serve -h`, `credist ingest -h`, or `credist loadgen -h` for the full
+// flag reference.
 package main
 
 import (
@@ -37,6 +41,9 @@ func main() {
 		case "ingest":
 			runIngest(os.Args[2:])
 			return
+		case "loadgen":
+			runLoadgen(os.Args[2:])
+			return
 		}
 	}
 	runSelect(os.Args[1:])
@@ -56,18 +63,29 @@ func runSelect(args []string) {
 		lambda    = fs.Float64("lambda", 0.001, "CD truncation threshold: path credits below it are discarded during the scan, bounding memory (paper default 0.001; 0 keeps every credit)")
 		simple    = fs.Bool("simple-credit", false, "use the equal-split 1/d_in direct-credit rule instead of the learned time-aware rule (Eq. 9)")
 		evalSet   = fs.String("eval", "", "skip selection; score this comma-separated list of user ids under the CD model instead (e.g. -eval 3,17,250)")
+		audience  = fs.String("audience", "", "campaign objective: count only influence on these comma-separated user ids")
+		window    = fs.Float64("window", -1, "campaign objective: count only influence arriving within this many time units of the seeding (action-log units; negative = no window)")
+		blocked   = fs.String("blocked", "", "campaign objective: these comma-separated user ids are already committed to a rival; gains are marginal over them and they are never selected")
+		costs     = fs.String("costs", "", "campaign objective: per-user seeding costs as id:cost pairs over implicit unit costs (e.g. -costs 3:2.5,7:0.5); -method cd only")
+		budget    = fs.Float64("budget", 0, "campaign objective: stop cost-benefit CELF when the next affordable seed would exceed this total cost; -method cd only")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), `Usage: credist [flags]         select or score influence seed sets
        credist learn [flags]   learn once and save a binary model snapshot (see credist learn -h)
        credist serve [flags]   run the influence-query HTTP service (see credist serve -h)
        credist ingest [flags]  stream new actions into a running service (see credist ingest -h)
+       credist loadgen [flags] replay a mixed query workload against a running service (see credist loadgen -h)
 
 Select seeds from a built-in preset or from dataset files:
 
   credist -preset flixster-small -k 50
   credist -graph data/d.graph -log data/d.log -k 20 -method cd
   credist -preset flickr-small -eval 12,99,340
+
+Campaign objectives (see docs/ARCHITECTURE.md):
+
+  credist -preset flixster-small -k 20 -audience 5,9,13 -window 30
+  credist -preset flixster-small -k 20 -costs 3:2.5,7:0.5 -budget 10 -blocked 42
 
 Flags:
 `)
@@ -86,17 +104,27 @@ Flags:
 
 	model := credist.Learn(ds, credist.Options{Lambda: *lambda, SimpleCredit: *simple})
 
+	obj, err := buildObjective(*audience, *window, *blocked, *costs, *budget, ds.NumUsers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "credist:", strings.TrimPrefix(err.Error(), "credist: "))
+		os.Exit(1)
+	}
+
 	if *evalSet != "" {
 		seeds, err := parseSeeds(*evalSet, ds.NumUsers())
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "credist:", err)
+			fmt.Fprintln(os.Stderr, "credist:", strings.TrimPrefix(err.Error(), "credist: "))
+			os.Exit(1)
+		}
+		if obj != nil && (obj.Costs != nil || obj.Budget != 0) {
+			fmt.Fprintln(os.Stderr, "credist: -costs and -budget apply to seed selection, not -eval scoring")
 			os.Exit(1)
 		}
 		for _, s := range seeds {
 			fmt.Printf("user %6d: actions %4d  influenceability %.2f\n",
 				s, ds.Log.ActionCount(s), model.Influenceability(s))
 		}
-		fmt.Printf("predicted spread (CD model): %.2f\n", model.Spread(seeds))
+		fmt.Printf("predicted spread (CD model): %.2f\n", objSpread(model, seeds, obj))
 		return
 	}
 
@@ -104,11 +132,26 @@ Flags:
 	var gains []float64
 	switch *method {
 	case "cd":
-		seeds, gains = model.SelectSeeds(*k)
-	case "highdeg":
-		seeds = credist.HighDegreeSeeds(ds, *k)
-	case "pagerank":
-		seeds = credist.PageRankSeeds(ds, *k)
+		if obj != nil {
+			res, err := model.SelectSeedsObj(*k, obj)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "credist:", strings.TrimPrefix(err.Error(), "credist: "))
+				os.Exit(1)
+			}
+			seeds, gains = res.Seeds, res.Gains
+		} else {
+			seeds, gains = model.SelectSeeds(*k)
+		}
+	case "highdeg", "pagerank":
+		if obj != nil && (obj.Costs != nil || obj.Budget != 0 || obj.Blocked != nil) {
+			fmt.Fprintf(os.Stderr, "credist: -costs, -budget, and -blocked apply to -method cd only\n")
+			os.Exit(1)
+		}
+		if *method == "highdeg" {
+			seeds = credist.HighDegreeSeeds(ds, *k)
+		} else {
+			seeds = credist.PageRankSeeds(ds, *k)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "credist: unknown method %q (valid methods: cd, highdeg, pagerank)\n", *method)
 		os.Exit(1)
@@ -121,7 +164,90 @@ Flags:
 			fmt.Printf("seed %2d: user %6d\n", i+1, s)
 		}
 	}
-	fmt.Printf("predicted spread (CD model): %.2f\n", model.Spread(seeds))
+	fmt.Printf("predicted spread (CD model): %.2f\n", objSpread(model, seeds, obj))
+}
+
+// buildObjective assembles a campaign objective from the CLI flags, nil
+// when every flag is at its default (the global-spread objective).
+func buildObjective(audience string, window float64, blocked, costs string, budget float64, numUsers int) (*credist.Objective, error) {
+	var obj credist.Objective
+	touched := false
+	if audience != "" {
+		ids, err := parseSeeds(audience, numUsers)
+		if err != nil {
+			return nil, fmt.Errorf("-audience: %w", err)
+		}
+		obj.Audience, touched = ids, true
+	}
+	if window >= 0 {
+		obj.Windowed, obj.Window, touched = true, window, true
+	}
+	if blocked != "" {
+		ids, err := parseSeeds(blocked, numUsers)
+		if err != nil {
+			return nil, fmt.Errorf("-blocked: %w", err)
+		}
+		obj.Blocked, touched = ids, true
+	}
+	if costs != "" {
+		vec, err := parseCostVector(costs, numUsers)
+		if err != nil {
+			return nil, err
+		}
+		obj.Costs, touched = vec, true
+	}
+	if budget != 0 {
+		obj.Budget, touched = budget, true
+	}
+	if !touched {
+		return nil, nil
+	}
+	return &obj, nil
+}
+
+// parseCostVector expands "id:cost" pairs over implicit unit costs into
+// the full per-user vector the objective layer expects.
+func parseCostVector(raw string, numUsers int) ([]float64, error) {
+	costs := make([]float64, numUsers)
+	for i := range costs {
+		costs[i] = 1
+	}
+	for _, pair := range strings.Split(raw, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		id, val, ok := strings.Cut(pair, ":")
+		if !ok {
+			return nil, fmt.Errorf("-costs: want id:cost pairs (e.g. 3:2.5,7:0.5), got %q", pair)
+		}
+		u, err := strconv.Atoi(strings.TrimSpace(id))
+		if err != nil || u < 0 || u >= numUsers {
+			return nil, fmt.Errorf("-costs: bad user id %q (universe [0,%d))", id, numUsers)
+		}
+		c, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-costs: bad cost %q for user %d", val, u)
+		}
+		costs[u] = c
+	}
+	return costs, nil
+}
+
+// objSpread scores a seed set under the objective's evaluation half
+// (costs and budget shape selection, not scoring).
+func objSpread(model *credist.Model, seeds []credist.NodeID, obj *credist.Objective) float64 {
+	if obj == nil {
+		return model.Spread(seeds)
+	}
+	eval := *obj
+	eval.Costs, eval.Budget = nil, 0
+	spread, err := model.SpreadObj(seeds, &eval)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "credist:", strings.TrimPrefix(err.Error(), "credist: "))
+		os.Exit(1)
+	}
+	return spread
 }
 
 func parseSeeds(list string, numUsers int) ([]credist.NodeID, error) {

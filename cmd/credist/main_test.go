@@ -24,6 +24,32 @@ func TestParseSeeds(t *testing.T) {
 	}
 }
 
+func TestBuildObjective(t *testing.T) {
+	if obj, err := buildObjective("", -1, "", "", 0, 10); err != nil || obj != nil {
+		t.Fatalf("all-default flags: %v, %v (want nil objective)", obj, err)
+	}
+	obj, err := buildObjective("1,2", 30, "4", "3:2.5", 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obj.Audience) != 2 || !obj.Windowed || obj.Window != 30 ||
+		len(obj.Blocked) != 1 || obj.Budget != 5 {
+		t.Fatalf("objective = %+v", obj)
+	}
+	if obj.Costs[3] != 2.5 || obj.Costs[0] != 1 {
+		t.Fatalf("costs = %v, want unit costs with the 3:2.5 override", obj.Costs)
+	}
+	// window=0 is a real window (only instantaneous influence), not "off".
+	if obj, err := buildObjective("", 0, "", "", 0, 10); err != nil || obj == nil || !obj.Windowed {
+		t.Fatalf("window=0: %+v, %v", obj, err)
+	}
+	for _, bad := range [][2]string{{"x", ""}, {"99", ""}, {"", "x:1"}, {"", "1:x"}, {"", "99:1"}, {"", "5"}} {
+		if _, err := buildObjective(bad[0], -1, "", bad[1], 0, 10); err == nil {
+			t.Errorf("audience=%q costs=%q accepted", bad[0], bad[1])
+		}
+	}
+}
+
 func TestLoadDatasetValidation(t *testing.T) {
 	if _, err := loadDataset("", "", ""); err == nil {
 		t.Fatal("no inputs accepted")

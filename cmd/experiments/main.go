@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id: table1, table2, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, table4, noise, learners, topology, or all")
+		exp     = flag.String("exp", "all", "experiment id: table1, table2, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, table4, noise, learners, topology, objectives, or all")
 		dataset = flag.String("dataset", "", "dataset preset (default depends on experiment)")
 		k       = flag.Int("k", 50, "seed set size")
 		trials  = flag.Int("trials", 1000, "Monte-Carlo trials for IC/LT (paper: 10000)")
@@ -28,9 +28,12 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed for assignments and simulations")
 		format  = flag.String("format", "text", "output format: text or csv (csv supported for fig2-fig4, fig6-fig9, table2, table4)")
 		workers = flag.Int("workers", 0, "CD scan/CELF worker fan-out (0 = GOMAXPROCS); results are bit-identical at any value, matching serve's /seeds")
+		window  = flag.Float64("window", 30, "objectives experiment: time window tau_c in action-log units")
+		budget  = flag.Float64("budget", 5, "objectives experiment: total seeding budget in cost units")
 	)
 	flag.Parse()
 
+	objWindow, objBudget = *window, *budget
 	opts := eval.ExpOptions{K: *k, Trials: *trials, Lambda: *lambda, Seed: *seed, Workers: *workers}
 	if err := run(*exp, *dataset, *format, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -189,9 +192,21 @@ func run(exp, dataset, format string, opts eval.ExpOptions) error {
 		base.NumUsers /= 2 // three full runs; keep it brisk
 		base.NumActions /= 2
 		eval.TopologyRobustness(out, base, opts)
+	case "objectives":
+		names := []string{"flixster-small", "flickr-small"}
+		if dataset != "" {
+			names = []string{dataset}
+		}
+		for _, name := range names {
+			if err := objectivesDemo(out, name, opts); err != nil {
+				return err
+			}
+			sep(textOut())
+		}
 	case "all":
 		ids := []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5",
-			"fig6", "fig7", "fig8", "table4", "noise", "learners", "topology"}
+			"fig6", "fig7", "fig8", "table4", "noise", "learners", "topology",
+			"objectives"}
 		for _, id := range ids {
 			fmt.Fprintf(out, "===== %s =====\n", id)
 			if err := run(id, dataset, format, opts); err != nil {

@@ -84,6 +84,25 @@ type Options struct {
 	// Candidates restricts the selection to a candidate pool; nil means
 	// every node in [0, NumNodes()).
 	Candidates []graph.NodeID
+	// Costs assigns a positive selection cost to every node (indexed by
+	// id, covering the universe); nil means unit costs, which keeps the
+	// selection bit-identical to classic gain-ordered CELF. With costs
+	// set, the lazy-forward heap orders candidates by gain per unit cost
+	// (cost-benefit greedy). Lazy forwarding stays valid: a cached ratio
+	// is a stale gain over a fixed cost, hence an upper bound by
+	// submodularity, exactly as in the unit-cost case.
+	Costs []float64
+	// Budget caps the summed cost of the selected seeds; 0 means
+	// unlimited. A candidate whose cost exceeds the remaining budget is
+	// dropped permanently when it surfaces — the remaining budget only
+	// ever shrinks, so it can never become affordable later. With nil
+	// Costs every seed costs 1, making Budget a seed-count cap.
+	Budget float64
+	// Blocked removes nodes from the candidate pool — a rival's committed
+	// seed set. Callers that want marginal gains measured against the
+	// rival's set commit the blocked nodes to the estimator before
+	// selecting; Blocked then keeps them from being picked again.
+	Blocked []graph.NodeID
 }
 
 // Result reports a selection prefix.
@@ -159,21 +178,25 @@ func (p *Prefix) Validate(numUsers int) error {
 }
 
 // entry is a lazily evaluated candidate: gain was computed when the seed
-// set had size round.
+// set had size round. key is the heap-ordering value — the gain itself
+// under unit costs, gain/cost under per-node costs — kept alongside the
+// raw gain so the recorded Gains stay marginal spreads either way.
 type entry struct {
 	node  graph.NodeID
 	gain  float64
+	key   float64
 	round int
 }
 
-// gainHeap orders entries by (gain desc, node asc) — the deterministic
-// tie-break every selection path shares.
+// gainHeap orders entries by (key desc, node asc) — the deterministic
+// tie-break every selection path shares. Under unit costs key equals
+// gain, so the order is the classic (gain desc, node asc).
 type gainHeap []entry
 
 func (h gainHeap) Len() int { return len(h) }
 func (h gainHeap) Less(i, j int) bool {
-	if h[i].gain != h[j].gain {
-		return h[i].gain > h[j].gain
+	if h[i].key != h[j].key {
+		return h[i].key > h[j].key
 	}
 	return h[i].node < h[j].node
 }
@@ -195,6 +218,9 @@ type Selection struct {
 	est        Estimator
 	workers    int
 	candidates []graph.NodeID // nil = all nodes
+	costs      []float64      // nil = unit costs
+	budget     float64        // 0 = unlimited
+	blocked    map[graph.NodeID]struct{}
 
 	h     gainHeap
 	built bool
@@ -205,17 +231,57 @@ type Selection struct {
 	elapsed   []time.Duration
 	lookups   int64
 	spent     time.Duration
+	spentCost float64
+
+	// single is the best affordable singleton seen during the budgeted
+	// first-iteration pass (gain desc, node asc); Run's best-of rule
+	// compares it against the greedy set. node -1 means none.
+	single entry
 
 	batch []entry // scratch for stale-run refreshes
 }
 
-// NewSelection returns an empty selection over the estimator.
+// NewSelection returns an empty selection over the estimator. Costs, when
+// set, must be positive, finite, and cover the universe — the facade and
+// serving layers validate user input before it reaches here.
 func NewSelection(est Estimator, opts Options) *Selection {
-	return &Selection{
+	s := &Selection{
 		est:        est,
 		workers:    resolveWorkers(est, opts.Workers),
 		candidates: opts.Candidates,
+		costs:      opts.Costs,
+		budget:     opts.Budget,
+		single:     entry{node: -1, gain: math.Inf(-1)},
 	}
+	if len(opts.Blocked) > 0 {
+		s.blocked = make(map[graph.NodeID]struct{}, len(opts.Blocked))
+		for _, x := range opts.Blocked {
+			s.blocked[x] = struct{}{}
+		}
+	}
+	return s
+}
+
+// costOf returns x's selection cost (1 under unit costs).
+func (s *Selection) costOf(x graph.NodeID) float64 {
+	if s.costs == nil {
+		return 1
+	}
+	return s.costs[x]
+}
+
+// keyOf returns the heap-ordering value for a candidate with the given
+// gain: the gain itself under unit costs, gain per unit cost otherwise.
+func (s *Selection) keyOf(x graph.NodeID, gain float64) float64 {
+	if s.costs == nil {
+		return gain
+	}
+	return gain / s.costs[x]
+}
+
+// affordable reports whether x fits in the remaining budget.
+func (s *Selection) affordable(x graph.NodeID) bool {
+	return s.budget <= 0 || s.spentCost+s.costOf(x) <= s.budget
 }
 
 // Resume rebuilds a selection from a previously computed prefix: the
@@ -242,9 +308,27 @@ func Resume(est Estimator, prefix Prefix, opts Options) (*Selection, error) {
 	return s, nil
 }
 
-// Run selects up to k seeds in one shot: NewSelection + Grow.
+// Run selects up to k seeds in one shot: NewSelection + Grow. Under a
+// budget it additionally applies the best-of rule: plain cost-benefit
+// greedy has no approximation guarantee, but the better of the greedy set
+// and the best affordable singleton achieves the (1 - 1/sqrt(e)) bound
+// (Khuller, Moss, Naor — the budgeted-max-coverage argument, which
+// carries over to any monotone submodular objective). When the singleton
+// wins, the estimator's committed state still reflects the greedy path;
+// budgeted runs are one-shot, so callers hand in a clone.
 func Run(est Estimator, k int, opts Options) Result {
-	return NewSelection(est, opts).Grow(k)
+	s := NewSelection(est, opts)
+	res := s.Grow(k)
+	if s.budget > 0 && s.single.node >= 0 && s.single.gain > res.Spread() {
+		return Result{
+			Seeds:     []graph.NodeID{s.single.node},
+			Gains:     []float64{s.single.gain},
+			Lookups:   int(s.lookups),
+			LookupsAt: []int64{s.lookups},
+			Elapsed:   []time.Duration{s.spent},
+		}
+	}
+	return res
 }
 
 // Len returns the number of committed seeds.
@@ -268,10 +352,17 @@ func (s *Selection) Grow(k int) Result {
 	}
 	round := len(s.seeds)
 	for len(s.seeds) < k && s.h.Len() > 0 {
+		if s.budget > 0 && !s.affordable(s.h[0].node) {
+			// Over the remaining budget, which only ever shrinks: drop it
+			// for good, fresh or stale (affordability ignores the gain).
+			heap.Pop(&s.h)
+			continue
+		}
 		if s.h[0].round == round {
 			// Fresh: by submodularity nothing below can beat it.
 			top := heap.Pop(&s.h).(entry)
 			s.est.Add(top.node)
+			s.spentCost += s.costOf(top.node)
 			s.seeds = append(s.seeds, top.node)
 			s.gains = append(s.gains, top.gain)
 			s.lookupsAt = append(s.lookupsAt, s.lookups)
@@ -285,10 +376,15 @@ func (s *Selection) Grow(k int) Result {
 		// layout — and therefore the selection — is deterministic.
 		batch := s.batch[:0]
 		for len(batch) < s.workers && s.h.Len() > 0 && s.h[0].round != round {
-			batch = append(batch, heap.Pop(&s.h).(entry))
+			e := heap.Pop(&s.h).(entry)
+			if s.budget > 0 && !s.affordable(e.node) {
+				continue // drop without paying a refresh
+			}
+			batch = append(batch, e)
 		}
 		s.forEach(len(batch), func(i int) {
 			batch[i].gain = s.est.Gain(batch[i].node)
+			batch[i].key = s.keyOf(batch[i].node, batch[i].gain)
 			batch[i].round = round
 		})
 		s.lookups += int64(len(batch))
@@ -315,25 +411,28 @@ func (s *Selection) buildHeap() {
 			pool[i] = graph.NodeID(i)
 		}
 	}
-	if len(s.seeds) > 0 {
-		committed := make(map[graph.NodeID]struct{}, len(s.seeds))
+	if len(s.seeds) > 0 || len(s.blocked) > 0 {
+		excluded := make(map[graph.NodeID]struct{}, len(s.seeds)+len(s.blocked))
 		for _, x := range s.seeds {
-			committed[x] = struct{}{}
+			excluded[x] = struct{}{}
+		}
+		for x := range s.blocked {
+			excluded[x] = struct{}{}
 		}
 		// The caller's Candidates slice is never mutated and, when no
-		// committed seed appears in it, never copied either — long-lived
-		// pools (the RIS tier hands its covered-node index straight in, on
-		// every selection) stay zero-allocation here.
+		// committed or blocked seed appears in it, never copied either —
+		// long-lived pools (the RIS tier hands its covered-node index
+		// straight in, on every selection) stay zero-allocation here.
 		overlap := 0
 		for _, x := range pool {
-			if _, in := committed[x]; in {
+			if _, in := excluded[x]; in {
 				overlap++
 			}
 		}
 		if overlap > 0 {
 			filtered := make([]graph.NodeID, 0, len(pool)-overlap)
 			for _, x := range pool {
-				if _, in := committed[x]; !in {
+				if _, in := excluded[x]; !in {
 					filtered = append(filtered, x)
 				}
 			}
@@ -343,9 +442,23 @@ func (s *Selection) buildHeap() {
 	round := len(s.seeds)
 	ents := make(gainHeap, len(pool))
 	s.forEach(len(pool), func(i int) {
-		ents[i] = entry{node: pool[i], gain: s.est.Gain(pool[i]), round: round}
+		g := s.est.Gain(pool[i])
+		ents[i] = entry{node: pool[i], gain: g, key: s.keyOf(pool[i], g), round: round}
 	})
 	s.lookups += int64(len(pool))
+	if s.budget > 0 {
+		// Track the best affordable singleton (gain desc, node asc) for
+		// Run's best-of rule — serially, after the parallel pass, so the
+		// choice cannot depend on worker scheduling.
+		for _, e := range ents {
+			if s.costOf(e.node) > s.budget {
+				continue
+			}
+			if e.gain > s.single.gain || (e.gain == s.single.gain && e.node < s.single.node) {
+				s.single = e
+			}
+		}
+	}
 	heap.Init(&ents)
 	s.h = ents
 	s.built = true

@@ -384,7 +384,7 @@ func parseSnapshotV3(data []byte, alias bool) (*Engine, Lineage, *SeedPrefix, *R
 		if version == snapshotVersionNoBase || version == snapshotVersionNoPrefix {
 			return nil, lin, nil, nil, fmt.Errorf("core: snapshot: version %d predates the mapped base section (version %d); load it without mmap or re-save it", version, snapshotVersion)
 		}
-		return nil, lin, nil, nil, fmt.Errorf("core: snapshot: unsupported version (supported: 1 through %d)", snapshotVersionSketch)
+		return nil, lin, nil, nil, fmt.Errorf("core: snapshot: unsupported version %d (supported: 1 through %d)", version, snapshotVersionSketch)
 	}
 	lin, lambda, credit, err := parseSnapshotHeader(sc)
 	if err != nil {

@@ -6,6 +6,8 @@ import (
 	"hash/crc32"
 	"math"
 	"math/rand/v2"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -469,6 +471,121 @@ func TestSnapshotVersion2StillReads(t *testing.T) {
 	}
 	if !bytes.Equal(resaved.Bytes(), direct.Bytes()) {
 		t.Fatal("version-2 re-save differs from the direct version-3 encoding")
+	}
+}
+
+// TestSnapshotVersion3StillReads pins backward compatibility with the
+// sketchless version-3 layout: WriteSnapshotPrefix still stamps version 3
+// (not 5) so pre-sketch readers keep working, and the sketch-aware reader
+// loads such files with the prefix intact and a nil sketch.
+func TestSnapshotVersion3StillReads(t *testing.T) {
+	_, _, e, lin := snapshotInstance(t, 97, 30, 16)
+	sel := seedsel.CELF(e.Clone(), 4)
+	prefix := &SeedPrefix{Seeds: sel.Seeds, Gains: sel.Gains, LookupsAt: sel.LookupsAt}
+	var buf bytes.Buffer
+	if err := e.WriteSnapshotPrefix(&buf, lin, prefix); err != nil {
+		t.Fatalf("WriteSnapshotPrefix: %v", err)
+	}
+	v3 := buf.Bytes()
+	if v := binary.LittleEndian.Uint32(v3[len(snapshotMagic):]); v != snapshotVersion {
+		t.Fatalf("sketchless writer stamped version %d, want %d", v, snapshotVersion)
+	}
+
+	back, backLin, backPrefix, sketch, err := ReadSnapshotSketch(bytes.NewReader(v3))
+	if err != nil {
+		t.Fatalf("version-3 read: %v", err)
+	}
+	if sketch != nil {
+		t.Fatal("version-3 file produced an RR sketch")
+	}
+	if backLin != lin {
+		t.Fatalf("lineage %+v, want %+v", backLin, lin)
+	}
+	if backPrefix == nil {
+		t.Fatal("version-3 file lost its seed prefix")
+	}
+	for i := range prefix.Seeds {
+		if backPrefix.Seeds[i] != prefix.Seeds[i] || backPrefix.Gains[i] != prefix.Gains[i] ||
+			backPrefix.LookupsAt[i] != prefix.LookupsAt[i] {
+			t.Fatalf("prefix entry %d changed: %+v vs %+v", i, backPrefix, prefix)
+		}
+	}
+	requireEnginesBitIdentical(t, e, back, 6)
+}
+
+// TestSnapshotVersion4StillReads pins backward compatibility with the
+// version-4 partition-slice layout: a full-range slice loads through the
+// generic reader as a complete engine, prefix intact, nil sketch (slices
+// never carry one).
+func TestSnapshotVersion4StillReads(t *testing.T) {
+	_, _, e, lin := snapshotInstance(t, 101, 30, 16)
+	sel := seedsel.CELF(e.Clone(), 4)
+	prefix := &SeedPrefix{Seeds: sel.Seeds, Gains: sel.Gains, LookupsAt: sel.LookupsAt}
+	var buf bytes.Buffer
+	if err := e.WriteSnapshotSlice(&buf, lin, prefix, 0, e.NumNodes()); err != nil {
+		t.Fatalf("WriteSnapshotSlice: %v", err)
+	}
+	v4 := buf.Bytes()
+	if v := binary.LittleEndian.Uint32(v4[len(snapshotMagic):]); v != snapshotVersionSlice {
+		t.Fatalf("slice writer stamped version %d, want %d", v, snapshotVersionSlice)
+	}
+
+	back, backLin, backPrefix, sketch, err := ReadSnapshotSketch(bytes.NewReader(v4))
+	if err != nil {
+		t.Fatalf("version-4 read: %v", err)
+	}
+	if sketch != nil {
+		t.Fatal("version-4 slice produced an RR sketch")
+	}
+	if backLin != lin {
+		t.Fatalf("lineage %+v, want %+v", backLin, lin)
+	}
+	if backPrefix == nil {
+		t.Fatal("version-4 slice lost its seed prefix")
+	}
+	for i := range prefix.Seeds {
+		if backPrefix.Seeds[i] != prefix.Seeds[i] || backPrefix.Gains[i] != prefix.Gains[i] ||
+			backPrefix.LookupsAt[i] != prefix.LookupsAt[i] {
+			t.Fatalf("prefix entry %d changed: %+v vs %+v", i, backPrefix, prefix)
+		}
+	}
+	requireEnginesBitIdentical(t, e, back, 6)
+}
+
+// TestSnapshotUnsupportedVersionError pins the error an operator sees on
+// a file from a future format: it names the found version and the full
+// supported range, in both the parsing and the mapped reader.
+func TestSnapshotUnsupportedVersionError(t *testing.T) {
+	_, _, e, lin := snapshotInstance(t, 103, 20, 10)
+	data := writeSnapshot(t, e, lin)
+	future := append([]byte(nil), data[:len(data)-4]...)
+	binary.LittleEndian.PutUint32(future[len(snapshotMagic):], 99)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(future))
+	future = append(future, crc[:]...)
+
+	_, _, _, _, err := ReadSnapshotSketch(bytes.NewReader(future))
+	if err == nil {
+		t.Fatal("version-99 file accepted")
+	}
+	for _, sub := range []string{"unsupported version 99", "1 through 5"} {
+		if !strings.Contains(err.Error(), sub) {
+			t.Errorf("read error %q missing %q", err, sub)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "future.bin")
+	if err := os.WriteFile(path, future, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, _, err = OpenSnapshotMapped(path)
+	if err == nil {
+		t.Fatal("mapped open accepted a version-99 file")
+	}
+	for _, sub := range []string{"unsupported version 99", "1 through 5"} {
+		if !strings.Contains(err.Error(), sub) {
+			t.Errorf("mapped open error %q missing %q", err, sub)
+		}
 	}
 }
 

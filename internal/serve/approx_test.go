@@ -2,8 +2,12 @@ package serve_test
 
 import (
 	"fmt"
+	"net/http"
+	"path/filepath"
+	"strings"
 	"testing"
 
+	"credist"
 	"credist/internal/serve"
 )
 
@@ -163,6 +167,108 @@ func TestApproxPartitionedUnavailable(t *testing.T) {
 		if v := stats[key].(float64); v != 0 {
 			t.Fatalf("partitioned %s = %v, want 0", key, v)
 		}
+	}
+}
+
+// TestApproxPartitionedServedFromSketch pins the partitioned tier's one
+// supported mode: a whole-model snapshot that carries a persisted RR
+// sketch serves eps-queries from that fixed pool — no growth, honest
+// achieved_eps — while a sketchless snapshot still answers 501 with the
+// re-save hint.
+func TestApproxPartitionedServedFromSketch(t *testing.T) {
+	dir := t.TempDir()
+	graphPath, logPath := saveDemoDataset(t, dir)
+	model := credist.Learn(demoDataset(), credist.Options{Lambda: 0.001})
+	if err := model.BuildApproxSketch(2000); err != nil {
+		t.Fatalf("BuildApproxSketch: %v", err)
+	}
+	modelPath := filepath.Join(dir, "model.bin")
+	if err := model.Save(modelPath); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	build := func() http.Handler {
+		t.Helper()
+		snap, err := serve.Build(serve.Source{
+			GraphPath: graphPath, LogPath: logPath, ModelPath: modelPath, Partitions: 3,
+		})
+		if err != nil {
+			t.Fatalf("partitioned Build from sketch-carrying snapshot: %v", err)
+		}
+		if err := snap.PartitionErr(); err != nil {
+			t.Fatalf("partitioned Build degraded: %v", err)
+		}
+		return serve.New(snap).Handler()
+	}
+	h := build()
+
+	code, body := do(t, h, "GET", "/spread?seeds=1,2,3&eps=0.5", "")
+	if code != 200 {
+		t.Fatalf("partitioned approx /spread from sketch: %d %v", code, body)
+	}
+	lo, hi := body["ci_low"].(float64), body["ci_high"].(float64)
+	if est := body["estimate"].(float64); lo > est || est > hi {
+		t.Fatalf("estimate %g outside interval [%g,%g]", est, lo, hi)
+	}
+	if body["samples"].(float64) < 2000 {
+		t.Fatalf("fixed pool served %v samples, want the persisted >= 2000", body["samples"])
+	}
+
+	code, seedsBody := do(t, h, "GET", "/seeds?k=3&eps=0.5", "")
+	if code != 200 {
+		t.Fatalf("partitioned approx /seeds from sketch: %d %v", code, seedsBody)
+	}
+	if seeds, ok := seedsBody["seeds"].([]any); !ok || len(seeds) != 3 {
+		t.Fatalf("approximate seeds reply: %v", seedsBody)
+	}
+
+	// The pool is fixed: stats report the persisted pool and zero samples
+	// drawn by this process.
+	code, stats := do(t, h, "GET", "/stats", "")
+	if code != 200 {
+		t.Fatalf("/stats: %d", code)
+	}
+	if stats["approx_samples"].(float64) < 2000 {
+		t.Fatalf("approx_samples = %v, want the persisted pool", stats["approx_samples"])
+	}
+	if stats["approx_sampled"].(float64) != 0 {
+		t.Fatalf("partitioned tier sampled live: approx_sampled = %v, want 0", stats["approx_sampled"])
+	}
+
+	// Deterministic: a second server over the same snapshot answers the
+	// same bits (the pool is the persisted one, not a fresh sample).
+	h2 := build()
+	_, body2 := do(t, h2, "GET", "/spread?seeds=1,2,3&eps=0.5", "")
+	for _, key := range []string{"estimate", "ci_low", "ci_high", "samples"} {
+		if fmt.Sprint(body2[key]) != fmt.Sprint(body[key]) {
+			t.Fatalf("%s differs across servers over the same sketch: %v vs %v", key, body2[key], body[key])
+		}
+	}
+
+	// Exact queries are untouched by the tier.
+	if code, _ := do(t, h, "GET", "/spread?seeds=1,2,3", ""); code != 200 {
+		t.Fatal("partitioned exact /spread regressed")
+	}
+
+	// A sketchless snapshot cannot serve the tier: 501 naming the fix.
+	plain := credist.Learn(demoDataset(), credist.Options{Lambda: 0.001})
+	plainPath := filepath.Join(dir, "plain.bin")
+	if err := plain.Save(plainPath); err != nil {
+		t.Fatalf("Save plain: %v", err)
+	}
+	snapPlain, err := serve.Build(serve.Source{
+		GraphPath: graphPath, LogPath: logPath, ModelPath: plainPath, Partitions: 2,
+	})
+	if err != nil {
+		t.Fatalf("partitioned Build from plain snapshot: %v", err)
+	}
+	hPlain := serve.New(snapPlain).Handler()
+	code, errBody := do(t, hPlain, "GET", "/spread?seeds=1,2&eps=0.1", "")
+	if code != 501 {
+		t.Fatalf("sketchless partitioned approx: %d %v, want 501", code, errBody)
+	}
+	if msg, _ := errBody["error"].(string); !strings.Contains(msg, "ris-samples") {
+		t.Fatalf("501 error %q does not tell the operator how to fix it", msg)
 	}
 }
 

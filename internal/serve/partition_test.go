@@ -65,6 +65,14 @@ func TestPartitionCountParityHTTP(t *testing.T) {
 		{"GET", "/seeds?k=5", ""},
 		{"GET", "/seeds?k=3", ""}, // prefix slice of the k=5 selection
 		{"GET", "/topk?method=highdeg&k=4", ""},
+		// Campaign objectives ride the same wall: targeted, windowed,
+		// blocked, and budgeted answers may not depend on the partition
+		// count either.
+		{"GET", "/spread?seeds=1,2&audience=4,5,6,7", ""},
+		{"GET", "/spread?seeds=1,2&window=25", ""},
+		{"GET", "/gain?candidates=4,5&seeds=1&blocked=2,3", ""},
+		{"GET", "/seeds?k=3&audience=4,5,6,7", ""},
+		{"GET", "/seeds?k=3&costs=1:3,2:3&budget=2.5", ""},
 	}
 	for _, req := range requests {
 		a := bodyModuloSnapshot(t, one, req.method, req.target, req.body)

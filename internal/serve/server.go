@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"net/url"
 	"os"
 	"path/filepath"
 	"slices"
@@ -185,6 +186,99 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
+// --- campaign objectives ----------------------------------------------------
+
+// objectiveParams are the campaign-objective fields /spread, /gain, and
+// /seeds share — who counts (audience), when (window), and which rival
+// seeds are already committed (blocked). They arrive as query parameters
+// (audience=1,2,3&window=12&blocked=4) or the same-named JSON body
+// fields. All absent means the default objective, which routes through
+// the exact pre-objective code paths byte-for-byte.
+type objectiveParams struct {
+	Audience []credist.NodeID `json:"audience,omitempty"`
+	Window   *float64         `json:"window,omitempty"`
+	Blocked  []credist.NodeID `json:"blocked,omitempty"`
+}
+
+func (p *objectiveParams) fromQuery(q url.Values) error {
+	var err error
+	if p.Audience, err = parseIDList(q.Get("audience")); err != nil {
+		return err
+	}
+	if raw := q.Get("window"); raw != "" {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return badRequest("window must be a number in the action log's time units, got %q", raw)
+		}
+		p.Window = &v
+	}
+	if p.Blocked, err = parseIDList(q.Get("blocked")); err != nil {
+		return err
+	}
+	return nil
+}
+
+// objective lowers the parsed parameters to a facade objective, nil for
+// the default. Semantic validation (id ranges, a finite non-negative
+// window) happens in the facade, whose errors map to 400s.
+func (p *objectiveParams) objective() *credist.Objective {
+	if p.Audience == nil && p.Window == nil && p.Blocked == nil {
+		return nil
+	}
+	o := &credist.Objective{Audience: p.Audience, Blocked: p.Blocked}
+	if p.Window != nil {
+		o.Windowed, o.Window = true, *p.Window
+	}
+	return o
+}
+
+// parseCosts parses the /seeds costs parameter: "id:cost" pairs over
+// implicit unit costs (costs=3:2.5,7:0.5 prices users 3 and 7, everyone
+// else costs 1). Returns nil for an absent parameter. Cost values are
+// range-checked by the facade (finite, positive), ids here.
+func parseCosts(raw string, numUsers int) ([]float64, error) {
+	if raw == "" {
+		return nil, nil
+	}
+	costs := make([]float64, numUsers)
+	for i := range costs {
+		costs[i] = 1
+	}
+	for _, part := range strings.Split(raw, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		idStr, costStr, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, badRequest("costs must be id:cost pairs (e.g. costs=3:2.5,7:0.5), got %q", part)
+		}
+		id, err := strconv.Atoi(strings.TrimSpace(idStr))
+		if err != nil || id < 0 || id >= numUsers {
+			return nil, badRequest("costs: user id %q out of range [0,%d)", strings.TrimSpace(idStr), numUsers)
+		}
+		c, err := strconv.ParseFloat(strings.TrimSpace(costStr), 64)
+		if err != nil {
+			return nil, badRequest("costs: bad cost %q for user %d", strings.TrimSpace(costStr), id)
+		}
+		costs[id] = c
+	}
+	return costs, nil
+}
+
+// requestError maps objective-path failures to 400s: everything the
+// facade and the coordinator reject (unknown ids, malformed windows,
+// costs where they do not apply) is a request fault, while errors already
+// carrying a status — the partition gate's 502 — pass through.
+func requestError(err error) error {
+	if _, ok := err.(*apiError); ok {
+		return err
+	}
+	return badRequest("%v", err)
+}
+
+const errObjectiveApprox = "the approximate tier (eps/budget) serves only the default objective; drop audience, window, costs, and blocked"
+
 // --- /spread ---------------------------------------------------------------
 
 type spreadRequest struct {
@@ -195,6 +289,7 @@ type spreadRequest struct {
 	// duration string, e.g. "10ms"). Either alone switches tiers.
 	Eps    float64 `json:"eps,omitempty"`
 	Budget string  `json:"budget,omitempty"`
+	objectiveParams
 }
 
 // SpreadResponse answers a single-set /spread query.
@@ -291,11 +386,16 @@ func (s *Server) handleSpread(sn *Snapshot, r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	obj := req.objective()
 	switch {
 	case req.Seeds != nil && req.Sets != nil:
 		return nil, badRequest("provide seeds or sets, not both")
+	case obj != nil && req.Sets != nil:
+		return nil, badRequest("audience/window/blocked apply to a single seed set, not a batch")
 	case approx && req.Sets != nil:
 		return nil, badRequest("eps/budget apply to a single seed set, not a batch")
+	case approx && obj != nil:
+		return nil, badRequest("%s", errObjectiveApprox)
 	case approx:
 		if err := validateIDs(req.Seeds, sn.NumUsers()); err != nil {
 			return nil, err
@@ -306,6 +406,15 @@ func (s *Server) handleSpread(sn *Snapshot, r *http.Request) (any, error) {
 		}
 		s.approxSpreadHits.Add(1)
 		return ApproxSpreadResponse{Snapshot: sn.ID, Seeds: req.Seeds, ApproxBody: approxBody(res)}, nil
+	case req.Seeds != nil && obj != nil:
+		if err := validateIDs(req.Seeds, sn.NumUsers()); err != nil {
+			return nil, err
+		}
+		spread, err := sn.SpreadObj(req.Seeds, obj)
+		if err != nil {
+			return nil, requestError(err)
+		}
+		return SpreadResponse{Snapshot: sn.ID, Seeds: req.Seeds, Spread: spread}, nil
 	case req.Seeds != nil:
 		if err := validateIDs(req.Seeds, sn.NumUsers()); err != nil {
 			return nil, err
@@ -341,6 +450,12 @@ func (req *spreadRequest) fromQuery(r *http.Request) error {
 		req.Eps = v
 	}
 	req.Budget = q.Get("budget")
+	if q.Get("costs") != "" {
+		return badRequest("costs and a numeric budget apply to seed selection (/seeds), not spread evaluation")
+	}
+	if err := req.objectiveParams.fromQuery(q); err != nil {
+		return err
+	}
 	raw := q.Get("seeds")
 	if raw == "" {
 		return nil
@@ -360,6 +475,7 @@ type gainRequest struct {
 	Seeds []credist.NodeID `json:"seeds,omitempty"`
 	// Candidates are scored as sigma_cd(S+c) - sigma_cd(S), batched.
 	Candidates []credist.NodeID `json:"candidates"`
+	objectiveParams
 }
 
 // GainResponse answers /gain; Gains[i] belongs to Candidates[i].
@@ -378,6 +494,9 @@ func (s *Server) handleGain(sn *Snapshot, r *http.Request) (any, error) {
 		}
 	} else {
 		q := r.URL.Query()
+		if q.Get("costs") != "" || q.Get("budget") != "" {
+			return nil, badRequest("costs and budget apply to seed selection (/seeds), not gain evaluation")
+		}
 		var err error
 		if req.Candidates, err = parseIDList(q.Get("candidates")); err != nil {
 			return nil, err
@@ -386,6 +505,9 @@ func (s *Server) handleGain(sn *Snapshot, r *http.Request) (any, error) {
 			if req.Seeds, err = parseIDList(raw); err != nil {
 				return nil, err
 			}
+		}
+		if err := req.objectiveParams.fromQuery(q); err != nil {
+			return nil, err
 		}
 	}
 	if len(req.Candidates) == 0 {
@@ -397,8 +519,14 @@ func (s *Server) handleGain(sn *Snapshot, r *http.Request) (any, error) {
 	if err := validateIDs(req.Seeds, sn.NumUsers()); err != nil {
 		return nil, err
 	}
-	gains, err := sn.Gains(req.Seeds, req.Candidates)
-	if err != nil {
+	var gains []float64
+	var err error
+	if obj := req.objective(); obj != nil {
+		gains, err = sn.GainsObj(req.Seeds, req.Candidates, obj)
+		if err != nil {
+			return nil, requestError(err)
+		}
+	} else if gains, err = sn.Gains(req.Seeds, req.Candidates); err != nil {
 		return nil, err
 	}
 	return GainResponse{
@@ -433,9 +561,47 @@ func (s *Server) handleSeeds(sn *Snapshot, r *http.Request) (any, error) {
 			return nil, badRequest("eps must be a number in (0,1), got %q", raw)
 		}
 	}
-	opts, approx, err := parseApproxOpts(eps, eps != 0, q.Get("budget"))
+	var op objectiveParams
+	if err := op.fromQuery(q); err != nil {
+		return nil, err
+	}
+	costs, err := parseCosts(q.Get("costs"), sn.NumUsers())
 	if err != nil {
 		return nil, err
+	}
+	// budget= is overloaded by value space: a bare number (budget=12.5) is
+	// a seed-cost budget for the objective layer, a duration (budget=10ms)
+	// the approximate tier's wall-clock cap. The spaces are disjoint —
+	// ParseFloat accepts no unit suffix, ParseDuration requires one.
+	costBudget := 0.0
+	approxBudget := ""
+	if raw := q.Get("budget"); raw != "" {
+		if v, ferr := strconv.ParseFloat(raw, 64); ferr == nil {
+			costBudget = v
+		} else {
+			approxBudget = raw
+		}
+	}
+	opts, approx, err := parseApproxOpts(eps, eps != 0, approxBudget)
+	if err != nil {
+		return nil, err
+	}
+	obj := op.objective()
+	if costs != nil || costBudget != 0 {
+		if obj == nil {
+			obj = &credist.Objective{}
+		}
+		obj.Costs, obj.Budget = costs, costBudget
+	}
+	if approx && obj != nil {
+		return nil, badRequest("%s", errObjectiveApprox)
+	}
+	if obj != nil {
+		res, err := sn.SelectSeedsObj(k, obj)
+		if err != nil {
+			return nil, requestError(err)
+		}
+		return SeedsResponse{Snapshot: sn.ID, K: k, SeedsResult: *res, Cached: false}, nil
 	}
 	if approx {
 		seeds, res, err := sn.ApproxSeeds(k, opts)
@@ -532,7 +698,9 @@ type StatsResponse struct {
 	// Approximate RR tier: the current sample pool's size and bytes,
 	// samples drawn by this process (0 right after a sketch-carrying
 	// restart), and how many requests each endpoint answered from the
-	// tier. All zero on partitioned deployments, which have no tier.
+	// tier. On partitioned deployments the tier is fixed: it serves the
+	// whole-model snapshot's persisted sketch (if any) and never grows,
+	// so approx_sampled stays 0 and approx_samples reports the pool.
 	ApproxSamples        int   `json:"approx_samples"`
 	ApproxBytes          int64 `json:"approx_bytes"`
 	ApproxSampled        int64 `json:"approx_sampled"`

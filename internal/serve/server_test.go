@@ -112,6 +112,36 @@ func TestHandlerTable(t *testing.T) {
 			wantStatus: 400, wantErrSub: "positive integer"},
 		{name: "seeds k too large", method: "GET", target: "/seeds?k=100000",
 			wantStatus: 400, wantErrSub: "exceeds user count"},
+		{name: "spread targeted", method: "GET", target: "/spread?seeds=1,2&audience=4,5,6",
+			wantStatus: 200, wantKeys: []string{"snapshot", "seeds", "spread"}},
+		{name: "spread windowed", method: "GET", target: "/spread?seeds=1,2&window=25",
+			wantStatus: 200, wantKeys: []string{"snapshot", "seeds", "spread"}},
+		{name: "spread bad window", method: "GET", target: "/spread?seeds=1&window=soon",
+			wantStatus: 400, wantErrSub: "window must be a number"},
+		{name: "spread unknown audience id", method: "GET", target: "/spread?seeds=1&audience=100000",
+			wantStatus: 400, wantErrSub: "audience user 100000 outside the universe"},
+		{name: "spread costs rejected", method: "GET", target: "/spread?seeds=1&costs=1:2",
+			wantStatus: 400, wantErrSub: "not spread evaluation"},
+		{name: "spread objective on batch", method: "POST", target: "/spread", body: `{"sets":[[1],[2]],"audience":[3]}`,
+			wantStatus: 400, wantErrSub: "not a batch"},
+		{name: "gain blocked", method: "GET", target: "/gain?candidates=4,5&blocked=7",
+			wantStatus: 200, wantKeys: []string{"snapshot", "candidates", "gains"}},
+		{name: "gain unknown blocked id", method: "GET", target: "/gain?candidates=4&blocked=100000",
+			wantStatus: 400, wantErrSub: "blocked user 100000 outside the universe"},
+		{name: "gain budget rejected", method: "GET", target: "/gain?candidates=4&budget=3",
+			wantStatus: 400, wantErrSub: "not gain evaluation"},
+		{name: "gain costs rejected", method: "GET", target: "/gain?candidates=4&costs=1:2",
+			wantStatus: 400, wantErrSub: "not gain evaluation"},
+		{name: "seeds budgeted", method: "GET", target: "/seeds?k=3&costs=1:5,2:5&budget=4",
+			wantStatus: 200, wantKeys: []string{"snapshot", "k", "seeds", "gains", "spread", "lookups", "cached"}},
+		{name: "seeds negative budget", method: "GET", target: "/seeds?k=3&budget=-4",
+			wantStatus: 400, wantErrSub: "want finite and non-negative"},
+		{name: "seeds malformed costs", method: "GET", target: "/seeds?k=3&costs=1-2",
+			wantStatus: 400, wantErrSub: "costs must be id:cost pairs"},
+		{name: "seeds costs bad user", method: "GET", target: "/seeds?k=3&costs=100000:2",
+			wantStatus: 400, wantErrSub: "out of range"},
+		{name: "seeds objective with eps", method: "GET", target: "/seeds?k=3&eps=0.1&audience=1,2",
+			wantStatus: 400, wantErrSub: "only the default objective"},
 		{name: "topk highdeg", method: "GET", target: "/topk?method=highdeg&k=3",
 			wantStatus: 200, wantKeys: []string{"snapshot", "method", "k", "seeds", "spread"}},
 		{name: "topk pagerank", method: "GET", target: "/topk?method=pagerank&k=3",
@@ -223,6 +253,98 @@ func TestBitIdenticalToOfflineModel(t *testing.T) {
 	if !equalFloats(batch.Spreads, wantBatch) {
 		t.Errorf("/spread batch = %v, offline = %v", batch.Spreads, wantBatch)
 	}
+}
+
+// TestObjectiveEndpoints pins the HTTP objective layer to the offline
+// facade: every audience/window/blocked/costs combination answers with
+// exactly the value the Model's *Obj methods produce, and objective
+// selections never touch the default-objective seed-prefix memo.
+func TestObjectiveEndpoints(t *testing.T) {
+	h := newTestServer(t).Handler()
+	model := demoModel()
+
+	aud := []credist.NodeID{4, 5, 6, 7}
+	var sr serve.SpreadResponse
+	getJSON(t, h, "GET", "/spread?seeds=1,2&audience=4,5,6,7", "", &sr)
+	want, err := model.SpreadObj([]credist.NodeID{1, 2}, &credist.Objective{Audience: aud})
+	if err != nil {
+		t.Fatalf("offline SpreadObj: %v", err)
+	}
+	if sr.Spread != want {
+		t.Errorf("targeted /spread = %b, offline = %b", sr.Spread, want)
+	}
+
+	getJSON(t, h, "POST", "/spread", `{"seeds":[1,2],"window":30}`, &sr)
+	want, err = model.SpreadObj([]credist.NodeID{1, 2}, &credist.Objective{Windowed: true, Window: 30})
+	if err != nil {
+		t.Fatalf("offline windowed SpreadObj: %v", err)
+	}
+	if sr.Spread != want {
+		t.Errorf("windowed /spread = %b, offline = %b", sr.Spread, want)
+	}
+
+	var gr serve.GainResponse
+	getJSON(t, h, "GET", "/gain?seeds=1&candidates=4,5&blocked=2,3", "", &gr)
+	wantG, err := model.GainsObj([]credist.NodeID{1}, []credist.NodeID{4, 5},
+		&credist.Objective{Blocked: []credist.NodeID{2, 3}})
+	if err != nil {
+		t.Fatalf("offline GainsObj: %v", err)
+	}
+	if !equalFloats(gr.Gains, wantG) {
+		t.Errorf("blocked /gain = %v, offline = %v", gr.Gains, wantG)
+	}
+
+	// Budgeted selection: unit costs with overrides, budget in cost units.
+	var seedsResp serve.SeedsResponse
+	getJSON(t, h, "GET", "/seeds?k=4&costs=1:3,2:3&budget=2.5", "", &seedsResp)
+	costs := make([]float64, demoDataset().NumUsers())
+	for i := range costs {
+		costs[i] = 1
+	}
+	costs[1], costs[2] = 3, 3
+	wantRes, err := model.SelectSeedsObj(4, &credist.Objective{Costs: costs, Budget: 2.5})
+	if err != nil {
+		t.Fatalf("offline SelectSeedsObj: %v", err)
+	}
+	if len(seedsResp.Seeds) != len(wantRes.Seeds) {
+		t.Fatalf("budgeted /seeds returned %d seeds, offline %d", len(seedsResp.Seeds), len(wantRes.Seeds))
+	}
+	for i := range wantRes.Seeds {
+		if seedsResp.Seeds[i] != wantRes.Seeds[i] || seedsResp.Gains[i] != wantRes.Gains[i] {
+			t.Errorf("budgeted seed %d: served (%d, %b), offline (%d, %b)",
+				i, seedsResp.Seeds[i], seedsResp.Gains[i], wantRes.Seeds[i], wantRes.Gains[i])
+		}
+	}
+	if seedsResp.Cached {
+		t.Error("budgeted /seeds claimed to come from the default-objective memo")
+	}
+
+	// Objective selections bypass the memo in both directions: a prior
+	// default selection is not reused, and the objective result is not
+	// cached into it.
+	var warm serve.SeedsResponse
+	getJSON(t, h, "GET", "/seeds?k=3", "", &warm)
+	var targeted serve.SeedsResponse
+	getJSON(t, h, "GET", "/seeds?k=3&audience=4,5,6,7", "", &targeted)
+	if targeted.Cached {
+		t.Error("targeted /seeds served from the default memo")
+	}
+	wantRes, err = model.SelectSeedsObj(3, &credist.Objective{Audience: aud})
+	if err != nil {
+		t.Fatalf("offline targeted SelectSeedsObj: %v", err)
+	}
+	for i := range wantRes.Seeds {
+		if targeted.Seeds[i] != wantRes.Seeds[i] || targeted.Gains[i] != wantRes.Gains[i] {
+			t.Errorf("targeted seed %d: served (%d, %b), offline (%d, %b)",
+				i, targeted.Seeds[i], targeted.Gains[i], wantRes.Seeds[i], wantRes.Gains[i])
+		}
+	}
+	var again serve.SeedsResponse
+	getJSON(t, h, "GET", "/seeds?k=3", "", &again)
+	if !again.Cached {
+		t.Error("default /seeds memo lost after an objective selection")
+	}
+	requireSameSelection(t, "default selection after objective query", warm, again)
 }
 
 func TestSeedsMemoizedPerSnapshot(t *testing.T) {

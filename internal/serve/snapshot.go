@@ -654,14 +654,24 @@ func (sn *Snapshot) Spread(seeds []credist.NodeID) (float64, error) {
 // ApproxSpread answers a spread query from the model's bounded-error RR
 // tier (see credist.Model.ApproxSpread). The tier samples over the full
 // user universe, which a partitioned deployment does not hold in any one
-// engine, so partitioned snapshots answer 501 rather than an estimate
-// whose interval could not be honored.
+// engine, so a partitioned snapshot answers from the fixed sample pool its
+// whole-model snapshot persisted (sampled before the split, over the full
+// universe; precision is whatever the pool affords, reported honestly in
+// achieved_eps) — and 501 when no sketch was persisted, since the tier
+// cannot draw a single new sample there.
 func (sn *Snapshot) ApproxSpread(seeds []credist.NodeID, opts credist.ApproxOptions) (credist.ApproxResult, error) {
 	if err := sn.partitionGate(); err != nil {
 		return credist.ApproxResult{}, err
 	}
 	if sn.parts != nil {
-		return credist.ApproxResult{}, errApproxPartitioned
+		res, ok, err := sn.model.ApproxSpreadFixed(seeds)
+		if err != nil {
+			return credist.ApproxResult{}, err
+		}
+		if !ok {
+			return credist.ApproxResult{}, errApproxPartitioned
+		}
+		return res, nil
 	}
 	return sn.model.ApproxSpread(seeds, opts)
 }
@@ -674,22 +684,31 @@ func (sn *Snapshot) ApproxSeeds(k int, opts credist.ApproxOptions) ([]credist.No
 		return nil, credist.ApproxResult{}, err
 	}
 	if sn.parts != nil {
-		return nil, credist.ApproxResult{}, errApproxPartitioned
+		seeds, res, ok, err := sn.model.ApproxSeedsFixed(k)
+		if err != nil {
+			return nil, credist.ApproxResult{}, err
+		}
+		if !ok {
+			return nil, credist.ApproxResult{}, errApproxPartitioned
+		}
+		return seeds, res, nil
 	}
 	return sn.model.ApproxSeeds(k, opts)
 }
 
-// ApproxStats reports the RR tier's sample pool (zero on partitioned
-// deployments, which have no tier).
+// ApproxStats reports the RR tier's sample pool. On a partitioned
+// deployment this is the fixed pool restored from the whole-model
+// snapshot's sketch (all zero when none was persisted).
 func (sn *Snapshot) ApproxStats() credist.ApproxStats {
-	if sn.parts != nil || sn.model == nil {
+	if sn.model == nil {
 		return credist.ApproxStats{}
 	}
 	return sn.model.ApproxStats()
 }
 
 var errApproxPartitioned = &apiError{code: http.StatusNotImplemented,
-	msg: "approximate queries are unavailable on a partitioned deployment (the RR tier needs the full universe in one engine)"}
+	msg: "approximate queries on a partitioned deployment are served from a persisted RR sketch, and this model has none " +
+		"(re-save it with `credist learn -ris-samples` and restart); no partition holds the full universe, so the tier cannot sample live"}
 
 // SpreadBatch evaluates sigma_cd for many seed sets, fanning the sets over
 // the available cores. Each set is evaluated independently, so the floats
@@ -796,6 +815,67 @@ func (sn *Snapshot) SelectSeeds(k int) (res *SeedsResult, cached bool, err error
 	pv := newSeedPrefix(grown, sn.seedSel.Exhausted())
 	sn.prefix.Store(pv)
 	return pv.result(k), false, nil
+}
+
+// SpreadObj is Spread under a campaign objective (audience weights, time
+// window, blocked rivals): sigma_obj(S | blocked), routed to the
+// scatter-gather coordinator or the exact evaluator exactly as Spread is.
+// Handlers route default-objective requests to Spread instead, so this
+// path never touches (and can never perturb) the default answers.
+func (sn *Snapshot) SpreadObj(seeds []credist.NodeID, o *credist.Objective) (float64, error) {
+	if err := sn.partitionGate(); err != nil {
+		return 0, err
+	}
+	if sn.parts != nil {
+		return sn.parts.SpreadObj(sn.model, seeds, o)
+	}
+	return sn.model.SpreadObj(seeds, o)
+}
+
+// GainsObj is Gains under a campaign objective: marginal objective gains
+// over base with the objective's blocked rivals committed first. The
+// single-engine path evaluates over this snapshot's own (possibly
+// ingest-extended) base planner, never the model's lazy base.
+func (sn *Snapshot) GainsObj(base, candidates []credist.NodeID, o *credist.Objective) ([]float64, error) {
+	if err := sn.partitionGate(); err != nil {
+		return nil, err
+	}
+	if sn.parts != nil {
+		return sn.parts.GainsObj(sn.model, base, candidates, o)
+	}
+	return sn.model.GainsObjOn(sn.base, base, candidates, o)
+}
+
+// SelectSeedsObj runs seed selection under a campaign objective —
+// audience/window repricing, cost-benefit CELF under a budget, blocked
+// rivals excluded and conditioned on. Unlike SelectSeeds it is a fresh
+// one-shot run every time: the snapshot's growable selection and its
+// published prefix memo answer the default objective only, and an
+// objective-shaped result stored there would poison later default
+// requests. Bit-identical to the offline Model.SelectSeedsObj at any
+// worker or partition count.
+func (sn *Snapshot) SelectSeedsObj(k int, o *credist.Objective) (*SeedsResult, error) {
+	if err := sn.partitionGate(); err != nil {
+		return nil, err
+	}
+	var res seedsel.Result
+	var err error
+	if sn.parts != nil {
+		res, err = sn.parts.SelectSeedsObj(sn.model, k, o)
+	} else {
+		res, err = sn.model.SelectSeedsObjOn(sn.base, k, o)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &SeedsResult{Seeds: res.Seeds, Gains: res.Gains, Spread: res.Spread(), Lookups: res.Lookups}
+	if out.Seeds == nil {
+		out.Seeds = []credist.NodeID{}
+	}
+	if out.Gains == nil {
+		out.Gains = []float64{}
+	}
+	return out, nil
 }
 
 // Selections returns how many CELF growth runs this snapshot has actually

@@ -51,6 +51,10 @@ type Model struct {
 	// seeded either lazily on the first approximate query or from a
 	// version-5 snapshot's restored sketch (zero sampling on restart).
 	approx approxTier
+	// delays lazily indexes per-(action, participant) delays from the
+	// action's first participation — what time-windowed objectives gate
+	// on. Derived from the log alone, at most once per model.
+	delays func() *core.ActionDelays
 }
 
 // Close releases the file mapping behind a model opened with
@@ -78,6 +82,9 @@ func newModel(ds *Dataset, opts Options, credit core.CreditModel) *Model {
 		// model's lifetime.
 		e.Compact()
 		return e
+	})
+	m.delays = sync.OnceValue(func() *core.ActionDelays {
+		return core.BuildActionDelays(ds.Log)
 	})
 	return m
 }

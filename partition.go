@@ -238,7 +238,39 @@ func LoadModelPartitioned(ds *Dataset, modelPath string, n int, mmap bool, opts 
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	// A version-5 whole-model snapshot carries the approximate tier's RR
+	// sketch, which slices do not: its samples span the full universe, so
+	// it cannot be split along row ranges. Re-read just the sketch from the
+	// model file (cheap: the mapped open parses no cell, and the sketch is
+	// decoded onto the heap before the mapping closes) so a partitioned
+	// deployment still answers bounded-error queries — from the fixed pool.
+	m.approx.restored = readSnapshotSketch(modelPath, ds, pp.NumActions())
 	return m, pp, paths, nil
+}
+
+// readSnapshotSketch reads only the RR sketch from a whole-model snapshot
+// file, returning nil for missing files, unreadable or pre-version-5
+// snapshots, and sketchless version-5 files. The sketch is an optional
+// accelerator — a partitioned start must not fail because the model file
+// next to healthy slices went stale — so every mismatch degrades to "no
+// sketch": the file's lineage must match the dataset and its scan must
+// cover exactly the numActions the partitions serve (a log tail appended
+// past the snapshot invalidates the walks the same way LoadModel drops
+// the sketch, and a model file older than re-checkpointed slices sampled
+// a log the partitions no longer serve).
+func readSnapshotSketch(path string, ds *Dataset, numActions int) *core.RRSketch {
+	_, lin, _, sketch, ms, err := core.OpenSnapshotMappedSketch(path)
+	if err != nil {
+		return nil
+	}
+	// The sketch section is always decoded onto the heap (only UC shards
+	// alias the mapping), so the mapping can close before the sketch is
+	// used.
+	ms.Close()
+	if sketch == nil || lin.NumActions != numActions || lin.Check(ds.Graph, ds.Log) != nil {
+		return nil
+	}
+	return sketch
 }
 
 // SaveSlices checkpoints the planner's partitions as snapshot-slice files,
