@@ -308,12 +308,28 @@ func loadgenUsers(base string) (int, error) {
 	return st.Users, nil
 }
 
+// quantiles reports nearest-rank p50/p99: the smallest sample with at
+// least q·n of the population at or below it, i.e. index ceil(q·n)−1.
+// Floor indexing (lats[n*50/100]) would over-report — p50 of [1,2] is 1,
+// not 2.
 func quantiles(lats []float64) (p50, p99 float64) {
 	if len(lats) == 0 {
 		return 0, 0
 	}
 	sort.Float64s(lats)
-	return lats[len(lats)*50/100], lats[min(len(lats)-1, len(lats)*99/100)]
+	return lats[nearestRank(50, len(lats))], lats[nearestRank(99, len(lats))]
+}
+
+// nearestRank is ceil(pct·n/100)−1 as a valid index into n sorted samples.
+func nearestRank(pct, n int) int {
+	idx := (pct*n+99)/100 - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
 }
 
 // benchCommit mirrors the other BENCH_*.json writers: the commit comes

@@ -83,6 +83,42 @@ func TestLoadgenRun(t *testing.T) {
 	}
 }
 
+// TestQuantilesNearestRank pins the nearest-rank definition,
+// ceil(q·n)−1: the reported quantile is the smallest sample with at
+// least q·n of the population at or below it. The regression case is
+// p50 of [1,2] — floor indexing reported 2.
+func TestQuantilesNearestRank(t *testing.T) {
+	cases := []struct {
+		name     string
+		lats     []float64
+		p50, p99 float64
+	}{
+		{"empty", nil, 0, 0},
+		{"single", []float64{7}, 7, 7},
+		{"two p50 is lower", []float64{1, 2}, 1, 2},
+		{"unsorted input", []float64{2, 1}, 1, 2},
+		{"three", []float64{1, 2, 3}, 2, 3},
+		{"four", []float64{1, 2, 3, 4}, 2, 4},
+		{"hundred", seqFloats(100), 50, 99},
+		{"two hundred", seqFloats(200), 100, 198},
+	}
+	for _, tc := range cases {
+		p50, p99 := quantiles(append([]float64(nil), tc.lats...))
+		if p50 != tc.p50 || p99 != tc.p99 {
+			t.Errorf("%s: quantiles = %g, %g, want %g, %g", tc.name, p50, p99, tc.p50, tc.p99)
+		}
+	}
+}
+
+// seqFloats is [1, 2, ..., n]: sample k sits at exactly the k/n quantile.
+func seqFloats(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i + 1)
+	}
+	return out
+}
+
 func TestParseMix(t *testing.T) {
 	s, g, sd, err := parseMix("spread=8,gain=3,seeds=1")
 	if err != nil || s != 8 || g != 3 || sd != 1 {

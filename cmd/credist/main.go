@@ -10,13 +10,15 @@
 //	credist -preset flixster-small -k 20 -costs 3:2.5,7:0.5 -budget 10
 //	credist learn -preset flixster-small -o model.bin
 //	credist serve -preset flixster-small -model model.bin -addr :8632
+//	credist explain -preset flixster-small -seed 42
+//	credist explain -preset flixster-small -set 1,2,3 -reach 99
 //	credist ingest -tail data/flixster-small.tail.log
 //	credist loadgen -addr http://localhost:8632 -qps 200 -duration 10s
 //
 // Selection output: one line per seed with its marginal gain, then the
 // predicted total spread. Run `credist -h`, `credist learn -h`, `credist
-// serve -h`, `credist ingest -h`, or `credist loadgen -h` for the full
-// flag reference.
+// serve -h`, `credist explain -h`, `credist ingest -h`, or `credist
+// loadgen -h` for the full flag reference.
 package main
 
 import (
@@ -37,6 +39,9 @@ func main() {
 			return
 		case "serve":
 			runServe(os.Args[2:])
+			return
+		case "explain":
+			runExplain(os.Args[2:])
 			return
 		case "ingest":
 			runIngest(os.Args[2:])
@@ -73,6 +78,7 @@ func runSelect(args []string) {
 		fmt.Fprintf(fs.Output(), `Usage: credist [flags]         select or score influence seed sets
        credist learn [flags]   learn once and save a binary model snapshot (see credist learn -h)
        credist serve [flags]   run the influence-query HTTP service (see credist serve -h)
+       credist explain [flags] decompose a gain or a reach into its credit paths (see credist explain -h)
        credist ingest [flags]  stream new actions into a running service (see credist ingest -h)
        credist loadgen [flags] replay a mixed query workload against a running service (see credist loadgen -h)
 

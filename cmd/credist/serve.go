@@ -55,9 +55,14 @@ JSON queries. Endpoints:
                                add &eps=0.1 for RR coverage-greedy seeds with
                                an interval on the selected set's spread
   GET  /topk?method=highdeg&k=N  heuristic baseline seeds, CD-scored
+  GET  /explain?seed=u&top=N   why-seed: u's marginal gain decomposed into
+                               its top credit paths; ?set=1,2&reach=v is
+                               why-reach: the credit the set pushes onto v,
+                               split by seed (shares sum exactly to total)
   GET  /healthz                liveness
   GET  /stats                  snapshot shape, base/delta UC entries, QPS,
-                               RR-sketch size and approximate-tier hits
+                               RR-sketch size, approximate-tier hits, and
+                               provenance-index counters
   POST /reload                 learn from a new source and atomically swap,
                                e.g. {"preset":"flickr-small","lambda":0.001}
   POST /ingest                 append new propagations incrementally (only the

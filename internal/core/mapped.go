@@ -342,25 +342,33 @@ func OpenSnapshotMapped(path string) (*Engine, Lineage, *SeedPrefix, *MappedSnap
 }
 
 // OpenSnapshotMappedSketch is OpenSnapshotMapped plus the stored RR
-// sketch (nil for versions below 5). The sketch section sits inside the
-// header CRC, so even the mapped open — which skips the footer — reads it
-// corruption-checked.
+// sketch (nil for files not carrying one), discarding any stored
+// provenance index. See OpenSnapshotMappedProv.
 func OpenSnapshotMappedSketch(path string) (*Engine, Lineage, *SeedPrefix, *RRSketch, *MappedSnapshot, error) {
+	eng, lin, prefix, sketch, _, ms, err := OpenSnapshotMappedProv(path)
+	return eng, lin, prefix, sketch, ms, err
+}
+
+// OpenSnapshotMappedProv is OpenSnapshotMapped plus the stored RR sketch
+// and provenance index (nil for files not carrying them). Both sections
+// sit inside the header CRC, so even the mapped open — which skips the
+// footer — reads them corruption-checked.
+func OpenSnapshotMappedProv(path string) (*Engine, Lineage, *SeedPrefix, *RRSketch, *ProvIndex, *MappedSnapshot, error) {
 	var lin Lineage
 	data, release, err := mmapFile(path)
 	if err != nil {
-		return nil, lin, nil, nil, nil, err
+		return nil, lin, nil, nil, nil, nil, err
 	}
 	ms := &MappedSnapshot{data: data, release: release, backend: "mmap"}
 	if !mappedAliasSupported() {
 		ms.backend = "heap"
 	}
-	eng, lin, prefix, sketch, err := parseSnapshotV3(data, ms.backend == "mmap")
+	eng, lin, prefix, sketch, prov, err := parseSnapshotV3(data, ms.backend == "mmap")
 	if err != nil {
 		ms.Close()
-		return nil, lin, nil, nil, nil, err
+		return nil, lin, nil, nil, nil, nil, err
 	}
-	return eng, lin, prefix, sketch, ms, nil
+	return eng, lin, prefix, sketch, prov, ms, nil
 }
 
 // parseSnapshotV3 parses a version-3 snapshot payload held in data
@@ -369,34 +377,34 @@ func OpenSnapshotMappedSketch(path string) (*Engine, Lineage, *SeedPrefix, *RRSk
 // header CRC is verified either way; the full-file footer CRC is the
 // caller's concern (ReadSnapshotPrefix verifies it first, the mapped
 // open deliberately skips it).
-func parseSnapshotV3(data []byte, alias bool) (*Engine, Lineage, *SeedPrefix, *RRSketch, error) {
+func parseSnapshotV3(data []byte, alias bool) (*Engine, Lineage, *SeedPrefix, *RRSketch, *ProvIndex, error) {
 	var lin Lineage
 	if len(data) < len(snapshotMagic)+4+4 {
-		return nil, lin, nil, nil, fmt.Errorf("core: snapshot: truncated input: shorter than the fixed header")
+		return nil, lin, nil, nil, nil, fmt.Errorf("core: snapshot: truncated input: shorter than the fixed header")
 	}
 	if !IsSnapshotHeader(data) {
-		return nil, lin, nil, nil, fmt.Errorf("core: snapshot: bad magic (not a snapshot file)")
+		return nil, lin, nil, nil, nil, fmt.Errorf("core: snapshot: bad magic (not a snapshot file)")
 	}
 	payload := data[:len(data)-4]
 	sc := &snapCursor{b: payload, off: len(snapshotMagic)}
 	version := sc.u32()
-	if version != snapshotVersion && version != snapshotVersionSlice && version != snapshotVersionSketch {
+	if version != snapshotVersion && version != snapshotVersionSlice && version != snapshotVersionSketch && version != snapshotVersionProv {
 		if version == snapshotVersionNoBase || version == snapshotVersionNoPrefix {
-			return nil, lin, nil, nil, fmt.Errorf("core: snapshot: version %d predates the mapped base section (version %d); load it without mmap or re-save it", version, snapshotVersion)
+			return nil, lin, nil, nil, nil, fmt.Errorf("core: snapshot: version %d predates the mapped base section (version %d); load it without mmap or re-save it", version, snapshotVersion)
 		}
-		return nil, lin, nil, nil, fmt.Errorf("core: snapshot: unsupported version %d (supported: 1 through %d)", version, snapshotVersionSketch)
+		return nil, lin, nil, nil, nil, fmt.Errorf("core: snapshot: unsupported version %d (supported: 1 through %d)", version, snapshotVersionProv)
 	}
 	lin, lambda, credit, err := parseSnapshotHeader(sc)
 	if err != nil {
-		return nil, lin, nil, nil, err
+		return nil, lin, nil, nil, nil, err
 	}
 	e := newSnapshotEngine(lin, lambda, credit)
 	if err := parseUsers(sc, lin, e); err != nil {
-		return nil, lin, nil, nil, err
+		return nil, lin, nil, nil, nil, err
 	}
 	prefix, err := parseSeedPrefix(sc, lin.NumUsers)
 	if err != nil {
-		return nil, lin, nil, nil, err
+		return nil, lin, nil, nil, nil, err
 	}
 	// Version-4 slices declare the influencer-row range their base section
 	// holds; the base walk below then enforces it row by row.
@@ -404,7 +412,7 @@ func parseSnapshotV3(data []byte, alias bool) (*Engine, Lineage, *SeedPrefix, *R
 	if version == snapshotVersionSlice {
 		rowLo, rowHi = int(sc.u32()), int(sc.u32())
 		if sc.err == nil && (rowLo < 0 || rowLo > rowHi || rowHi > lin.NumUsers) {
-			return nil, lin, nil, nil, fmt.Errorf("core: snapshot: slice rows [%d,%d) outside the universe [0,%d)", rowLo, rowHi, lin.NumUsers)
+			return nil, lin, nil, nil, nil, fmt.Errorf("core: snapshot: slice rows [%d,%d) outside the universe [0,%d)", rowLo, rowHi, lin.NumUsers)
 		}
 		e.partitioned = true
 		e.partLo, e.partHi = rowLo, rowHi
@@ -415,7 +423,26 @@ func parseSnapshotV3(data []byte, alias bool) (*Engine, Lineage, *SeedPrefix, *R
 	var sketch *RRSketch
 	if version == snapshotVersionSketch {
 		if sketch, err = parseSketchSection(sc, lin.NumUsers); err != nil {
-			return nil, lin, nil, nil, err
+			return nil, lin, nil, nil, nil, err
+		}
+	}
+	// Version-6 snapshots carry a flags byte, then the optional sketch
+	// section, then the provenance section — all inside the header CRC.
+	// The prov flag must be set (a provless engine state writes version 3
+	// or 5, keeping its encoding unique) and stray bits are refused.
+	var prov *ProvIndex
+	if version == snapshotVersionProv {
+		flags := sc.u8()
+		if sc.err == nil && (flags&provFlagProv == 0 || flags&^(provFlagProv|provFlagSketch) != 0) {
+			return nil, lin, nil, nil, nil, fmt.Errorf("core: snapshot: version-%d flags %#02x (want the provenance bit set and no stray bits)", snapshotVersionProv, flags)
+		}
+		if flags&provFlagSketch != 0 {
+			if sketch, err = parseSketchSection(sc, lin.NumUsers); err != nil {
+				return nil, lin, nil, nil, nil, err
+			}
+		}
+		if prov, err = parseProvSection(sc, lin.NumUsers, lin.NumActions); err != nil {
+			return nil, lin, nil, nil, nil, err
 		}
 	}
 	// Header CRC: everything from the magic up to this field. It makes the
@@ -424,24 +451,24 @@ func parseSnapshotV3(data []byte, alias bool) (*Engine, Lineage, *SeedPrefix, *R
 	headerEnd := sc.off
 	declared := sc.u32()
 	if sc.err != nil {
-		return nil, lin, nil, nil, sc.err
+		return nil, lin, nil, nil, nil, sc.err
 	}
 	if got := crc32.ChecksumIEEE(payload[:headerEnd]); got != declared {
-		return nil, lin, nil, nil, fmt.Errorf("core: snapshot: header checksum mismatch (file %08x, computed %08x)", declared, got)
+		return nil, lin, nil, nil, nil, fmt.Errorf("core: snapshot: header checksum mismatch (file %08x, computed %08x)", declared, got)
 	}
 	padLen := (8 - sc.off%8) % 8
 	for _, b := range sc.take(padLen) {
 		if b != 0 {
-			return nil, lin, nil, nil, fmt.Errorf("core: snapshot: non-zero alignment padding before the base section")
+			return nil, lin, nil, nil, nil, fmt.Errorf("core: snapshot: non-zero alignment padding before the base section")
 		}
 	}
 	if sc.err != nil {
-		return nil, lin, nil, nil, sc.err
+		return nil, lin, nil, nil, nil, sc.err
 	}
 	baseOff := sc.off
 	extents, total, err := validateBaseSection(payload, baseOff, lin.NumUsers, lin.NumActions, rowLo, rowHi)
 	if err != nil {
-		return nil, lin, nil, nil, err
+		return nil, lin, nil, nil, nil, err
 	}
 	e.entries = total
 	if alias && (len(payload) == baseOff || uintptr(unsafe.Pointer(&payload[baseOff]))%8 == 0) {
@@ -451,7 +478,7 @@ func parseSnapshotV3(data []byte, alias bool) (*Engine, Lineage, *SeedPrefix, *R
 	} else {
 		decodeHeapShards(e, payload, extents, lin.NumUsers)
 	}
-	return e, lin, prefix, sketch, nil
+	return e, lin, prefix, sketch, prov, nil
 }
 
 // aliasShard wraps one validated block as an in-place mappedShard.

@@ -1,0 +1,439 @@
+// Influence provenance: why-provenance over UC credits.
+//
+// Every number the model reports — a marginal gain, a spread, a seed
+// choice — is a sum of per-action credit cells UC[v][u][a] produced by
+// the Algorithm 2 scan, so every answer has a traceable origin. This
+// file exposes it two ways:
+//
+//   - ExplainSeed(x, top) decomposes Gain(x) into (influencer →
+//     influenced, action) credit paths by replaying the Gain fold
+//     itself: the same terms, in the same association order, so the
+//     per-action contributions sum bit-exactly to the reported gain at
+//     any worker or partition count.
+//   - ExplainReach(S, v) decomposes the credit reaching target v by
+//     seed and action: per seed s (in input order), the shares
+//     UC[s][v][a]/A_v folded in ascending action order. Credits are
+//     additive across seeds and partitions, so per-seed subtotals sum
+//     bit-exactly to the total and per-partition answers merge
+//     deterministically.
+//
+// ProvIndex is the inverted credit→actions index behind the reach side:
+// per (influencer v, influenced u) pair, the contributing action ids and
+// per-action credit shares, sorted by (v, u) with ascending actions per
+// pair. It is derivable from the scanned shards (BuildProvIndex walks
+// exactly the cells Gain reads, so index answers and shard walks agree
+// bit for bit), optional, and persistable as a version-6 snapshot
+// section so a restarted process explains with zero index builds.
+package core
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+
+	"credist/internal/actionlog"
+	"credist/internal/graph"
+)
+
+// ProvPath is one explained credit path: the credit influencer earned
+// for influenced's participation in one action, normalized the way the
+// explained answer counts it.
+type ProvPath struct {
+	Influencer graph.NodeID
+	Influenced graph.NodeID
+	Action     actionlog.ActionID
+	Credit     float64
+}
+
+// SeedExplanation decomposes one candidate's marginal gain. Gain is
+// bit-identical to Engine.Gain(Node) on the same state; Paths holds the
+// top paths by credit (self-activation paths appear as Influencer ==
+// Influenced) out of TotalPaths.
+type SeedExplanation struct {
+	Node       graph.NodeID
+	Gain       float64
+	Paths      []ProvPath
+	TotalPaths int
+}
+
+// ReachShare is one seed's slice of an explained reach total.
+type ReachShare struct {
+	Seed  graph.NodeID
+	Share float64
+}
+
+// ReachExplanation decomposes the credit reaching one target by seed and
+// action. PerSeed is parallel to the query's seed order, and Total is
+// the fixed-order fold of the PerSeed shares — so the decomposition sums
+// bit-exactly to the total at any worker or partition count.
+type ReachExplanation struct {
+	Target     graph.NodeID
+	Total      float64
+	PerSeed    []ReachShare
+	Paths      []ProvPath
+	TotalPaths int
+}
+
+// ExplainSeed decomposes Gain(x) into credit paths. It replays the Gain
+// walk term by term — the 1/A_x self-activation credit plus every UC
+// row entry, each discounted by the committed-seed factor (1 - SC) — in
+// the identical association order, so the returned Gain is bit-for-bit
+// Engine.Gain(x). Read-only, like Gain; a partition answers only for
+// candidates whose row it owns.
+func (e *Engine) ExplainSeed(x graph.NodeID, top int) SeedExplanation {
+	if !e.ownsRow(x) {
+		panic(fmt.Sprintf("core: ExplainSeed(%d) outside partition rows [%d,%d)", x, e.partLo, e.partHi))
+	}
+	ex := SeedExplanation{Node: x}
+	ax := float64(e.au[x])
+	if ax == 0 {
+		return ex
+	}
+	if slices.Contains(e.seeds, x) {
+		return ex
+	}
+	mg := 0.0
+	var paths []ProvPath
+	for _, a := range e.actionsOf[x] {
+		mga := 1.0 / ax
+		row := e.uc[a].row(x)
+		scx := 0.0
+		if e.sc[a] != nil {
+			scx = e.sc[a][x]
+		}
+		paths = append(paths, ProvPath{Influencer: x, Influenced: x, Action: a, Credit: (1.0 / ax) * (1 - scx)})
+		for _, en := range row {
+			mga += en.c / float64(e.au[en.u])
+			paths = append(paths, ProvPath{
+				Influencer: x, Influenced: en.u, Action: a,
+				Credit: (en.c / float64(e.au[en.u])) * (1 - scx),
+			})
+		}
+		mg += mga * (1 - scx)
+	}
+	ex.Gain = mg
+	ex.TotalPaths = len(paths)
+	ex.Paths = TopProvPaths(paths, top)
+	return ex
+}
+
+// ReachPaths returns seed s's slice of the credit reaching target v: the
+// shares UC[s][v][a]/A_v folded in ascending action order, one path per
+// contributing action. The seed's own activation (the 1/A_v self term of
+// its gain) is not a credit path and does not appear. A partition
+// answers only for seeds whose row it owns.
+func (e *Engine) ReachPaths(s, v graph.NodeID) (float64, []ProvPath) {
+	if !e.ownsRow(s) {
+		panic(fmt.Sprintf("core: ReachPaths(%d) outside partition rows [%d,%d)", s, e.partLo, e.partHi))
+	}
+	av := float64(e.au[v])
+	if av == 0 {
+		return 0, nil
+	}
+	share := 0.0
+	var paths []ProvPath
+	for _, a := range e.actionsOf[s] {
+		c, ok := e.uc[a].get(s, v)
+		if !ok {
+			continue
+		}
+		share += c / av
+		paths = append(paths, ProvPath{Influencer: s, Influenced: v, Action: a, Credit: c / av})
+	}
+	return share, paths
+}
+
+// ExplainReach decomposes the credit reaching target v from the given
+// seeds: per-seed shares in input order (duplicate seeds each count, so
+// callers wanting set semantics deduplicate first), their fixed-order
+// fold as the total, and the top paths by credit. Every row read belongs
+// to a seed's owner, so a partitioned deployment computes each seed's
+// share wholly in one partition and merges bit-identically.
+func (e *Engine) ExplainReach(seeds []graph.NodeID, v graph.NodeID, top int) ReachExplanation {
+	ex := ReachExplanation{Target: v, PerSeed: make([]ReachShare, 0, len(seeds))}
+	var paths []ProvPath
+	for _, s := range seeds {
+		share, ps := e.ReachPaths(s, v)
+		ex.PerSeed = append(ex.PerSeed, ReachShare{Seed: s, Share: share})
+		ex.Total += share
+		paths = append(paths, ps...)
+	}
+	ex.TotalPaths = len(paths)
+	ex.Paths = TopProvPaths(paths, top)
+	return ex
+}
+
+// ExplainReachIndexed is ExplainReach answered from an inverted index
+// instead of the UC shards. The index stores exactly the cells the shard
+// walk reads, in the same ascending-action order per pair, so the result
+// is bit-identical to ExplainReach on the engine the index was built
+// from — which is what lets a snapshot-restored index serve explanations
+// with zero rebuild work.
+func (e *Engine) ExplainReachIndexed(p *ProvIndex, seeds []graph.NodeID, v graph.NodeID, top int) ReachExplanation {
+	ex := ReachExplanation{Target: v, PerSeed: make([]ReachShare, 0, len(seeds))}
+	av := float64(e.au[v])
+	var paths []ProvPath
+	for _, s := range seeds {
+		share := 0.0
+		if av != 0 {
+			acts, creds := p.Lookup(s, v)
+			for i, a := range acts {
+				share += creds[i] / av
+				paths = append(paths, ProvPath{Influencer: s, Influenced: v, Action: a, Credit: creds[i] / av})
+			}
+		}
+		ex.PerSeed = append(ex.PerSeed, ReachShare{Seed: s, Share: share})
+		ex.Total += share
+	}
+	ex.TotalPaths = len(paths)
+	ex.Paths = TopProvPaths(paths, top)
+	return ex
+}
+
+// TopProvPaths sorts paths by descending credit — ties broken by
+// (influencer, influenced, action) ascending, so the order is a
+// deterministic total order — and truncates to the top n (n <= 0 keeps
+// none). It sorts in place and returns a clipped view of its argument.
+func TopProvPaths(paths []ProvPath, n int) []ProvPath {
+	slices.SortFunc(paths, func(a, b ProvPath) int {
+		switch {
+		case a.Credit > b.Credit:
+			return -1
+		case a.Credit < b.Credit:
+			return 1
+		case a.Influencer != b.Influencer:
+			return int(a.Influencer) - int(b.Influencer)
+		case a.Influenced != b.Influenced:
+			return int(a.Influenced) - int(b.Influenced)
+		default:
+			return int(a.Action) - int(b.Action)
+		}
+	})
+	if n < 0 {
+		n = 0
+	}
+	if n > len(paths) {
+		n = len(paths)
+	}
+	return paths[:n]
+}
+
+// ProvIndex is the inverted credit→actions index: per (influencer v,
+// influenced u) pair, the contributing action ids and per-action raw
+// credit shares UC[v][u][a], stored pair-major — pairs sorted by (v, u),
+// entries per pair in ascending action order. Immutable once built.
+type ProvIndex struct {
+	pairV, pairU []int32   // parallel, sorted by (v, u)
+	off          []int64   // len(pairs)+1; pair i's entries are [off[i], off[i+1])
+	acts         []int32   // entry action ids, ascending per pair
+	creds        []float64 // entry credit shares, parallel to acts
+}
+
+// BuildProvIndex builds the inverted index over the engine's current
+// credit state by walking exactly the cells Gain reads — per owned row v,
+// the UC rows of the actions v performed — so shard walks and index
+// lookups agree bit for bit. A partition indexes only its owned rows.
+// Deterministic: the same engine state yields the same index.
+func (e *Engine) BuildProvIndex() *ProvIndex {
+	type cell struct {
+		u, a int32
+		c    float64
+	}
+	p := &ProvIndex{off: []int64{0}}
+	lo, hi := e.PartitionRange()
+	var cells []cell
+	for v := lo; v < hi; v++ {
+		cells = cells[:0]
+		for _, a := range e.actionsOf[v] {
+			for _, en := range e.uc[a].row(int32(v)) {
+				cells = append(cells, cell{u: en.u, a: a, c: en.c})
+			}
+		}
+		// Generated (action, influenced)-major; the index wants
+		// (influenced, action)-major. Keys are unique, so a plain sort is
+		// deterministic.
+		sort.Slice(cells, func(i, j int) bool {
+			if cells[i].u != cells[j].u {
+				return cells[i].u < cells[j].u
+			}
+			return cells[i].a < cells[j].a
+		})
+		for i, c := range cells {
+			if i == 0 || c.u != cells[i-1].u {
+				p.pairV = append(p.pairV, int32(v))
+				p.pairU = append(p.pairU, c.u)
+				p.off = append(p.off, p.off[len(p.off)-1])
+			}
+			p.off[len(p.off)-1]++
+			p.acts = append(p.acts, c.a)
+			p.creds = append(p.creds, c.c)
+		}
+	}
+	return p
+}
+
+// Pairs returns the number of (influencer, influenced) pairs indexed.
+func (p *ProvIndex) Pairs() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.pairV)
+}
+
+// Entries returns the total number of indexed (pair, action) cells.
+func (p *ProvIndex) Entries() int64 {
+	if p == nil {
+		return 0
+	}
+	return int64(len(p.acts))
+}
+
+// Bytes approximates the index's heap footprint for stats.
+func (p *ProvIndex) Bytes() int64 {
+	if p == nil {
+		return 0
+	}
+	return int64(len(p.pairV)+len(p.pairU)+len(p.acts))*4 +
+		int64(len(p.off)+len(p.creds))*8
+}
+
+// Lookup returns the contributing action ids (ascending) and raw credit
+// shares for the (influencer v, influenced u) pair, or nil slices when
+// the pair carries no credit. The returned slices alias the index; do
+// not mutate them.
+func (p *ProvIndex) Lookup(v, u graph.NodeID) ([]int32, []float64) {
+	i := sort.Search(len(p.pairV), func(i int) bool {
+		return p.pairV[i] > v || (p.pairV[i] == v && p.pairU[i] >= u)
+	})
+	if i == len(p.pairV) || p.pairV[i] != v || p.pairU[i] != u {
+		return nil, nil
+	}
+	return p.acts[p.off[i]:p.off[i+1]], p.creds[p.off[i]:p.off[i+1]]
+}
+
+// Validate checks the index's structural invariants against a universe —
+// the same rules parseProvSection enforces, so any index that validates
+// here round-trips through a version-6 snapshot section.
+func (p *ProvIndex) Validate(numUsers, numActions int) error {
+	if p.Pairs() == 0 {
+		return fmt.Errorf("core: provenance index is empty")
+	}
+	if len(p.pairU) != len(p.pairV) || len(p.off) != len(p.pairV)+1 || len(p.creds) != len(p.acts) {
+		return fmt.Errorf("core: provenance index arrays disagree on length")
+	}
+	if p.off[0] != 0 || p.off[len(p.off)-1] != int64(len(p.acts)) {
+		return fmt.Errorf("core: provenance index offsets do not cover its entries")
+	}
+	for i := range p.pairV {
+		v, u := p.pairV[i], p.pairU[i]
+		if int(v) < 0 || int(v) >= numUsers || int(u) < 0 || int(u) >= numUsers {
+			return fmt.Errorf("core: provenance pair (%d,%d) outside the universe [0,%d)", v, u, numUsers)
+		}
+		if i > 0 && (p.pairV[i-1] > v || (p.pairV[i-1] == v && p.pairU[i-1] >= u)) {
+			return fmt.Errorf("core: provenance pairs out of order at %d", i)
+		}
+		lo, hi := p.off[i], p.off[i+1]
+		if hi <= lo {
+			return fmt.Errorf("core: provenance pair (%d,%d) has no entries", v, u)
+		}
+		for j := lo; j < hi; j++ {
+			a, c := p.acts[j], p.creds[j]
+			if int(a) < 0 || int(a) >= numActions {
+				return fmt.Errorf("core: provenance action %d outside [0,%d)", a, numActions)
+			}
+			if j > lo && p.acts[j-1] >= a {
+				return fmt.Errorf("core: provenance actions out of order for pair (%d,%d)", v, u)
+			}
+			if math.IsNaN(c) || math.IsInf(c, 0) || c <= 0 {
+				return fmt.Errorf("core: provenance credit %g for pair (%d,%d) action %d (want finite and positive)", c, v, u, a)
+			}
+		}
+	}
+	return nil
+}
+
+// writeProvSection serializes the index: a pair count, then per pair its
+// (v, u) ids, entry count, and (action, credit) entries. With the
+// Validate ordering rules this is a unique encoding — two indexes with
+// the same cells produce the same bytes.
+func writeProvSection(sw *snapWriter, p *ProvIndex) {
+	sw.u32(uint32(len(p.pairV)))
+	for i := range p.pairV {
+		sw.u32(uint32(p.pairV[i]))
+		sw.u32(uint32(p.pairU[i]))
+		lo, hi := p.off[i], p.off[i+1]
+		sw.u32(uint32(hi - lo))
+		for j := lo; j < hi; j++ {
+			sw.u32(uint32(p.acts[j]))
+			sw.f64(p.creds[j])
+		}
+	}
+}
+
+// parseProvSection decodes and validates a provenance section, enforcing
+// the exact invariants Validate describes so that accepted bytes
+// re-encode byte-identically.
+func parseProvSection(sc *snapCursor, numUsers, numActions int) (*ProvIndex, error) {
+	pairs := sc.count("provenance pair", 12)
+	if sc.err == nil && pairs == 0 {
+		sc.fail("version-%d snapshot with an empty provenance section", snapshotVersionProv)
+	}
+	p := &ProvIndex{
+		pairV: make([]int32, 0, pairs),
+		pairU: make([]int32, 0, pairs),
+		off:   make([]int64, 1, pairs+1),
+	}
+	prevV, prevU := int32(-1), int32(-1)
+	for i := 0; i < pairs && sc.err == nil; i++ {
+		v := int32(sc.u32())
+		u := int32(sc.u32())
+		n := sc.count("provenance entry", 12)
+		if sc.err != nil {
+			break
+		}
+		if int(v) < 0 || int(v) >= numUsers || int(u) < 0 || int(u) >= numUsers {
+			sc.fail("provenance pair (%d,%d) outside the universe [0,%d)", v, u, numUsers)
+			break
+		}
+		if prevV > v || (prevV == v && prevU >= u) {
+			sc.fail("provenance pairs out of order: (%d,%d) after (%d,%d)", v, u, prevV, prevU)
+			break
+		}
+		if n == 0 {
+			sc.fail("provenance pair (%d,%d) has no entries", v, u)
+			break
+		}
+		prevV, prevU = v, u
+		prevA := int32(-1)
+		for j := 0; j < n && sc.err == nil; j++ {
+			a := int32(sc.u32())
+			c := sc.f64()
+			if sc.err != nil {
+				break
+			}
+			if int(a) < 0 || int(a) >= numActions {
+				sc.fail("provenance action %d outside [0,%d)", a, numActions)
+				break
+			}
+			if prevA >= a {
+				sc.fail("provenance actions out of order for pair (%d,%d)", v, u)
+				break
+			}
+			if math.IsNaN(c) || math.IsInf(c, 0) || c <= 0 {
+				sc.fail("provenance credit %g for pair (%d,%d) action %d (want finite and positive)", c, v, u, a)
+				break
+			}
+			prevA = a
+			p.acts = append(p.acts, a)
+			p.creds = append(p.creds, c)
+		}
+		p.pairV = append(p.pairV, v)
+		p.pairU = append(p.pairU, u)
+		p.off = append(p.off, int64(len(p.acts)))
+	}
+	if sc.err != nil {
+		return nil, sc.err
+	}
+	return p, nil
+}

@@ -1,0 +1,509 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"credist/internal/graph"
+)
+
+func TestFigure1ExplainSeed(t *testing.T) {
+	g, log := figure1(t)
+	e := NewEngine(g, log, Options{})
+
+	ex := e.ExplainSeed(nodeV, 10)
+	if ex.Gain != e.Gain(nodeV) {
+		t.Fatalf("ExplainSeed(v).Gain = %b, Gain(v) = %b", ex.Gain, e.Gain(nodeV))
+	}
+	// v's gain decomposes into its self-activation plus its credit over
+	// t, w, z, u — five paths for the single action.
+	if ex.TotalPaths != 5 || len(ex.Paths) != 5 {
+		t.Fatalf("ExplainSeed(v) paths = %d (total %d), want 5", len(ex.Paths), ex.TotalPaths)
+	}
+	want := map[graph.NodeID]float64{nodeV: 1, nodeT: 0.5, nodeW: 1, nodeZ: 0.5, nodeU: 0.75}
+	for _, p := range ex.Paths {
+		if p.Influencer != nodeV || p.Action != 0 {
+			t.Fatalf("unexpected path %+v", p)
+		}
+		if w, ok := want[p.Influenced]; !ok || !almostEqual(p.Credit, w) {
+			t.Fatalf("path to %d credit %g, want %g", p.Influenced, p.Credit, want[p.Influenced])
+		}
+		delete(want, p.Influenced)
+	}
+	if len(want) != 0 {
+		t.Fatalf("paths missing targets %v", want)
+	}
+	// Truncation keeps the top paths by credit.
+	top2 := e.ExplainSeed(nodeV, 2)
+	if len(top2.Paths) != 2 || top2.TotalPaths != 5 {
+		t.Fatalf("top-2 kept %d of %d paths", len(top2.Paths), top2.TotalPaths)
+	}
+	for _, p := range top2.Paths {
+		if !almostEqual(p.Credit, 1) {
+			t.Fatalf("top-2 path credit %g, want 1", p.Credit)
+		}
+	}
+
+	// After commits the explained gain still matches bit for bit, and a
+	// committed seed explains as zero with no paths.
+	e.Add(nodeT)
+	e.Add(nodeZ)
+	for cand := graph.NodeID(0); cand < 6; cand++ {
+		ex := e.ExplainSeed(cand, 10)
+		if ex.Gain != e.Gain(cand) {
+			t.Fatalf("after commits ExplainSeed(%d).Gain = %b, Gain = %b", cand, ex.Gain, e.Gain(cand))
+		}
+	}
+	if ex := e.ExplainSeed(nodeT, 10); ex.Gain != 0 || ex.TotalPaths != 0 {
+		t.Fatalf("committed seed explains as %+v, want zero", ex)
+	}
+}
+
+// TestExplainSeedBitExact is the tentpole contract on the seed side: the
+// explanation's gain is bit-identical to Engine.Gain at any worker count,
+// with and without truncation/learned credit, before and after commits.
+func TestExplainSeedBitExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 17))
+	for trial := 0; trial < 10; trial++ {
+		g, log := randomInstance(rng, 14+rng.IntN(8), 5+rng.IntN(5))
+		var credit CreditModel
+		lambda := 0.0
+		if trial%2 == 1 {
+			credit = LearnTimeAware(g, log)
+			lambda = 0.001
+		}
+		serial := NewEngine(g, log, Options{Workers: 1, Lambda: lambda, Credit: credit})
+		parallel := NewEngine(g, log, Options{Workers: runtime.GOMAXPROCS(0), Lambda: lambda, Credit: credit})
+		for round := 0; round < 3; round++ {
+			for cand := 0; cand < g.NumNodes(); cand++ {
+				c := graph.NodeID(cand)
+				exS := serial.ExplainSeed(c, 8)
+				exP := parallel.ExplainSeed(c, 8)
+				if exS.Gain != serial.Gain(c) {
+					t.Fatalf("trial %d round %d: ExplainSeed(%d).Gain %b != Gain %b",
+						trial, round, c, exS.Gain, serial.Gain(c))
+				}
+				if !reflect.DeepEqual(exS, exP) {
+					t.Fatalf("trial %d round %d: explanations differ across worker counts for %d", trial, round, c)
+				}
+			}
+			next := graph.NodeID(rng.IntN(g.NumNodes()))
+			serial.Add(next)
+			parallel.Add(next)
+		}
+	}
+}
+
+func TestFigure1ExplainReach(t *testing.T) {
+	g, log := figure1(t)
+	e := NewEngine(g, log, Options{})
+
+	share, paths := e.ReachPaths(nodeV, nodeU)
+	if !almostEqual(share, 0.75) {
+		t.Fatalf("ReachPaths(v,u) share = %g, want 0.75", share)
+	}
+	if len(paths) != 1 || paths[0].Action != 0 || !almostEqual(paths[0].Credit, 0.75) {
+		t.Fatalf("ReachPaths(v,u) paths = %+v", paths)
+	}
+
+	ex := e.ExplainReach([]graph.NodeID{nodeV, nodeZ}, nodeU, 10)
+	if len(ex.PerSeed) != 2 || !almostEqual(ex.PerSeed[0].Share, 0.75) || !almostEqual(ex.PerSeed[1].Share, 0.25) {
+		t.Fatalf("ExplainReach per-seed = %+v", ex.PerSeed)
+	}
+	if sum := ex.PerSeed[0].Share + ex.PerSeed[1].Share; ex.Total != sum {
+		t.Fatalf("Total %b != fold of shares %b", ex.Total, sum)
+	}
+	// A node that performed nothing reaches nothing.
+	lb2 := e.ExplainReach([]graph.NodeID{nodeU}, nodeV, 10)
+	if lb2.Total != 0 || lb2.TotalPaths != 0 {
+		t.Fatalf("reach from sink = %+v, want zero", lb2)
+	}
+}
+
+// TestExplainReachMatchesPairCredit cross-checks the walk against the
+// evaluator's independent recursive computation of kappa_{v,u} on
+// truncation-free engines.
+func TestExplainReachMatchesPairCredit(t *testing.T) {
+	rng := rand.New(rand.NewPCG(43, 19))
+	for trial := 0; trial < 8; trial++ {
+		g, log := randomInstance(rng, 10+rng.IntN(6), 4+rng.IntN(4))
+		e := NewEngine(g, log, Options{})
+		ev := NewEvaluator(g, log, nil)
+		for s := 0; s < g.NumNodes(); s++ {
+			for v := 0; v < g.NumNodes(); v++ {
+				if s == v {
+					continue
+				}
+				share, _ := e.ReachPaths(graph.NodeID(s), graph.NodeID(v))
+				if want := ev.PairCredit(graph.NodeID(s), graph.NodeID(v)); !almostEqual(share, want) {
+					t.Fatalf("trial %d ReachPaths(%d,%d) = %g, evaluator kappa = %g", trial, s, v, share, want)
+				}
+			}
+		}
+	}
+}
+
+// TestExplainReachIndexed pins the index consumer bit-identical to the
+// shard walk: same shares, same paths, same fold order.
+func TestExplainReachIndexed(t *testing.T) {
+	rng := rand.New(rand.NewPCG(47, 23))
+	for trial := 0; trial < 6; trial++ {
+		g, log := randomInstance(rng, 12+rng.IntN(8), 4+rng.IntN(5))
+		e := NewEngine(g, log, Options{Lambda: 0.001, Credit: LearnTimeAware(g, log)})
+		idx := e.BuildProvIndex()
+		if err := idx.Validate(g.NumNodes(), e.NumActions()); idx.Pairs() > 0 && err != nil {
+			t.Fatalf("trial %d: built index fails Validate: %v", trial, err)
+		}
+		seeds := []graph.NodeID{0, graph.NodeID(g.NumNodes() / 2), graph.NodeID(g.NumNodes() - 1), 0}
+		for v := 0; v < g.NumNodes(); v++ {
+			walk := e.ExplainReach(seeds, graph.NodeID(v), 6)
+			indexed := e.ExplainReachIndexed(idx, seeds, graph.NodeID(v), 6)
+			if !reflect.DeepEqual(walk, indexed) {
+				t.Fatalf("trial %d target %d: walk %+v != indexed %+v", trial, v, walk, indexed)
+			}
+		}
+	}
+}
+
+// TestExplainPartitionedBitIdentical is the acceptance criterion at
+// partition counts {1, 4}: a partition explains its owned rows exactly as
+// the full engine does, and per-partition reach shares folded in seed
+// order reproduce the full answer bit for bit.
+func TestExplainPartitionedBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewPCG(53, 29))
+	g, log := randomInstance(rng, 24, 9)
+	base := NewEngine(g, log, Options{Lambda: 0.001, Credit: LearnTimeAware(g, log)})
+	base.Freeze()
+	n := g.NumNodes()
+	for _, parts := range []int{1, 4} {
+		// Slices share row storage with a frozen source; the reference
+		// engine is a clone so commits on it copy-on-write instead of
+		// mutating the shared rows.
+		full := base.Clone()
+		var slices []*Engine
+		var ranges [][2]int
+		for i := 0; i < parts; i++ {
+			lo, hi := i*n/parts, (i+1)*n/parts
+			p, err := base.Slice(lo, hi)
+			if err != nil {
+				t.Fatalf("Slice(%d,%d): %v", lo, hi, err)
+			}
+			slices = append(slices, p)
+			ranges = append(ranges, [2]int{lo, hi})
+		}
+		owner := func(x graph.NodeID) *Engine {
+			for i, r := range ranges {
+				if int(x) >= r[0] && int(x) < r[1] {
+					return slices[i]
+				}
+			}
+			t.Fatalf("no owner for %d", x)
+			return nil
+		}
+		commits := []graph.NodeID{3, 17}
+		for round := 0; round <= len(commits); round++ {
+			for cand := 0; cand < n; cand++ {
+				c := graph.NodeID(cand)
+				got := owner(c).ExplainSeed(c, 7)
+				if wantEx := full.ExplainSeed(c, 7); !reflect.DeepEqual(got, wantEx) {
+					t.Fatalf("parts=%d round %d: partition ExplainSeed(%d) differs from full", parts, round, cand)
+				}
+			}
+			seeds := []graph.NodeID{1, 9, 20, 9}
+			for v := 0; v < n; v += 5 {
+				wantEx := full.ExplainReach(seeds, graph.NodeID(v), 8)
+				// Gather: each seed's share and paths come wholly from its
+				// owner; fold shares in input order, concatenate and re-sort
+				// paths — the partitioned serving path in miniature.
+				got := ReachExplanation{Target: graph.NodeID(v)}
+				var paths []ProvPath
+				for _, s := range seeds {
+					share, ps := owner(s).ReachPaths(s, graph.NodeID(v))
+					got.PerSeed = append(got.PerSeed, ReachShare{Seed: s, Share: share})
+					got.Total += share
+					paths = append(paths, ps...)
+				}
+				got.TotalPaths = len(paths)
+				got.Paths = TopProvPaths(paths, 8)
+				if got.PerSeed == nil {
+					got.PerSeed = []ReachShare{}
+				}
+				if wantEx.Total != got.Total || !reflect.DeepEqual(wantEx.PerSeed, append([]ReachShare(nil), got.PerSeed...)) ||
+					!reflect.DeepEqual(wantEx.Paths, got.Paths) {
+					t.Fatalf("parts=%d round %d target %d: merged reach differs from full", parts, round, v)
+				}
+			}
+			if round < len(commits) {
+				seed := commits[round]
+				payload := owner(seed).ExtractSeedRow(seed)
+				for _, p := range slices {
+					p.CommitSeedRow(seed, payload)
+				}
+				full.Add(seed)
+			}
+		}
+	}
+}
+
+// TestBuildProvIndexSlices: a slice indexes exactly its owned rows, and
+// slice indexes agree cell-for-cell with the full index.
+func TestBuildProvIndexSlices(t *testing.T) {
+	rng := rand.New(rand.NewPCG(59, 31))
+	g, log := randomInstance(rng, 20, 7)
+	e := NewEngine(g, log, Options{})
+	fullIdx := e.BuildProvIndex()
+	n := g.NumNodes()
+	totalPairs := 0
+	for i := 0; i < 4; i++ {
+		lo, hi := i*n/4, (i+1)*n/4
+		p, err := e.Slice(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx := p.BuildProvIndex()
+		totalPairs += idx.Pairs()
+		for j := range idx.pairV {
+			v, u := idx.pairV[j], idx.pairU[j]
+			if int(v) < lo || int(v) >= hi {
+				t.Fatalf("slice [%d,%d) indexed foreign row %d", lo, hi, v)
+			}
+			acts, creds := idx.Lookup(graph.NodeID(v), graph.NodeID(u))
+			wantActs, wantCreds := fullIdx.Lookup(graph.NodeID(v), graph.NodeID(u))
+			if !reflect.DeepEqual(acts, wantActs) || !reflect.DeepEqual(creds, wantCreds) {
+				t.Fatalf("slice cell (%d,%d) disagrees with full index", v, u)
+			}
+		}
+	}
+	if totalPairs != fullIdx.Pairs() {
+		t.Fatalf("slice pair counts sum to %d, full index has %d", totalPairs, fullIdx.Pairs())
+	}
+}
+
+func TestProvIndexLookupAndValidate(t *testing.T) {
+	g, log := figure1(t)
+	e := NewEngine(g, log, Options{})
+	idx := e.BuildProvIndex()
+	if err := idx.Validate(6, 1); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	acts, creds := idx.Lookup(nodeV, nodeU)
+	if len(acts) != 1 || acts[0] != 0 || !almostEqual(creds[0], 0.75) {
+		t.Fatalf("Lookup(v,u) = %v %v", acts, creds)
+	}
+	if acts, creds := idx.Lookup(nodeU, nodeV); acts != nil || creds != nil {
+		t.Fatalf("Lookup miss returned %v %v", acts, creds)
+	}
+	if err := (&ProvIndex{}).Validate(6, 1); err == nil {
+		t.Fatal("empty index passed Validate")
+	}
+	if err := idx.Validate(6, 0); err == nil {
+		t.Fatal("index validated against a universe with no actions")
+	}
+	var nilIdx *ProvIndex
+	if nilIdx.Pairs() != 0 || nilIdx.Entries() != 0 || nilIdx.Bytes() != 0 {
+		t.Fatal("nil index stats not zero")
+	}
+}
+
+func TestTopProvPathsDeterministic(t *testing.T) {
+	paths := []ProvPath{
+		{Influencer: 2, Influenced: 1, Action: 0, Credit: 0.5},
+		{Influencer: 1, Influenced: 3, Action: 2, Credit: 0.5},
+		{Influencer: 1, Influenced: 3, Action: 1, Credit: 0.5},
+		{Influencer: 0, Influenced: 4, Action: 0, Credit: 0.9},
+	}
+	got := TopProvPaths(append([]ProvPath(nil), paths...), 10)
+	want := []ProvPath{paths[3], paths[2], paths[1], paths[0]}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("TopProvPaths order = %+v", got)
+	}
+	if n := len(TopProvPaths(append([]ProvPath(nil), paths...), -1)); n != 0 {
+		t.Fatalf("negative n kept %d paths", n)
+	}
+}
+
+// TestSnapshotProvRoundTrip is the format contract: a version-6 snapshot
+// round-trips byte-identically, a provless write stays byte-identical to
+// the version-5 (and version-3) writers, and the mapped opener returns
+// the same index.
+func TestSnapshotProvRoundTrip(t *testing.T) {
+	g, log, e, lin := snapshotInstance(t, 61, 22, 9)
+	_ = log
+	prov := e.BuildProvIndex()
+	if prov.Pairs() == 0 {
+		t.Fatal("instance produced an empty index; pick another seed")
+	}
+
+	var v6 bytes.Buffer
+	if err := e.WriteSnapshotProv(&v6, lin, nil, nil, prov); err != nil {
+		t.Fatalf("WriteSnapshotProv: %v", err)
+	}
+	if got := binary.LittleEndian.Uint32(v6.Bytes()[len(snapshotMagic):]); got != snapshotVersionProv {
+		t.Fatalf("prov snapshot has version %d, want %d", got, snapshotVersionProv)
+	}
+	eng, lin2, pfx, sk, prov2, err := ReadSnapshotProv(bytes.NewReader(v6.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadSnapshotProv: %v", err)
+	}
+	if pfx != nil || sk != nil {
+		t.Fatalf("unexpected prefix/sketch from provless-sketch file")
+	}
+	if !reflect.DeepEqual(prov2, prov) {
+		t.Fatal("restored index differs from written index")
+	}
+	requireEnginesBitIdentical(t, e, eng, 4)
+	var again bytes.Buffer
+	if err := eng.WriteSnapshotProv(&again, lin2, pfx, sk, prov2); err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(again.Bytes(), v6.Bytes()) {
+		t.Fatalf("v6 re-encode differs: %d vs %d bytes", again.Len(), v6.Len())
+	}
+
+	// Sectionless writes never escalate the version: nil and empty prov
+	// hand back the exact v3 bytes, and a sketch-only write the exact v5
+	// bytes.
+	var v3, provNil, provEmpty bytes.Buffer
+	if err := e.WriteSnapshot(&v3, lin); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WriteSnapshotProv(&provNil, lin, nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WriteSnapshotProv(&provEmpty, lin, nil, nil, &ProvIndex{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(provNil.Bytes(), v3.Bytes()) || !bytes.Equal(provEmpty.Bytes(), v3.Bytes()) {
+		t.Fatal("provless WriteSnapshotProv is not byte-identical to WriteSnapshot")
+	}
+	sketch := &RRSketch{Seed: 9, Roots: 3, Sets: [][]graph.NodeID{{0, 1}, {2}, {3, 4, 5}}}
+	var v5, v5viaProv bytes.Buffer
+	if err := e.WriteSnapshotSketch(&v5, lin, nil, sketch); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WriteSnapshotProv(&v5viaProv, lin, nil, sketch, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v5viaProv.Bytes(), v5.Bytes()) {
+		t.Fatal("sketch-only WriteSnapshotProv is not byte-identical to WriteSnapshotSketch")
+	}
+
+	// Both sections together round-trip too.
+	var both bytes.Buffer
+	if err := e.WriteSnapshotProv(&both, lin, nil, sketch, prov); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, sk2, prov3, err := ReadSnapshotProv(bytes.NewReader(both.Bytes()))
+	if err != nil {
+		t.Fatalf("read sketch+prov: %v", err)
+	}
+	if !reflect.DeepEqual(sk2, sketch) || !reflect.DeepEqual(prov3, prov) {
+		t.Fatal("sketch+prov round-trip lost a section")
+	}
+
+	// The mapped opener hands back the same index.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.snap")
+	if err := os.WriteFile(path, v6.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	meng, _, _, _, mprov, ms, err := OpenSnapshotMappedProv(path)
+	if err != nil {
+		t.Fatalf("OpenSnapshotMappedProv: %v", err)
+	}
+	defer ms.Close()
+	if !reflect.DeepEqual(mprov, prov) {
+		t.Fatal("mapped open returned a different index")
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		if meng.Gain(graph.NodeID(u)) != e.Gain(graph.NodeID(u)) {
+			t.Fatalf("mapped Gain(%d) differs", u)
+		}
+	}
+}
+
+// TestSnapshotProvRejects covers the v6-specific reject paths: stray or
+// missing flag bits and structural violations inside the section, all
+// CRC-refreshed so the structural validators do the rejecting.
+func TestSnapshotProvRejects(t *testing.T) {
+	_, _, e, lin := snapshotInstance(t, 67, 18, 7)
+	prov := e.BuildProvIndex()
+	var buf bytes.Buffer
+	if err := e.WriteSnapshotProv(&buf, lin, nil, nil, prov); err != nil {
+		t.Fatal(err)
+	}
+	v6 := buf.Bytes()
+
+	// Replay the header parse to locate the flags byte and the section
+	// bounds; the header CRC sits right after the section.
+	sc := &snapCursor{b: v6[:len(v6)-4], off: len(snapshotMagic) + 4}
+	lin6, lambda6, credit6, err := parseSnapshotHeader(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := newSnapshotEngine(lin6, lambda6, credit6)
+	if err := parseUsers(sc, lin6, tmp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseSeedPrefix(sc, lin6.NumUsers); err != nil {
+		t.Fatal(err)
+	}
+	flagsOff := sc.off
+	provSize := 4
+	for i := range prov.pairV {
+		provSize += 12 + 12*int(prov.off[i+1]-prov.off[i])
+	}
+	hdrCRCOff := flagsOff + 1 + provSize
+
+	restamp := func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[hdrCRCOff:], crc32.ChecksumIEEE(b[:hdrCRCOff]))
+		binary.LittleEndian.PutUint32(b[len(b)-4:], crc32.ChecksumIEEE(b[:len(b)-4]))
+		return b
+	}
+	cases := []struct {
+		name string
+		mut  func(b []byte)
+		want string
+	}{
+		{"prov bit clear", func(b []byte) { b[flagsOff] = 0 }, "provenance bit"},
+		{"stray flag bit", func(b []byte) { b[flagsOff] |= 1 << 6 }, "stray bits"},
+		{"zero pairs", func(b []byte) { binary.LittleEndian.PutUint32(b[flagsOff+1:], 0) }, "provenance"},
+		{"pair out of universe", func(b []byte) { binary.LittleEndian.PutUint32(b[flagsOff+5:], 1<<20) }, "universe"},
+		{"credit corrupted", func(b []byte) {
+			// First entry's credit sits after pairCount(4)+v(4)+u(4)+entryCount(4)+action(4).
+			binary.LittleEndian.PutUint64(b[flagsOff+21:], ^uint64(0)) // NaN bits
+		}, "finite"},
+	}
+	for _, c := range cases {
+		bad := restamp(func() []byte { b := append([]byte(nil), v6...); c.mut(b); return b }())
+		_, _, _, _, _, err := ReadSnapshotProv(bytes.NewReader(bad))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+		if _, _, _, _, err := ReadSnapshotSketch(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("%s: discarding reader accepted corrupt input", c.name)
+		}
+	}
+
+	// A partition cannot write a whole-model prov snapshot.
+	p, err := e.Slice(0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteSnapshotProv(&bytes.Buffer{}, lin, nil, nil, p.BuildProvIndex()); err == nil {
+		t.Fatal("partition wrote a version-6 snapshot")
+	}
+	// An index that fails Validate is refused at write time.
+	badIdx := &ProvIndex{pairV: []int32{1}, pairU: []int32{0}, off: []int64{0, 1}, acts: []int32{0}, creds: []float64{-1}}
+	if err := e.WriteSnapshotProv(&bytes.Buffer{}, lin, nil, nil, badIdx); err == nil {
+		t.Fatal("invalid index written without error")
+	}
+}

@@ -96,6 +96,27 @@ const (
 	// byte-identically; slices (version 4) never carry a sketch.
 	snapshotVersionSketch = 5
 
+	// snapshotVersionProv marks a snapshot carrying the provenance index
+	// (and, optionally, the RR sketch too): version 3 plus, right after the
+	// seed-prefix section and inside the header CRC, a u8 flags byte
+	// (provFlagSketch, provFlagProv; provFlagProv must be set, other bits
+	// must be zero), then the version-5 sketch section when provFlagSketch
+	// is set, then the provenance section (u32 pair count >= 1; per pair
+	// u32 influencer, u32 influenced — pairs strictly ascending by
+	// (influencer, influenced) — u32 entry count >= 1, then per entry u32
+	// action id, strictly ascending within the pair, and f64 raw credit
+	// bits, finite and positive). A restart serves /explain from the
+	// section with zero index builds. The writer emits version 6 only when
+	// an index is present — a provless snapshot keeps writing version 3 or
+	// 5 byte-identically, and the parser rejects a version-6 file without
+	// the prov flag, keeping the encoding of any engine state unique.
+	// Slices (version 4) never carry the section: a partitioned deployment
+	// re-reads it from the whole-model file, like the sketch.
+	snapshotVersionProv = 6
+
+	provFlagSketch = uint8(1 << 0)
+	provFlagProv   = uint8(1 << 1)
+
 	// snapshotVersionNoBase is the pre-mmap format: packed 12-byte cells,
 	// no offset tables, no header CRC. Still read, never written.
 	snapshotVersionNoBase = 2
@@ -398,6 +419,17 @@ func (e *Engine) WriteSnapshotPrefix(w io.Writer, lin Lineage, prefix *SeedPrefi
 // WriteSnapshotPrefix has always produced, so sketchless snapshots stay
 // readable by older binaries.
 func (e *Engine) WriteSnapshotSketch(w io.Writer, lin Lineage, prefix *SeedPrefix, sk *RRSketch) error {
+	return e.WriteSnapshotProv(w, lin, prefix, sk, nil)
+}
+
+// WriteSnapshotProv serializes the engine, its lineage, an optional seed
+// prefix, an optional RR sketch, and an optional provenance index. With
+// a non-empty index the file is written as version 6 (version 3 plus the
+// flags byte, the sketch section when one rides along, and the
+// provenance section); with prov nil (or empty) it is the byte-identical
+// version-3 or version-5 file WriteSnapshotSketch has always produced,
+// so provless snapshots stay readable by older binaries.
+func (e *Engine) WriteSnapshotProv(w io.Writer, lin Lineage, prefix *SeedPrefix, sk *RRSketch, prov *ProvIndex) error {
 	if e.partitioned {
 		// A partition's base holds only its own rows; writing it under the
 		// full-model version would produce a file every reader trusts as
@@ -413,7 +445,15 @@ func (e *Engine) WriteSnapshotSketch(w io.Writer, lin Lineage, prefix *SeedPrefi
 	} else {
 		sk = nil
 	}
-	return e.writeSnapshotRows(w, lin, prefix, version, 0, e.numUsers, sk)
+	if prov != nil && prov.Pairs() > 0 {
+		if err := prov.Validate(e.numUsers, e.NumActions()); err != nil {
+			return err
+		}
+		version = snapshotVersionProv
+	} else {
+		prov = nil
+	}
+	return e.writeSnapshotRows(w, lin, prefix, version, 0, e.numUsers, sk, prov)
 }
 
 // WriteSnapshotSlice serializes the engine's influencer rows in [lo, hi)
@@ -433,14 +473,14 @@ func (e *Engine) WriteSnapshotSlice(w io.Writer, lin Lineage, prefix *SeedPrefix
 	if e.partitioned && (lo != e.partLo || hi != e.partHi) {
 		return fmt.Errorf("core: partition engine holds rows [%d,%d), cannot write slice [%d,%d)", e.partLo, e.partHi, lo, hi)
 	}
-	return e.writeSnapshotRows(w, lin, prefix, snapshotVersionSlice, lo, hi, nil)
+	return e.writeSnapshotRows(w, lin, prefix, snapshotVersionSlice, lo, hi, nil, nil)
 }
 
-// writeSnapshotRows is the shared body of WriteSnapshotSketch (version 3,
-// every row; version 5 when an RR sketch rides along) and
-// WriteSnapshotSlice (version 4, rows in [lo, hi) plus the range record
-// in the header).
-func (e *Engine) writeSnapshotRows(w io.Writer, lin Lineage, prefix *SeedPrefix, version uint32, lo, hi int, sk *RRSketch) error {
+// writeSnapshotRows is the shared body of WriteSnapshotProv (version 3,
+// every row; version 5 when an RR sketch rides along; version 6 when a
+// provenance index does) and WriteSnapshotSlice (version 4, rows in
+// [lo, hi) plus the range record in the header).
+func (e *Engine) writeSnapshotRows(w io.Writer, lin Lineage, prefix *SeedPrefix, version uint32, lo, hi int, sk *RRSketch, prov *ProvIndex) error {
 	if err := e.checkSnapshotArgs(lin, prefix); err != nil {
 		return err
 	}
@@ -456,6 +496,17 @@ func (e *Engine) writeSnapshotRows(w io.Writer, lin Lineage, prefix *SeedPrefix,
 	}
 	if version == snapshotVersionSketch {
 		writeSketchSection(sw, sk)
+	}
+	if version == snapshotVersionProv {
+		flags := provFlagProv
+		if sk != nil {
+			flags |= provFlagSketch
+		}
+		sw.u8(flags)
+		if sk != nil {
+			writeSketchSection(sw, sk)
+		}
+		writeProvSection(sw, prov)
 	}
 
 	// Header CRC over everything written so far, then zero padding so the
@@ -805,48 +856,57 @@ func ReadSnapshotPrefix(r io.Reader) (*Engine, Lineage, *SeedPrefix, error) {
 	return e, lin, prefix, err
 }
 
-// ReadSnapshotSketch parses a snapshot written by WriteSnapshotSketch and
+// ReadSnapshotSketch parses a snapshot written by WriteSnapshotSketch,
+// discarding any stored provenance index. See ReadSnapshotProv.
+func ReadSnapshotSketch(r io.Reader) (*Engine, Lineage, *SeedPrefix, *RRSketch, error) {
+	e, lin, prefix, sketch, _, err := ReadSnapshotProv(r)
+	return e, lin, prefix, sketch, err
+}
+
+// ReadSnapshotProv parses a snapshot written by WriteSnapshotProv and
 // rebuilds the engine heap-resident: the column mirror of every shard and
 // the Au normalizers are reconstructed deterministically from the stored
-// rows. Any supported version (1 through 5) is accepted. The returned
+// rows. Any supported version (1 through 6) is accepted. The returned
 // engine is frozen (every shard shared) with the full scanned range as its
 // base, has no committed seeds, and is bit-for-bit equivalent to the saved
 // engine; the returned prefix is the stored seed prefix, or nil when the
-// file carries none (always for version-1 files), and the returned sketch
-// is the stored RR sketch, or nil for every version below 5. Corrupt or
-// truncated input — bad magic, impossible counts, unordered keys, a CRC
-// mismatch, trailing garbage, a malformed prefix or sketch — is rejected
-// with an error, never a panic or an unbounded allocation. For serving
-// straight off the file without this parse, see OpenSnapshotMapped.
-func ReadSnapshotSketch(r io.Reader) (*Engine, Lineage, *SeedPrefix, *RRSketch, error) {
+// file carries none (always for version-1 files), the returned sketch
+// is the stored RR sketch, or nil for files not carrying one, and the
+// returned prov is the stored provenance index, or nil for every version
+// below 6. Corrupt or truncated input — bad magic, impossible counts,
+// unordered keys, a CRC mismatch, trailing garbage, a malformed prefix,
+// sketch, or provenance section — is rejected with an error, never a
+// panic or an unbounded allocation. For serving straight off the file
+// without this parse, see OpenSnapshotMapped.
+func ReadSnapshotProv(r io.Reader) (*Engine, Lineage, *SeedPrefix, *RRSketch, *ProvIndex, error) {
 	var lin Lineage
 	data, err := io.ReadAll(r)
 	if err != nil {
-		return nil, lin, nil, nil, fmt.Errorf("core: snapshot: read: %w", err)
+		return nil, lin, nil, nil, nil, fmt.Errorf("core: snapshot: read: %w", err)
 	}
 	if len(data) < len(snapshotMagic)+4+4 {
-		return nil, lin, nil, nil, errors.New("core: snapshot: truncated input: shorter than the fixed header")
+		return nil, lin, nil, nil, nil, errors.New("core: snapshot: truncated input: shorter than the fixed header")
 	}
 	if !IsSnapshotHeader(data) {
-		return nil, lin, nil, nil, errors.New("core: snapshot: bad magic (not a snapshot file)")
+		return nil, lin, nil, nil, nil, errors.New("core: snapshot: bad magic (not a snapshot file)")
 	}
 	// Integrity first: the CRC footer covers the whole payload, so every
 	// later structural check runs on bytes known to be exactly what the
 	// writer produced (or the file is rejected here, wholesale).
 	payload, footer := data[:len(data)-4], data[len(data)-4:]
 	if got, want := binary.LittleEndian.Uint32(footer), crc32.ChecksumIEEE(payload); got != want {
-		return nil, lin, nil, nil, fmt.Errorf("core: snapshot: checksum mismatch (file %08x, computed %08x): corrupt or truncated input", got, want)
+		return nil, lin, nil, nil, nil, fmt.Errorf("core: snapshot: checksum mismatch (file %08x, computed %08x): corrupt or truncated input", got, want)
 	}
 
 	version := binary.LittleEndian.Uint32(data[len(snapshotMagic):])
 	switch version {
-	case snapshotVersion, snapshotVersionSlice, snapshotVersionSketch:
+	case snapshotVersion, snapshotVersionSlice, snapshotVersionSketch, snapshotVersionProv:
 		return parseSnapshotV3(data, false)
 	case snapshotVersionNoBase, snapshotVersionNoPrefix:
 		e, l, p, err := readLegacySnapshot(payload, version)
-		return e, l, p, nil, err
+		return e, l, p, nil, nil, err
 	default:
-		return nil, lin, nil, nil, fmt.Errorf("core: snapshot: unsupported version %d (supported: 1 through %d)", version, snapshotVersionSketch)
+		return nil, lin, nil, nil, nil, fmt.Errorf("core: snapshot: unsupported version %d (supported: 1 through %d)", version, snapshotVersionProv)
 	}
 }
 

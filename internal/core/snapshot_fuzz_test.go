@@ -178,6 +178,62 @@ func FuzzReadSnapshot(f *testing.F) {
 		}
 	}
 
+	// Seeds: version-6 snapshots carrying the provenance index — alone and
+	// together with the RR sketch — plus CRC-refreshed corruptions of the
+	// flags byte and the prov section, so the structural validators (flag
+	// bits, pair/action ordering, count bounds, credit finiteness) do the
+	// rejecting rather than the checksum.
+	prov := e.BuildProvIndex()
+	var proved bytes.Buffer
+	if err := e.WriteSnapshotProv(&proved, lin, prefix, nil, prov); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(proved.Bytes())
+	var provSketched bytes.Buffer
+	if err := e.WriteSnapshotProv(&provSketched, lin, prefix, sketch, prov); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(provSketched.Bytes())
+	{
+		// Locate the flags byte by replaying the header parse, exactly as
+		// for the sketch section above.
+		v6 := proved.Bytes()
+		sc := &snapCursor{b: v6[:len(v6)-4], off: len(snapshotMagic) + 4}
+		lin6, lambda6, credit6, err := parseSnapshotHeader(sc)
+		if err != nil {
+			f.Fatal(err)
+		}
+		tmp := newSnapshotEngine(lin6, lambda6, credit6)
+		if err := parseUsers(sc, lin6, tmp); err != nil {
+			f.Fatal(err)
+		}
+		if _, err := parseSeedPrefix(sc, lin6.NumUsers); err != nil {
+			f.Fatal(err)
+		}
+		flagsOff := sc.off
+		provSize := 4 + 12*prov.Pairs() + 12*int(prov.Entries())
+		hdrCRCOff := flagsOff + 1 + provSize
+		restamp := func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[hdrCRCOff:], crc32.ChecksumIEEE(b[:hdrCRCOff]))
+			binary.LittleEndian.PutUint32(b[len(b)-4:], crc32.ChecksumIEEE(b[:len(b)-4]))
+			return b
+		}
+		// A stray flag bit, and a version-6 file whose prov flag is clear.
+		strayBit := append([]byte(nil), v6...)
+		strayBit[flagsOff] |= 1 << 7
+		f.Add(restamp(strayBit))
+		noProv := append([]byte(nil), v6...)
+		noProv[flagsOff] = 0
+		f.Add(restamp(noProv))
+		// Pair count, first pair's (v, u), and its entry count tweaked.
+		for _, tweak := range []int{1, 5, 9, 13} {
+			bad := append([]byte(nil), v6...)
+			binary.LittleEndian.PutUint32(bad[flagsOff+tweak:],
+				binary.LittleEndian.Uint32(bad[flagsOff+tweak:])^(1<<30))
+			f.Add(restamp(bad))
+		}
+	}
+
 	// Seeds: version-3 base-section abuse — truncated and misaligned offset
 	// tables, CRC-refreshed so only the canonical-layout validators can
 	// reject them. The base section sits at a computable distance from the
@@ -208,7 +264,7 @@ func FuzzReadSnapshot(f *testing.F) {
 	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		eng, lin, pfx, sketch, err := ReadSnapshotSketch(bytes.NewReader(data))
+		eng, lin, pfx, sketch, prov, err := ReadSnapshotProv(bytes.NewReader(data))
 		if err != nil {
 			return // rejected input is the expected outcome; no panic happened
 		}
@@ -237,15 +293,19 @@ func FuzzReadSnapshot(f *testing.F) {
 			}
 			return
 		}
-		if version == snapshotVersionSketch {
-			// An accepted sketch snapshot re-encodes through the sketch
-			// writer; section encoding is unique, so bytes must round-trip.
+		if version == snapshotVersionSketch || version == snapshotVersionProv {
+			// An accepted sketch or provenance snapshot re-encodes through
+			// the section-aware writer; section encoding is unique, so bytes
+			// must round-trip. A version-6 file must actually carry an index.
+			if version == snapshotVersionProv && prov == nil {
+				t.Fatal("accepted version-6 snapshot without a provenance index")
+			}
 			var out bytes.Buffer
-			if err := eng.WriteSnapshotSketch(&out, lin, pfx, sketch); err != nil {
-				t.Fatalf("accepted sketch snapshot fails to re-serialize: %v", err)
+			if err := eng.WriteSnapshotProv(&out, lin, pfx, sketch, prov); err != nil {
+				t.Fatalf("accepted sectioned snapshot fails to re-serialize: %v", err)
 			}
 			if !bytes.Equal(out.Bytes(), data) {
-				t.Fatalf("accepted sketch snapshot is not canonical: re-encode differs (%d vs %d bytes)",
+				t.Fatalf("accepted sectioned snapshot is not canonical: re-encode differs (%d vs %d bytes)",
 					out.Len(), len(data))
 			}
 			return

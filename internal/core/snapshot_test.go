@@ -568,7 +568,7 @@ func TestSnapshotUnsupportedVersionError(t *testing.T) {
 	if err == nil {
 		t.Fatal("version-99 file accepted")
 	}
-	for _, sub := range []string{"unsupported version 99", "1 through 5"} {
+	for _, sub := range []string{"unsupported version 99", "1 through 6"} {
 		if !strings.Contains(err.Error(), sub) {
 			t.Errorf("read error %q missing %q", err, sub)
 		}
@@ -582,7 +582,7 @@ func TestSnapshotUnsupportedVersionError(t *testing.T) {
 	if err == nil {
 		t.Fatal("mapped open accepted a version-99 file")
 	}
-	for _, sub := range []string{"unsupported version 99", "1 through 5"} {
+	for _, sub := range []string{"unsupported version 99", "1 through 6"} {
 		if !strings.Contains(err.Error(), sub) {
 			t.Errorf("mapped open error %q missing %q", err, sub)
 		}

@@ -42,6 +42,8 @@ type Server struct {
 	// were answered from the RR-sample tier instead of the exact engine.
 	approxSpreadHits atomic.Int64
 	approxSeedsHits  atomic.Int64
+	// explainHits counts answered /explain requests (either shape).
+	explainHits atomic.Int64
 	// Logf, when set, receives one line per reload. Queries are not logged.
 	Logf func(format string, args ...any)
 }
@@ -71,6 +73,7 @@ func New(sn *Snapshot) *Server {
 	s.handle("gain", "POST /gain", s.handleGain)
 	s.handle("seeds", "GET /seeds", s.handleSeeds)
 	s.handle("topk", "GET /topk", s.handleTopK)
+	s.handle("explain", "GET /explain", s.handleExplain)
 	s.handle("healthz", "GET /healthz", s.handleHealthz)
 	s.handle("stats", "GET /stats", s.handleStats)
 	s.handle("reload", "POST /reload", s.handleReload)
@@ -577,6 +580,13 @@ func (s *Server) handleSeeds(sn *Snapshot, r *http.Request) (any, error) {
 	approxBudget := ""
 	if raw := q.Get("budget"); raw != "" {
 		if v, ferr := strconv.ParseFloat(raw, 64); ferr == nil {
+			// ParseFloat also accepts NaN, the infinities, and negatives —
+			// none of which any budget can mean. Reject them here, naming
+			// both value spaces, instead of letting a NaN slip into the
+			// objective layer as a "cost budget".
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return nil, badRequest("budget %q is valid in neither value space: a bare number is a seed-cost budget (finite, non-negative), a duration (e.g. 10ms) the approximate tier's wall-clock cap", raw)
+			}
 			costBudget = v
 		} else {
 			approxBudget = raw
@@ -649,6 +659,140 @@ func (s *Server) handleTopK(sn *Snapshot, r *http.Request) (any, error) {
 	return TopKResponse{Snapshot: sn.ID, Method: method, K: k, Seeds: seeds, Spread: spread}, nil
 }
 
+// --- /explain ----------------------------------------------------------------
+
+// ExplainPath is one credit path in an /explain answer: action a gave
+// influencer v this much of the explained total through influenced user u.
+type ExplainPath struct {
+	Influencer credist.NodeID   `json:"influencer"`
+	Influenced credist.NodeID   `json:"influenced"`
+	Action     credist.ActionID `json:"action"`
+	Credit     float64          `json:"credit"`
+}
+
+// ExplainSeedResponse answers /explain?seed=u (why-seed): the candidate's
+// marginal gain — bit-for-bit the /gain answer for the same candidate —
+// decomposed into its top credit paths.
+type ExplainSeedResponse struct {
+	Snapshot   int64          `json:"snapshot"`
+	Seed       credist.NodeID `json:"seed"`
+	Gain       float64        `json:"gain"`
+	Paths      []ExplainPath  `json:"paths"`
+	TotalPaths int            `json:"total_paths"`
+}
+
+// ExplainShare is one seed's slice of an explained reach total.
+type ExplainShare struct {
+	Seed  credist.NodeID `json:"seed"`
+	Share float64        `json:"share"`
+}
+
+// ExplainReachResponse answers /explain?set=…&reach=v (why-reach): the
+// credit the set pushes onto the target, decomposed by seed — the shares,
+// folded in request order, sum bit-exactly to total — and by path.
+type ExplainReachResponse struct {
+	Snapshot   int64            `json:"snapshot"`
+	Target     credist.NodeID   `json:"target"`
+	Seeds      []credist.NodeID `json:"seeds"`
+	Total      float64          `json:"total"`
+	PerSeed    []ExplainShare   `json:"per_seed"`
+	Paths      []ExplainPath    `json:"paths"`
+	TotalPaths int              `json:"total_paths"`
+}
+
+func explainPaths(ps []credist.ProvPath) []ExplainPath {
+	out := make([]ExplainPath, len(ps))
+	for i, p := range ps {
+		out[i] = ExplainPath{Influencer: p.Influencer, Influenced: p.Influenced, Action: p.Action, Credit: p.Credit}
+	}
+	return out
+}
+
+// handleExplain answers the two provenance shapes. seed= and set=&reach=
+// are mutually exclusive; top= bounds the returned path list (default 10).
+func (s *Server) handleExplain(sn *Snapshot, r *http.Request) (any, error) {
+	q := r.URL.Query()
+	top := 10
+	if raw := q.Get("top"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			return nil, badRequest("top must be a positive integer, got %q", raw)
+		}
+		top = n
+	}
+	seedRaw, setRaw, reachRaw := q.Get("seed"), q.Get("set"), q.Get("reach")
+	switch {
+	case seedRaw != "" && (setRaw != "" || reachRaw != ""):
+		return nil, badRequest("seed= (why-seed) and set=&reach= (why-reach) are mutually exclusive")
+	case seedRaw != "":
+		ids, err := parseIDList(seedRaw)
+		if err != nil {
+			return nil, err
+		}
+		if len(ids) != 1 {
+			return nil, badRequest("seed must be a single user id, got %q", seedRaw)
+		}
+		if err := validateIDs(ids, sn.NumUsers()); err != nil {
+			return nil, err
+		}
+		ex, err := sn.ExplainSeed(ids[0], top)
+		if err != nil {
+			return nil, requestError(err)
+		}
+		s.explainHits.Add(1)
+		return ExplainSeedResponse{
+			Snapshot:   sn.ID,
+			Seed:       ex.Node,
+			Gain:       ex.Gain,
+			Paths:      explainPaths(ex.Paths),
+			TotalPaths: ex.TotalPaths,
+		}, nil
+	case setRaw != "" && reachRaw != "":
+		seeds, err := parseIDList(setRaw)
+		if err != nil {
+			return nil, err
+		}
+		if len(seeds) == 0 {
+			return nil, badRequest("set must name at least one seed (e.g. /explain?set=1,2&reach=5)")
+		}
+		if err := validateIDs(seeds, sn.NumUsers()); err != nil {
+			return nil, err
+		}
+		targets, err := parseIDList(reachRaw)
+		if err != nil {
+			return nil, err
+		}
+		if len(targets) != 1 {
+			return nil, badRequest("reach must be a single user id, got %q", reachRaw)
+		}
+		if err := validateIDs(targets, sn.NumUsers()); err != nil {
+			return nil, err
+		}
+		ex, err := sn.ExplainReach(seeds, targets[0], top)
+		if err != nil {
+			return nil, requestError(err)
+		}
+		s.explainHits.Add(1)
+		shares := make([]ExplainShare, len(ex.PerSeed))
+		for i, ps := range ex.PerSeed {
+			shares[i] = ExplainShare{Seed: ps.Seed, Share: ps.Share}
+		}
+		return ExplainReachResponse{
+			Snapshot:   sn.ID,
+			Target:     ex.Target,
+			Seeds:      seeds,
+			Total:      ex.Total,
+			PerSeed:    shares,
+			Paths:      explainPaths(ex.Paths),
+			TotalPaths: ex.TotalPaths,
+		}, nil
+	case setRaw != "" || reachRaw != "":
+		return nil, badRequest("why-reach needs both set= and reach= (e.g. /explain?set=1,2&reach=5)")
+	default:
+		return nil, badRequest("missing query: /explain?seed=u (why-seed) or /explain?set=1,2&reach=v (why-reach)")
+	}
+}
+
 // --- /healthz and /stats ---------------------------------------------------
 
 // HealthResponse answers /healthz.
@@ -706,6 +850,17 @@ type StatsResponse struct {
 	ApproxSampled        int64 `json:"approx_sampled"`
 	ApproxSpreadRequests int64 `json:"approx_spread_requests"`
 	ApproxSeedsRequests  int64 `json:"approx_seeds_requests"`
+
+	// Influence provenance: the credit→actions index behind /explain —
+	// its shape, how many builds this process paid (0 after a restart from
+	// a version-6 snapshot), and the /explain traffic. Partitioned
+	// deployments explain by walking each partition's own rows, so the
+	// index fields stay 0 there.
+	ProvPairs       int   `json:"prov_pairs"`
+	ProvEntries     int64 `json:"prov_entries"`
+	ProvBytes       int64 `json:"prov_bytes"`
+	ProvBuilds      int64 `json:"prov_builds"`
+	ExplainRequests int64 `json:"explain_requests"`
 
 	// Snapshot provenance: where this snapshot line cold-started from
 	// (when it was loaded from a binary model file) and the most recent
@@ -767,6 +922,12 @@ func (s *Server) handleStats(sn *Snapshot, _ *http.Request) (any, error) {
 	resp.ApproxSampled = ast.Sampled
 	resp.ApproxSpreadRequests = s.approxSpreadHits.Load()
 	resp.ApproxSeedsRequests = s.approxSeedsHits.Load()
+	pst := sn.ProvStats()
+	resp.ProvPairs = pst.Pairs
+	resp.ProvEntries = pst.Entries
+	resp.ProvBytes = pst.Bytes
+	resp.ProvBuilds = pst.Builds
+	resp.ExplainRequests = s.explainHits.Load()
 	if t := sn.LastIngest(); !t.IsZero() {
 		resp.LastIngest = &t
 	}

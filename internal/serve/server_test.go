@@ -135,7 +135,15 @@ func TestHandlerTable(t *testing.T) {
 		{name: "seeds budgeted", method: "GET", target: "/seeds?k=3&costs=1:5,2:5&budget=4",
 			wantStatus: 200, wantKeys: []string{"snapshot", "k", "seeds", "gains", "spread", "lookups", "cached"}},
 		{name: "seeds negative budget", method: "GET", target: "/seeds?k=3&budget=-4",
-			wantStatus: 400, wantErrSub: "want finite and non-negative"},
+			wantStatus: 400, wantErrSub: "neither value space"},
+		{name: "seeds budget NaN", method: "GET", target: "/seeds?k=3&budget=NaN",
+			wantStatus: 400, wantErrSub: "neither value space"},
+		{name: "seeds budget -5", method: "GET", target: "/seeds?k=3&budget=-5",
+			wantStatus: 400, wantErrSub: "neither value space"},
+		{name: "seeds budget Inf", method: "GET", target: "/seeds?k=3&budget=Inf",
+			wantStatus: 400, wantErrSub: "neither value space"},
+		{name: "seeds duration budget with costs", method: "GET", target: "/seeds?k=3&budget=10ms&costs=1:2",
+			wantStatus: 400, wantErrSub: "only the default objective"},
 		{name: "seeds malformed costs", method: "GET", target: "/seeds?k=3&costs=1-2",
 			wantStatus: 400, wantErrSub: "costs must be id:cost pairs"},
 		{name: "seeds costs bad user", method: "GET", target: "/seeds?k=3&costs=100000:2",
@@ -148,9 +156,36 @@ func TestHandlerTable(t *testing.T) {
 			wantStatus: 200, wantKeys: []string{"snapshot", "method", "k", "seeds", "spread"}},
 		{name: "topk unknown method", method: "GET", target: "/topk?method=bogus&k=3",
 			wantStatus: 400, wantErrSub: "unknown method"},
+		{name: "explain seed", method: "GET", target: "/explain?seed=4",
+			wantStatus: 200, wantKeys: []string{"snapshot", "seed", "gain", "paths", "total_paths"}},
+		{name: "explain reach", method: "GET", target: "/explain?set=1,2&reach=5",
+			wantStatus: 200, wantKeys: []string{"snapshot", "target", "seeds", "total", "per_seed", "paths", "total_paths"}},
+		{name: "explain missing query", method: "GET", target: "/explain",
+			wantStatus: 400, wantErrSub: "missing query"},
+		{name: "explain both shapes", method: "GET", target: "/explain?seed=1&set=2&reach=3",
+			wantStatus: 400, wantErrSub: "mutually exclusive"},
+		{name: "explain set without reach", method: "GET", target: "/explain?set=1,2",
+			wantStatus: 400, wantErrSub: "both set= and reach="},
+		{name: "explain reach without set", method: "GET", target: "/explain?reach=5",
+			wantStatus: 400, wantErrSub: "both set= and reach="},
+		{name: "explain bad top", method: "GET", target: "/explain?seed=1&top=0",
+			wantStatus: 400, wantErrSub: "positive integer"},
+		{name: "explain seed out of range", method: "GET", target: "/explain?seed=100000",
+			wantStatus: 400, wantErrSub: "out of range"},
+		{name: "explain multi seed", method: "GET", target: "/explain?seed=1,2",
+			wantStatus: 400, wantErrSub: "single user id"},
+		{name: "explain multi reach", method: "GET", target: "/explain?set=1&reach=5,6",
+			wantStatus: 400, wantErrSub: "single user id"},
+		{name: "explain duplicate set", method: "GET", target: "/explain?set=2,2&reach=5",
+			wantStatus: 400, wantErrSub: "duplicate user id 2"},
+		{name: "explain empty set", method: "GET", target: "/explain?set=,&reach=5",
+			wantStatus: 400, wantErrSub: "at least one seed"},
+		{name: "explain wrong method", method: "POST", target: "/explain",
+			wantStatus: 405},
 		{name: "stats", method: "GET", target: "/stats",
 			wantStatus: 200, wantKeys: []string{"snapshot", "dataset", "users", "entries", "resident_bytes",
-				"heap_bytes", "mapped_bytes", "row_store", "requests", "qps_1m"}},
+				"heap_bytes", "mapped_bytes", "row_store", "requests", "qps_1m", "prov_pairs", "prov_builds",
+				"explain_requests"}},
 		{name: "reload wrong method", method: "GET", target: "/reload",
 			wantStatus: 405},
 		{name: "reload bad json", method: "POST", target: "/reload", body: `{`,
@@ -252,6 +287,70 @@ func TestBitIdenticalToOfflineModel(t *testing.T) {
 	}
 	if !equalFloats(batch.Spreads, wantBatch) {
 		t.Errorf("/spread batch = %v, offline = %v", batch.Spreads, wantBatch)
+	}
+}
+
+// TestExplainEndpoints pins /explain's bit-consistency contract over the
+// HTTP boundary: an explained gain equals the /gain answer for the same
+// candidate bit for bit, a reach decomposition's per-seed shares fold to
+// exactly its total, and both match the offline facade. JSON's shortest
+// round-trip float encoding preserves the bits.
+func TestExplainEndpoints(t *testing.T) {
+	h := newTestServer(t).Handler()
+	model := demoModel()
+
+	var er serve.ExplainSeedResponse
+	getJSON(t, h, "GET", "/explain?seed=4&top=5", "", &er)
+	var gr serve.GainResponse
+	getJSON(t, h, "GET", "/gain?candidates=4", "", &gr)
+	if er.Gain != gr.Gains[0] {
+		t.Errorf("/explain gain = %b, /gain = %b", er.Gain, gr.Gains[0])
+	}
+	if want := model.ExplainSeed(4, 5); er.Gain != want.Gain || len(er.Paths) != len(want.Paths) || er.TotalPaths != want.TotalPaths {
+		t.Errorf("served explanation (%b, %d paths of %d) diverges from offline (%b, %d of %d)",
+			er.Gain, len(er.Paths), er.TotalPaths, want.Gain, len(want.Paths), want.TotalPaths)
+	}
+	if len(er.Paths) > 5 {
+		t.Errorf("top=5 returned %d paths", len(er.Paths))
+	}
+	for i := 1; i < len(er.Paths); i++ {
+		if er.Paths[i].Credit > er.Paths[i-1].Credit {
+			t.Errorf("paths not sorted by credit at %d", i)
+		}
+	}
+
+	seeds := []credist.NodeID{1, 2, 3}
+	var rr serve.ExplainReachResponse
+	getJSON(t, h, "GET", "/explain?set=1,2,3&reach=7", "", &rr)
+	sum := 0.0
+	for _, s := range rr.PerSeed {
+		sum += s.Share
+	}
+	if sum != rr.Total {
+		t.Errorf("per-seed shares fold to %b, total = %b", sum, rr.Total)
+	}
+	want := model.ExplainReach(seeds, 7, 10)
+	if rr.Total != want.Total || len(rr.PerSeed) != len(want.PerSeed) {
+		t.Errorf("served reach (%b, %d shares) diverges from offline (%b, %d)",
+			rr.Total, len(rr.PerSeed), want.Total, len(want.PerSeed))
+	}
+	for i := range want.PerSeed {
+		if rr.PerSeed[i].Seed != want.PerSeed[i].Seed || rr.PerSeed[i].Share != want.PerSeed[i].Share {
+			t.Errorf("share %d: served (%d, %b), offline (%d, %b)",
+				i, rr.PerSeed[i].Seed, rr.PerSeed[i].Share, want.PerSeed[i].Seed, want.PerSeed[i].Share)
+		}
+	}
+
+	// The reach explanation answered from the lazily built index; /stats
+	// reports its shape and the build it paid.
+	var st serve.StatsResponse
+	getJSON(t, h, "GET", "/stats", "", &st)
+	if st.ExplainRequests < 2 {
+		t.Errorf("explain_requests = %d, want >= 2", st.ExplainRequests)
+	}
+	if st.ProvBuilds != 1 || st.ProvPairs == 0 || st.ProvEntries == 0 || st.ProvBytes == 0 {
+		t.Errorf("prov stats = %d builds, %d pairs, %d entries, %d bytes; want 1 build and a non-empty index",
+			st.ProvBuilds, st.ProvPairs, st.ProvEntries, st.ProvBytes)
 	}
 }
 

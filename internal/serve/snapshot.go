@@ -878,6 +878,47 @@ func (sn *Snapshot) SelectSeedsObj(k int, o *credist.Objective) (*SeedsResult, e
 	return out, nil
 }
 
+// ExplainSeed decomposes candidate x's marginal gain (against this
+// snapshot's live base state) into its top credit paths. The explained
+// Gain is bit-for-bit the snapshot's Gains(nil, {x}) value. On the
+// partitioned path the owner of x's row answers alone — credit paths are
+// partitioned by influencer row, so no gather is needed; degraded
+// partitioned snapshots answer 502.
+func (sn *Snapshot) ExplainSeed(x credist.NodeID, top int) (credist.SeedExplanation, error) {
+	if err := sn.partitionGate(); err != nil {
+		return credist.SeedExplanation{}, err
+	}
+	if sn.parts != nil {
+		return sn.parts.ExplainSeed(x, top)
+	}
+	return sn.model.ExplainSeedOn(sn.base, x, top), nil
+}
+
+// ExplainReach decomposes the credit the given seed set pushes onto
+// target v: per-seed shares in request order whose fixed-order fold is
+// bit-exactly the returned Total, plus the top contributing paths. On the
+// partitioned path each seed's share comes wholly from its row's owner
+// and the gathered answer is bit-identical to the single-engine one.
+func (sn *Snapshot) ExplainReach(seeds []credist.NodeID, v credist.NodeID, top int) (credist.ReachExplanation, error) {
+	if err := sn.partitionGate(); err != nil {
+		return credist.ReachExplanation{}, err
+	}
+	if sn.parts != nil {
+		return sn.parts.ExplainReach(seeds, v, top)
+	}
+	return sn.model.ExplainReachOn(sn.base, seeds, v, top), nil
+}
+
+// ProvStats reports the model's provenance index for /stats (all zero in
+// the degraded state, and on partitioned deployments, which explain by
+// walking each partition's own rows instead of an index).
+func (sn *Snapshot) ProvStats() credist.ProvStats {
+	if sn.model == nil {
+		return credist.ProvStats{}
+	}
+	return sn.model.ProvStats()
+}
+
 // Selections returns how many CELF growth runs this snapshot has actually
 // executed: at most one per new high-water k, and zero for anything the
 // computed (or restored) prefix already covers — the diagnostic that pins

@@ -51,6 +51,10 @@ type Model struct {
 	// seeded either lazily on the first approximate query or from a
 	// version-5 snapshot's restored sketch (zero sampling on restart).
 	approx approxTier
+	// prov is the influence-provenance tier: the credit→actions index
+	// behind ExplainSeed/ExplainReach, built lazily or restored from a
+	// version-6 snapshot (zero build work on restart).
+	prov provTier
 	// delays lazily indexes per-(action, participant) delays from the
 	// action's first participation — what time-windowed objectives gate
 	// on. Derived from the log alone, at most once per model.
@@ -86,6 +90,7 @@ func newModel(ds *Dataset, opts Options, credit core.CreditModel) *Model {
 	m.delays = sync.OnceValue(func() *core.ActionDelays {
 		return core.BuildActionDelays(ds.Log)
 	})
+	m.wireProv()
 	return m
 }
 
@@ -516,12 +521,13 @@ func (m *Model) WriteSnapshot(w io.Writer, p *Planner, prefix *SeedPrefix) error
 		}
 		eng = p.eng
 	}
-	// The RR sketch rides along whenever the approximate tier holds one:
-	// walks are drawn from the evaluator over exactly the model's log, and
-	// the lineage written here is that same log's, so a sketch attached to
-	// this model is always consistent with the snapshot (the version stays
-	// 3 when there is no sketch, keeping sketchless files byte-identical).
-	return eng.WriteSnapshotSketch(w, core.DatasetLineage(m.ds.Name, m.ds.Graph, m.ds.Log), prefix, m.approxSketch())
+	// The RR sketch and provenance index ride along whenever their tiers
+	// hold one: both are derived over exactly the model's log, and the
+	// lineage written here is that same log's, so sections attached to
+	// this model are always consistent with the snapshot (the version
+	// stays 3 when there is no section, keeping sectionless files
+	// byte-identical).
+	return eng.WriteSnapshotProv(w, core.DatasetLineage(m.ds.Name, m.ds.Graph, m.ds.Log), prefix, m.approxSketch(), m.provForSave())
 }
 
 // IsModelSnapshot reports whether data (at least the first 8 bytes of a
@@ -583,11 +589,11 @@ func LoadModel(ds *Dataset, path string, opts Options) (*Model, error) {
 // The caller owns the mapping's lifetime: Close the model only after all
 // planners derived from it are gone.
 func LoadModelMapped(ds *Dataset, path string, opts Options) (*Model, error) {
-	eng, lin, prefix, sketch, ms, err := core.OpenSnapshotMappedSketch(path)
+	eng, lin, prefix, sketch, prov, ms, err := core.OpenSnapshotMappedProv(path)
 	if err != nil {
 		return nil, err
 	}
-	m, err := bindSnapshotModel(ds, eng, lin, prefix, sketch, opts)
+	m, err := bindSnapshotModel(ds, eng, lin, prefix, sketch, prov, opts)
 	if err != nil {
 		ms.Close()
 		return nil, err
@@ -598,17 +604,17 @@ func LoadModelMapped(ds *Dataset, path string, opts Options) (*Model, error) {
 
 // loadSnapshotModel binds a heap-parsed binary snapshot to ds.
 func loadSnapshotModel(ds *Dataset, r io.Reader, opts Options) (*Model, error) {
-	eng, lin, prefix, sketch, err := core.ReadSnapshotSketch(r)
+	eng, lin, prefix, sketch, prov, err := core.ReadSnapshotProv(r)
 	if err != nil {
 		return nil, err
 	}
-	return bindSnapshotModel(ds, eng, lin, prefix, sketch, opts)
+	return bindSnapshotModel(ds, eng, lin, prefix, sketch, prov, opts)
 }
 
 // bindSnapshotModel finishes a snapshot load regardless of backend:
 // lineage check, options resolution, and the tail append for a log that
 // has grown past the snapshot's scanned prefix.
-func bindSnapshotModel(ds *Dataset, eng *core.Engine, lin core.Lineage, prefix *SeedPrefix, sketch *core.RRSketch, opts Options) (*Model, error) {
+func bindSnapshotModel(ds *Dataset, eng *core.Engine, lin core.Lineage, prefix *SeedPrefix, sketch *core.RRSketch, prov *core.ProvIndex, opts Options) (*Model, error) {
 	if err := lin.Check(ds.Graph, ds.Log); err != nil {
 		return nil, err
 	}
@@ -631,9 +637,12 @@ func bindSnapshotModel(ds *Dataset, eng *core.Engine, lin core.Lineage, prefix *
 		// The stored seed prefix was selected over the snapshot's log
 		// prefix; appended actions change every marginal gain, so it no
 		// longer describes this model and is dropped. The RR sketch falls
-		// for the same reason: its walks sampled the old log's DAGs.
+		// for the same reason (its walks sampled the old log's DAGs), and
+		// the provenance index too: the tail adds credit cells it never
+		// indexed.
 		prefix = nil
 		sketch = nil
+		prov = nil
 	}
 	// Freeze rather than Compact: clones share everything either way, and
 	// keeping the delta accounting lets callers (and /stats) see how much
@@ -643,5 +652,6 @@ func bindSnapshotModel(ds *Dataset, eng *core.Engine, lin core.Lineage, prefix *
 	m.base = func() *core.Engine { return eng }
 	m.prefix = prefix
 	m.approx.restored = sketch
+	m.prov.restored = prov
 	return m, nil
 }

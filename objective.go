@@ -3,6 +3,9 @@ package credist
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"credist/internal/celf"
 	"credist/internal/core"
@@ -209,10 +212,46 @@ func (m *Model) GainsObj(base, candidates []NodeID, o *Objective) ([]float64, er
 		}
 	}
 	out := make([]float64, len(candidates))
-	for i, c := range candidates {
-		out[i] = p.eng.GainObj(c, cobj)
-	}
+	fanObjGains(p.eng.Workers(), len(candidates), func(i int) {
+		out[i] = p.eng.GainObj(candidates[i], cobj)
+	})
 	return out, nil
+}
+
+// fanObjGains prices n candidates over the engine's worker knob (0 means
+// GOMAXPROCS, matching the scan and the CELF fan-out). GainObj, like
+// Gain, is read-only between Adds (the ConcurrentGain marker), and every
+// result is written by index from an independent evaluation, so the
+// floats are identical at every worker count.
+func fanObjGains(workers, n int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // GainsObjOn is GainsObj evaluated over a caller-supplied scanned planner
@@ -255,9 +294,9 @@ func (m *Model) GainsObjOn(p *Planner, base, candidates []NodeID, o *Objective) 
 		}
 	}
 	out := make([]float64, len(candidates))
-	for i, c := range candidates {
-		out[i] = work.eng.GainObj(c, cobj)
-	}
+	fanObjGains(work.eng.Workers(), len(candidates), func(i int) {
+		out[i] = work.eng.GainObj(candidates[i], cobj)
+	})
 	return out, nil
 }
 

@@ -253,3 +253,96 @@ func TestObjectiveValidationErrors(t *testing.T) {
 		t.Error("costs on GainsObj accepted")
 	}
 }
+
+// TestGainsObjFanBitIdentical pins the batched objective gain fan-out:
+// pricing the whole candidate list at once (workers = the engine's knob,
+// default GOMAXPROCS) is bit-identical to pricing one candidate at a time
+// (a length-1 batch clamps the fan to a single worker — the serial path).
+func TestGainsObjFanBitIdentical(t *testing.T) {
+	m, obj := objTestModel(t)
+	obj.Blocked = []NodeID{2, 40}
+	base := []NodeID{1, 8}
+	candidates := make([]NodeID, 60)
+	for i := range candidates {
+		candidates[i] = NodeID(i * 4)
+	}
+	batched, err := m.GainsObj(base, candidates, obj)
+	if err != nil {
+		t.Fatalf("GainsObj: %v", err)
+	}
+	for i, c := range candidates {
+		one, err := m.GainsObj(base, []NodeID{c}, obj)
+		if err != nil {
+			t.Fatalf("GainsObj(%d): %v", c, err)
+		}
+		if one[0] != batched[i] {
+			t.Fatalf("candidate %d: serial %b, fanned %b", c, one[0], batched[i])
+		}
+	}
+	// The caller-supplied-planner variant fans identically.
+	p := m.NewPlanner()
+	onPlanner, err := m.GainsObjOn(p, base, candidates, obj)
+	if err != nil {
+		t.Fatalf("GainsObjOn: %v", err)
+	}
+	for i := range batched {
+		if onPlanner[i] != batched[i] {
+			t.Fatalf("GainsObjOn[%d] = %b, GainsObj = %b", i, onPlanner[i], batched[i])
+		}
+	}
+}
+
+// TestSeedsBlockedOverlap pins the seeds∩blocked semantics: a seed the
+// objective already blocks contributes exactly 0 marginal spread and gain
+// — the objective conditions on the rival set, so re-seeding a rival's
+// seed buys nothing — at partition counts {1, 4}.
+func TestSeedsBlockedOverlap(t *testing.T) {
+	m, obj := objTestModel(t)
+	obj.Blocked = []NodeID{3, 9}
+	x := NodeID(21)
+
+	gains, err := m.GainsObj(nil, []NodeID{3, x, 9}, obj)
+	if err != nil {
+		t.Fatalf("GainsObj: %v", err)
+	}
+	if gains[0] != 0 || gains[2] != 0 {
+		t.Fatalf("blocked candidates gained %b and %b, want exactly 0", gains[0], gains[2])
+	}
+	with, err := m.SpreadObj([]NodeID{3, x}, obj)
+	if err != nil {
+		t.Fatalf("SpreadObj(blocked seed): %v", err)
+	}
+	without, err := m.SpreadObj([]NodeID{x}, obj)
+	if err != nil {
+		t.Fatalf("SpreadObj: %v", err)
+	}
+	if with != without {
+		t.Fatalf("blocked seed changed the conditional spread: %b vs %b", with, without)
+	}
+	for _, nparts := range []int{1, 4} {
+		pp, err := m.NewPlanner().Partition(nparts)
+		if err != nil {
+			t.Fatalf("Partition(%d): %v", nparts, err)
+		}
+		pg, err := pp.GainsObj(m, nil, []NodeID{3, x, 9}, obj)
+		if err != nil {
+			t.Fatalf("nparts=%d: GainsObj: %v", nparts, err)
+		}
+		for i := range gains {
+			if pg[i] != gains[i] {
+				t.Fatalf("nparts=%d: GainsObj[%d] = %b, single engine %b", nparts, i, pg[i], gains[i])
+			}
+		}
+		pw, err := pp.SpreadObj(m, []NodeID{3, x}, obj)
+		if err != nil {
+			t.Fatalf("nparts=%d: SpreadObj(blocked seed): %v", nparts, err)
+		}
+		pwo, err := pp.SpreadObj(m, []NodeID{x}, obj)
+		if err != nil {
+			t.Fatalf("nparts=%d: SpreadObj: %v", nparts, err)
+		}
+		if pw != pwo {
+			t.Fatalf("nparts=%d: blocked seed changed the partitioned spread: %b vs %b", nparts, pw, pwo)
+		}
+	}
+}

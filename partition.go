@@ -441,6 +441,22 @@ func (pp *PartitionedPlanner) Gains(base, candidates []NodeID) ([]float64, error
 	return pp.coord.Gains(base, candidates)
 }
 
+// ExplainSeed decomposes candidate x's marginal gain into its top credit
+// paths, answered wholly by the partition owning x's row. The explained
+// Gain is bit-for-bit Gains(nil, {x})[0] at any partition count.
+func (pp *PartitionedPlanner) ExplainSeed(x NodeID, top int) (SeedExplanation, error) {
+	return pp.coord.ExplainSeed(x, top)
+}
+
+// ExplainReach decomposes the credit the given seeds push onto target v:
+// per-seed shares gathered from each seed's owning partition, folded in
+// input order (so they sum bit-exactly to Total), with the gathered paths
+// re-sorted deterministically. Bit-identical to Model.ExplainReach at any
+// partition count.
+func (pp *PartitionedPlanner) ExplainReach(seeds []NodeID, v NodeID, top int) (ReachExplanation, error) {
+	return pp.coord.ExplainReach(seeds, v, top)
+}
+
 // NewSelection starts a growable CELF selection over fresh partition
 // clones: the coordinator-side lazy-forward heap with the first-iteration
 // gain pass fanned per partition. Seeds and gains are bit-identical to a
